@@ -1,0 +1,112 @@
+// Ablation (DESIGN.md §3): static opt-hash vs the §5.3 adaptive counting
+// extension. Unseen elements (never in the prefix) are where the two
+// differ: the static estimator can only answer with stale prefix averages,
+// while the adaptive one keeps counting through the classifier + Bloom
+// filter, at the cost of the filter's memory and its overestimation bias.
+// The Bloom false-positive rate is swept to expose the accuracy/memory
+// trade-off.
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "core/adaptive_estimator.h"
+#include "core/evaluation.h"
+#include "experiment_util.h"
+
+namespace opthash::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "Ablation: static vs adaptive opt-hash on unseen elements "
+      "(G = 8, g0 = 0.33, 10 epochs)\n\n");
+
+  stream::SyntheticConfig world_config;
+  world_config.num_groups = 8;
+  world_config.fraction_seen = 0.33;
+  world_config.seed = 21;
+  stream::SyntheticWorld world(world_config);
+  Rng rng(22);
+  const std::vector<size_t> prefix =
+      world.GeneratePrefix(world.DefaultPrefixLength(), rng);
+  const PrefixSummary summary = SummarizePrefix(prefix);
+  const std::vector<core::PrefixElement> prefix_elements =
+      BuildPrefixElements(world, summary);
+  const std::vector<size_t> stream_tail =
+      world.GenerateStream(10 * prefix.size(), rng);
+
+  stream::ExactCounter truth;
+  for (size_t element : prefix) truth.Add(element);
+  for (size_t element : stream_tail) truth.Add(element);
+
+  auto train = [&]() {
+    core::OptHashConfig config;
+    config.total_buckets = 400;
+    config.id_ratio = 0.3;
+    config.lambda = 1.0;
+    config.solver = core::SolverKind::kBcd;
+    config.classifier = core::ClassifierKind::kCart;
+    auto result = core::OptHashEstimator::Train(config, prefix_elements);
+    OPTHASH_CHECK(result.ok());
+    return std::move(result).value();
+  };
+
+  // Queries: unseen elements (prefix-ineligible) that actually appeared.
+  std::vector<core::EvalQuery> unseen_queries;
+  for (const auto& [element, count] : truth.counts()) {
+    if (!world.PrefixEligible(element)) {
+      unseen_queries.push_back({{element, &world.FeaturesOf(element)},
+                                static_cast<double>(count)});
+    }
+  }
+
+  TablePrinter table({"estimator", "bloom_fpr", "memory_buckets",
+                      "unseen_avg_abs_error", "unseen_expected_error"});
+
+  // Static baseline.
+  {
+    core::OptHashEstimator static_estimator = train();
+    for (size_t element : stream_tail) {
+      static_estimator.Update({element, &world.FeaturesOf(element)});
+    }
+    const core::ErrorMetrics metrics =
+        core::EvaluateEstimator(static_estimator, unseen_queries);
+    table.AddRow({"opt-hash (static)", "-",
+                  std::to_string(static_estimator.MemoryBuckets()),
+                  TablePrinter::Num(metrics.average_absolute_error, 2),
+                  TablePrinter::Num(metrics.expected_magnitude_error, 2)});
+  }
+
+  // Adaptive variants across Bloom filter qualities.
+  std::vector<uint64_t> prefix_ids;
+  for (const auto& element : prefix_elements) prefix_ids.push_back(element.id);
+  for (double fpr : {0.2, 0.05, 0.01, 0.001}) {
+    core::AdaptiveConfig adaptive_config;
+    adaptive_config.bloom_fpr = fpr;
+    adaptive_config.expected_distinct = world.NumElements() * 2;
+    core::AdaptiveOptHashEstimator adaptive(train(), adaptive_config,
+                                            prefix_ids);
+    for (size_t element : stream_tail) {
+      adaptive.Update({element, &world.FeaturesOf(element)});
+    }
+    const core::ErrorMetrics metrics =
+        core::EvaluateEstimator(adaptive, unseen_queries);
+    table.AddRow({"opt-hash (adaptive)", TablePrinter::Num(fpr, 3),
+                  std::to_string(adaptive.MemoryBuckets()),
+                  TablePrinter::Num(metrics.average_absolute_error, 2),
+                  TablePrinter::Num(metrics.expected_magnitude_error, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the adaptive extension cuts the unseen-element error "
+      "relative to static mode;\nlower Bloom FPR costs more memory but "
+      "removes the overestimation bias of c_j undercounts.\n");
+}
+
+}  // namespace
+}  // namespace opthash::bench
+
+int main() {
+  opthash::bench::Run();
+  return 0;
+}

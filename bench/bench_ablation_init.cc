@@ -1,0 +1,75 @@
+// Ablation (DESIGN.md §3): BCD initialization strategies. §4.3 proposes
+// random, sorted-split and heavy-hitter starts, and §4.4 adds the DP warm
+// start. This harness quantifies the objective / sweep-count / time
+// trade-off between them on synthetic instances at two lambdas.
+
+#include <cstdio>
+
+#include "common/running_stats.h"
+#include "common/table_printer.h"
+#include "experiment_util.h"
+#include "opt/bcd.h"
+
+namespace opthash::bench {
+namespace {
+
+constexpr size_t kNumGroups = 8;
+constexpr size_t kNumBuckets = 10;
+constexpr size_t kRepeats = 3;
+
+void Run() {
+  std::printf(
+      "Ablation: BCD initialization strategies (G = %zu, b = %zu, %zu "
+      "repeats)\n\n",
+      kNumGroups, kNumBuckets, kRepeats);
+  TablePrinter table({"lambda", "init", "overall_error", "sweeps",
+                      "elapsed_sec"});
+
+  for (double lambda : {0.5, 1.0}) {
+    for (opt::InitStrategy init :
+         {opt::InitStrategy::kRandom, opt::InitStrategy::kSortedSplit,
+          opt::InitStrategy::kHeavyHitter, opt::InitStrategy::kDpWarmStart}) {
+      RunningStats overall;
+      RunningStats sweeps;
+      RunningStats seconds;
+      for (size_t repeat = 0; repeat < kRepeats; ++repeat) {
+        stream::SyntheticConfig world_config;
+        world_config.num_groups = kNumGroups;
+        world_config.fraction_seen = 0.5;
+        world_config.seed = 400 + repeat;
+        stream::SyntheticWorld world(world_config);
+        Rng rng(500 + repeat);
+        const PrefixSummary summary = SummarizePrefix(
+            world.GeneratePrefix(world.DefaultPrefixLength(), rng));
+        const opt::HashingProblem problem =
+            BuildProblem(world, summary, kNumBuckets, lambda);
+        opt::BcdConfig config;
+        config.init = init;
+        config.seed = 600 + repeat;
+        const opt::SolveResult result = opt::BcdSolver(config).Solve(problem);
+        overall.Add(result.objective.overall);
+        sweeps.Add(static_cast<double>(result.iterations));
+        seconds.Add(result.elapsed_seconds);
+      }
+      table.AddRow({TablePrinter::Num(lambda, 1),
+                    opt::InitStrategyName(init),
+                    TablePrinter::Num(overall.mean(), 1) + " +/- " +
+                        TablePrinter::Num(overall.stddev(), 1),
+                    TablePrinter::Num(sweeps.mean(), 1),
+                    TablePrinter::Num(seconds.mean(), 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the DP warm start reaches the best lambda = 1 objective "
+      "immediately (it is optimal\nthere) and cuts sweeps at lambda = 0.5; "
+      "sorted-split is the cheapest competitive heuristic start.\n");
+}
+
+}  // namespace
+}  // namespace opthash::bench
+
+int main() {
+  opthash::bench::Run();
+  return 0;
+}

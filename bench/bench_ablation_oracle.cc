@@ -1,0 +1,123 @@
+// Ablation (§7.2): the paper evaluates the heavy-hitter baseline with an
+// *ideal* oracle, noting it "significantly outperform[s] any realistically
+// implementable version ... that relied upon non-ideal heavy-hitter
+// oracles (e.g. recurrent neural network classifier)". This harness
+// quantifies that hierarchy on the query-log substitute at one budget:
+//
+//   plain count-min  >=  learned-oracle LCMS  >=  ideal-oracle LCMS
+//
+// in *expected magnitude of error* — the metric ref [8]'s analysis
+// optimizes. (On the average per-element metric, unique buckets steal CMS
+// width from the tail, so both LCMS variants can trail plain count-min at
+// tight budgets; the paper makes the same observation: the heavy-hitter
+// improvement "is much more notable in terms of the expected magnitude".)
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "aol_harness.h"
+#include "common/table_printer.h"
+#include "core/oracle_cms.h"
+
+namespace opthash::bench {
+namespace {
+
+void Run() {
+  stream::QueryLogConfig config;
+  config.num_queries = 100000;
+  config.arrivals_per_day = 20000;
+  config.num_days = 31;
+  config.seed = 77;
+  stream::QueryLog log(config);
+  QueryFeaturePipeline pipeline(log);
+
+  // Day-0 prefix.
+  std::unordered_map<size_t, double> day0;
+  for (size_t rank : log.GenerateDay(0)) day0[rank] += 1.0;
+  std::vector<core::PrefixElement> prefix;
+  for (const auto& [rank, count] : day0) {
+    prefix.push_back({.id = log.QueryId(rank),
+                      .frequency = count,
+                      .features = pipeline.Features(rank)});
+  }
+  std::printf(
+      "Oracle ablation: %zu-query universe, day-0 support %zu, 30 streamed "
+      "days, 10 KB budget.\n\n",
+      config.num_queries, prefix.size());
+
+  constexpr size_t kBudget = 2500;  // 10 KB.
+  constexpr size_t kHeavy = 500;
+
+  // Ideal oracle: true top keys over the full horizon.
+  std::unordered_map<uint64_t, uint64_t> totals;
+  for (size_t day = 0; day < config.num_days; ++day) {
+    for (size_t rank : log.GenerateDay(day)) ++totals[log.QueryId(rank)];
+  }
+  auto ideal = core::LearnedCmsEstimator::Create(
+      kBudget, 2, sketch::SelectTopKeys(totals, kHeavy), 3);
+  OPTHASH_CHECK(ideal.ok());
+
+  // Realizable oracle: classifier trained on day-0 features (§2.2
+  // footnote: predict the top fraction of the frequencies).
+  auto oracle = core::TrainHeavyHitterOracle(
+      prefix, static_cast<double>(kHeavy) / static_cast<double>(prefix.size()),
+      4);
+  OPTHASH_CHECK(oracle.ok());
+  auto learned = core::OracleLearnedCms::Create(
+      kBudget, 2, kHeavy, oracle.value().AsPredicate(), 3);
+  OPTHASH_CHECK(learned.ok());
+  std::printf("learned oracle: train accuracy %.3f, cutoff frequency %.0f\n\n",
+              oracle.value().train_accuracy,
+              oracle.value().frequency_cutoff);
+
+  core::CountMinEstimator plain(kBudget, 2, 3);
+
+  // Stream all days; keep features alive for the learned oracle.
+  stream::ExactCounter truth;
+  for (size_t day = 0; day < config.num_days; ++day) {
+    for (size_t rank : log.GenerateDay(day)) {
+      const uint64_t id = log.QueryId(rank);
+      truth.Add(id);
+      const stream::StreamItem item{id, &pipeline.Features(rank)};
+      ideal.value().Update(item);
+      learned.value().Update(item);
+      plain.Update(item);
+    }
+  }
+
+  // Evaluate on the final day's query set.
+  const std::vector<size_t> last_day = log.GenerateDay(config.num_days - 1);
+  std::set<size_t> day_ranks(last_day.begin(), last_day.end());
+  std::vector<core::EvalQuery> queries;
+  for (size_t rank : day_ranks) {
+    queries.push_back({{log.QueryId(rank), &pipeline.Features(rank)},
+                       static_cast<double>(truth.Count(log.QueryId(rank)))});
+  }
+
+  TablePrinter table({"estimator", "avg_abs_error", "expected_abs_error"});
+  for (const auto& [name, estimator] :
+       std::vector<std::pair<std::string, const core::FrequencyEstimator*>>{
+           {"count-min (no oracle)", &plain},
+           {"heavy-hitter (learned oracle)", &learned.value()},
+           {"heavy-hitter (ideal oracle)", &ideal.value()}}) {
+    const core::ErrorMetrics metrics =
+        core::EvaluateEstimator(*estimator, queries);
+    table.AddRow({name, TablePrinter::Num(metrics.average_absolute_error, 2),
+                  TablePrinter::Num(metrics.expected_magnitude_error, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (§7.2): on the expected-magnitude metric, ideal <= "
+      "learned <= none —\nthe ideal oracle upper-bounds every realizable "
+      "learned oracle, which in turn beats\noracle-free hashing. On the "
+      "average metric the unique buckets cost the tail CMS width\n(the "
+      "paper's own observation about where heavy-hitter helps).\n");
+}
+
+}  // namespace
+}  // namespace opthash::bench
+
+int main() {
+  opthash::bench::Run();
+  return 0;
+}

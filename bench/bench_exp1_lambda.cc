@@ -1,0 +1,116 @@
+// Experiment 1 (paper Fig. 2): impact of the hyperparameter lambda on the
+// learned hashing scheme for G = 6, comparing milp (branch-and-bound
+// substitute), bcd and dp. Reports the raw (un-normalized) estimation,
+// similarity and overall errors on S0, plus elapsed time, averaged over
+// independent repetitions — the same four panels as Fig. 2 (a)-(d).
+
+#include <cstdio>
+
+#include "common/running_stats.h"
+#include "common/table_printer.h"
+#include "experiment_util.h"
+#include "opt/bcd.h"
+#include "opt/dp.h"
+#include "opt/exact.h"
+
+namespace opthash::bench {
+namespace {
+
+constexpr size_t kNumGroups = 6;
+constexpr size_t kNumBuckets = 10;
+constexpr size_t kRepeats = 3;
+
+struct SolverOutput {
+  opt::ObjectiveValue value;
+  double seconds = 0.0;
+};
+
+SolverOutput RunSolver(const std::string& name,
+                       const opt::HashingProblem& problem, uint64_t seed) {
+  SolverOutput output;
+  if (name == "bcd") {
+    opt::BcdConfig config;
+    config.seed = seed;
+    config.num_restarts = 3;  // "repeated multiple times from different
+                              // starting points" (§4.3).
+    opt::BcdSolver solver(config);
+    const opt::SolveResult result = solver.Solve(problem);
+    output.value = result.objective;
+    output.seconds = result.elapsed_seconds;
+  } else if (name == "dp") {
+    // The paper's dp ignores the similarity term regardless of lambda; the
+    // reported overall error is evaluated at the problem's lambda.
+    opt::DpSolver solver;
+    const opt::SolveResult result = solver.Solve(problem);
+    output.value = result.objective;
+    output.seconds = result.elapsed_seconds;
+  } else {  // milp
+    opt::ExactConfig config;
+    config.time_limit_seconds = 1.0;  // Mirrors a Gurobi time limit.
+    config.bcd.num_restarts = 3;
+    config.bcd.seed = seed;
+    opt::ExactSolver solver(config);
+    const opt::SolveResult result = solver.Solve(problem);
+    output.value = result.objective;
+    output.seconds = result.elapsed_seconds;
+  }
+  return output;
+}
+
+void Run() {
+  std::printf(
+      "Experiment 1 (Fig. 2): impact of lambda, G = %zu, b = %zu, "
+      "%zu repeats\n\n",
+      kNumGroups, kNumBuckets, kRepeats);
+  TablePrinter table({"lambda", "solver", "prefix_estimation_error",
+                      "prefix_similarity_error", "prefix_overall_error",
+                      "elapsed_sec"});
+
+  for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    for (const std::string solver : {"bcd", "dp", "milp"}) {
+      RunningStats estimation;
+      RunningStats similarity;
+      RunningStats overall;
+      RunningStats seconds;
+      for (size_t repeat = 0; repeat < kRepeats; ++repeat) {
+        stream::SyntheticConfig world_config;
+        world_config.num_groups = kNumGroups;
+        world_config.fraction_seen = 0.5;
+        world_config.seed = 100 + repeat;
+        stream::SyntheticWorld world(world_config);
+        Rng rng(200 + repeat);
+        const PrefixSummary summary = SummarizePrefix(
+            world.GeneratePrefix(world.DefaultPrefixLength(), rng));
+        const opt::HashingProblem problem =
+            BuildProblem(world, summary, kNumBuckets, lambda);
+        const SolverOutput output = RunSolver(solver, problem, 300 + repeat);
+        estimation.Add(output.value.estimation_error);
+        similarity.Add(output.value.similarity_error);
+        overall.Add(output.value.overall);
+        seconds.Add(output.seconds);
+      }
+      table.AddRow({TablePrinter::Num(lambda, 1), solver,
+                    TablePrinter::Num(estimation.mean(), 1) + " +/- " +
+                        TablePrinter::Num(estimation.stddev(), 1),
+                    TablePrinter::Num(similarity.mean(), 0) + " +/- " +
+                        TablePrinter::Num(similarity.stddev(), 0),
+                    TablePrinter::Num(overall.mean(), 1) + " +/- " +
+                        TablePrinter::Num(overall.stddev(), 1),
+                    TablePrinter::Num(seconds.mean(), 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 2): milp <= bcd on overall error with "
+      "small gaps;\ndp minimizes the estimation error at every lambda but "
+      "pays on similarity/overall\nfor lambda < 1; dp and bcd run in well "
+      "under a second, milp costs the most.\n");
+}
+
+}  // namespace
+}  // namespace opthash::bench
+
+int main() {
+  opthash::bench::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment 2 (paper Fig. 3): bcd vs dp in the lambda = 1 case for
+// increasing problem sizes G. dp finds the optimal hashing scheme; the
+// experiment shows bcd staying near-optimal for moderate G and degrading
+// as G grows. Errors are reported in the per-element / per-pair scale, as
+// in the paper ("we convert the errors in a per element / per pair of
+// elements scale").
+//
+// Scale note: for G <= 9 the certified-exact DP (quadratic layers, mean
+// centers) runs in seconds; for larger G we switch to the O(nb) SMAWK
+// k-median path — exactly the Ckmeans.1d.dp/Wu tooling the paper used —
+// which the test suite shows within ~3% of the certified optimum.
+
+#include <cstdio>
+
+#include "common/running_stats.h"
+#include "common/table_printer.h"
+#include "experiment_util.h"
+#include "opt/bcd.h"
+#include "opt/dp.h"
+
+namespace opthash::bench {
+namespace {
+
+constexpr size_t kNumBuckets = 10;
+constexpr size_t kRepeats = 3;
+
+void Run() {
+  std::printf(
+      "Experiment 2 (Fig. 3): bcd vs dp, lambda = 1, b = %zu, %zu repeats\n\n",
+      kNumBuckets, kRepeats);
+  TablePrinter table({"num_groups", "solver", "prefix_estimation_error",
+                      "prefix_similarity_error", "prefix_overall_error",
+                      "elapsed_sec"});
+
+  for (size_t groups = 4; groups <= 11; ++groups) {
+    for (const std::string solver_name : {"bcd", "dp"}) {
+      RunningStats estimation;
+      RunningStats similarity;
+      RunningStats overall;
+      RunningStats seconds;
+      for (size_t repeat = 0; repeat < kRepeats; ++repeat) {
+        stream::SyntheticConfig world_config;
+        world_config.num_groups = groups;
+        world_config.fraction_seen = 0.5;
+        world_config.seed = 10 * groups + repeat;
+        stream::SyntheticWorld world(world_config);
+        Rng rng(77 + repeat);
+        const PrefixSummary summary = SummarizePrefix(
+            world.GeneratePrefix(world.DefaultPrefixLength(), rng));
+        const opt::HashingProblem problem =
+            BuildProblem(world, summary, kNumBuckets, /*lambda=*/1.0);
+
+        opt::SolveResult result;
+        if (solver_name == "bcd") {
+          opt::BcdConfig config;
+          config.seed = 1000 + repeat;
+          config.num_restarts = 3;
+          result = opt::BcdSolver(config).Solve(problem);
+        } else {
+          opt::DpConfig config;
+          if (groups >= 10) {
+            config.algorithm = opt::DpAlgorithm::kSmawk;
+            config.center = opt::DpCostCenter::kMedian;
+          }
+          result = opt::DpSolver(config).Solve(problem);
+        }
+        const opt::NormalizedObjective normalized =
+            opt::NormalizeObjective(problem, result.assignment);
+        estimation.Add(normalized.estimation_error_per_element);
+        similarity.Add(normalized.similarity_error_per_pair);
+        overall.Add(normalized.overall);
+        seconds.Add(result.elapsed_seconds);
+      }
+      table.AddRow({std::to_string(groups), solver_name,
+                    TablePrinter::Num(estimation.mean(), 3) + " +/- " +
+                        TablePrinter::Num(estimation.stddev(), 3),
+                    TablePrinter::Num(similarity.mean(), 3),
+                    TablePrinter::Num(overall.mean(), 3),
+                    TablePrinter::Num(seconds.mean(), 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 3): dp's estimation error lower-bounds "
+      "bcd's at every G;\nthe bcd gap is negligible for G <= 10 and grows "
+      "with G; dp stays fast throughout.\n");
+}
+
+}  // namespace
+}  // namespace opthash::bench
+
+int main() {
+  opthash::bench::Run();
+  return 0;
+}

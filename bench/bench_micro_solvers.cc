@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks for the optimization core: one BCD
+// sweep, the three DP layer algorithms (the quadratic / divide-and-conquer
+// / SMAWK ladder of §4.4 and refs [39][40]), and the exact solver on tiny
+// instances.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "opt/bcd.h"
+#include "opt/dp.h"
+#include "opt/exact.h"
+
+namespace opthash::opt {
+namespace {
+
+HashingProblem MakeProblem(size_t n, size_t b, double lambda, size_t dim) {
+  Rng rng(42);
+  HashingProblem problem;
+  problem.num_buckets = b;
+  problem.lambda = lambda;
+  problem.frequencies.resize(n);
+  for (double& f : problem.frequencies) {
+    f = static_cast<double>(rng.NextBounded(1000));
+  }
+  problem.features.resize(n);
+  for (auto& x : problem.features) {
+    x.resize(dim);
+    for (double& v : x) v = rng.NextGaussian();
+  }
+  return problem;
+}
+
+void BM_BcdSolveLambda1(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 10, 1.0, 0);
+  BcdConfig config;
+  config.max_sweeps = 5;
+  for (auto _ : state) {
+    BcdSolver solver(config);
+    benchmark::DoNotOptimize(solver.Solve(problem).objective.overall);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 5);
+}
+BENCHMARK(BM_BcdSolveLambda1)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BcdSolveMixedLambda(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 10, 0.5, 2);
+  BcdConfig config;
+  config.max_sweeps = 5;
+  for (auto _ : state) {
+    BcdSolver solver(config);
+    benchmark::DoNotOptimize(solver.Solve(problem).objective.overall);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 5);
+}
+BENCHMARK(BM_BcdSolveMixedLambda)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DpQuadraticMean(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 10, 1.0, 0);
+  DpSolver solver(DpConfig{DpAlgorithm::kQuadratic, DpCostCenter::kMean});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(problem).objective.overall);
+  }
+}
+BENCHMARK(BM_DpQuadraticMean)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DpDivideConquerMedian(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 10, 1.0, 0);
+  DpSolver solver(
+      DpConfig{DpAlgorithm::kDivideConquer, DpCostCenter::kMedian});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(problem).objective.overall);
+  }
+}
+BENCHMARK(BM_DpDivideConquerMedian)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DpSmawkMedian(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 10, 1.0, 0);
+  DpSolver solver(DpConfig{DpAlgorithm::kSmawk, DpCostCenter::kMedian});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(problem).objective.overall);
+  }
+}
+BENCHMARK(BM_DpSmawkMedian)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_ExactSolveTiny(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const HashingProblem problem = MakeProblem(n, 3, 1.0, 0);
+  ExactConfig config;
+  config.time_limit_seconds = 5.0;
+  for (auto _ : state) {
+    ExactSolver solver(config);
+    benchmark::DoNotOptimize(solver.Solve(problem).iterations);
+  }
+}
+BENCHMARK(BM_ExactSolveTiny)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+}  // namespace opthash::opt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#ifndef OPTHASH_BENCH_EXPERIMENT_UTIL_H_
+#define OPTHASH_BENCH_EXPERIMENT_UTIL_H_
+
+// Shared plumbing for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §3 for the experiment index).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/opt_hash_estimator.h"
+#include "opt/objective.h"
+#include "opt/problem.h"
+#include "stream/features.h"
+#include "stream/query_log.h"
+#include "stream/synthetic.h"
+
+namespace opthash::bench {
+
+/// Prefix summary of a synthetic run: per-element counts and the element
+/// ids in a stable order.
+struct PrefixSummary {
+  std::vector<size_t> elements;       // Distinct element ids, sorted.
+  std::vector<double> frequencies;    // f0 per element (same order).
+};
+
+inline PrefixSummary SummarizePrefix(const std::vector<size_t>& prefix) {
+  std::unordered_map<size_t, double> counts;
+  for (size_t element : prefix) counts[element] += 1.0;
+  PrefixSummary summary;
+  summary.elements.reserve(counts.size());
+  for (const auto& [element, count] : counts) {
+    summary.elements.push_back(element);
+  }
+  std::sort(summary.elements.begin(), summary.elements.end());
+  summary.frequencies.reserve(summary.elements.size());
+  for (size_t element : summary.elements) {
+    summary.frequencies.push_back(counts[element]);
+  }
+  return summary;
+}
+
+/// Builds the optimization instance of §4 from an observed prefix.
+inline opt::HashingProblem BuildProblem(const stream::SyntheticWorld& world,
+                                        const PrefixSummary& summary,
+                                        size_t num_buckets, double lambda) {
+  opt::HashingProblem problem;
+  problem.num_buckets = num_buckets;
+  problem.lambda = lambda;
+  problem.frequencies = summary.frequencies;
+  problem.features.reserve(summary.elements.size());
+  for (size_t element : summary.elements) {
+    problem.features.push_back(world.FeaturesOf(element));
+  }
+  return problem;
+}
+
+/// Builds PrefixElements (the estimator training input) from a summary.
+inline std::vector<core::PrefixElement> BuildPrefixElements(
+    const stream::SyntheticWorld& world, const PrefixSummary& summary) {
+  std::vector<core::PrefixElement> out;
+  out.reserve(summary.elements.size());
+  for (size_t t = 0; t < summary.elements.size(); ++t) {
+    out.push_back({.id = summary.elements[t],
+                   .frequency = summary.frequencies[t],
+                   .features = world.FeaturesOf(summary.elements[t])});
+  }
+  return out;
+}
+
+/// Errors of a *predicted* hash code on elements that never appeared in the
+/// prefix (paper Experiments 4-5). Estimation error compares the bucket's
+/// prefix-average against the element's per-epoch arrival rate measured
+/// over the post-prefix window (window counts scaled by |S0|/|S|).
+/// Similarity error averages ||x_u - x_k||^2 over (unseen, co-bucket seen)
+/// pairs.
+struct UnseenErrors {
+  double estimation_per_element = 0.0;
+  double similarity_per_pair = 0.0;
+  double overall = 0.0;  // lambda-weighted combination.
+  size_t num_unseen = 0;
+};
+
+inline UnseenErrors EvaluateUnseen(
+    const stream::SyntheticWorld& world, const PrefixSummary& summary,
+    const opt::Assignment& seen_assignment, size_t num_buckets, double lambda,
+    const ml::Classifier& classifier, const std::vector<size_t>& window,
+    double window_epochs) {
+  // Bucket aggregates of seen elements.
+  std::vector<double> bucket_freq(num_buckets, 0.0);
+  std::vector<double> bucket_count(num_buckets, 0.0);
+  std::vector<std::vector<size_t>> bucket_members(num_buckets);
+  for (size_t t = 0; t < summary.elements.size(); ++t) {
+    const auto j = static_cast<size_t>(seen_assignment[t]);
+    bucket_freq[j] += summary.frequencies[t];
+    bucket_count[j] += 1.0;
+    bucket_members[j].push_back(summary.elements[t]);
+  }
+
+  // Window frequencies of unseen elements.
+  std::unordered_map<size_t, double> window_counts;
+  for (size_t element : window) window_counts[element] += 1.0;
+  std::unordered_map<size_t, bool> seen;
+  for (size_t element : summary.elements) seen[element] = true;
+
+  UnseenErrors errors;
+  double similarity_total = 0.0;
+  double pair_total = 0.0;
+  for (const auto& [element, count] : window_counts) {
+    if (seen.count(element)) continue;
+    ++errors.num_unseen;
+    const int bucket = classifier.Predict(world.FeaturesOf(element));
+    const auto j = static_cast<size_t>(bucket);
+    const double estimate =
+        bucket_count[j] > 0.0 ? bucket_freq[j] / bucket_count[j] : 0.0;
+    const double rate = count / window_epochs;  // Per-epoch arrival count.
+    errors.estimation_per_element += std::abs(estimate - rate);
+    for (size_t member : bucket_members[j]) {
+      similarity_total +=
+          opt::SquaredDistance(world.FeaturesOf(element),
+                               world.FeaturesOf(member));
+      pair_total += 1.0;
+    }
+  }
+  if (errors.num_unseen > 0) {
+    errors.estimation_per_element /= static_cast<double>(errors.num_unseen);
+  }
+  if (pair_total > 0.0) {
+    errors.similarity_per_pair = similarity_total / pair_total;
+  }
+  errors.overall = lambda * errors.estimation_per_element +
+                   (1.0 - lambda) * errors.similarity_per_pair;
+  return errors;
+}
+
+/// Shared featurization pipeline for the query-log experiments (§7.3):
+/// fits the 500-word vocabulary on the day-0 queries weighted by their
+/// observed counts, and caches feature vectors per rank.
+class QueryFeaturePipeline {
+ public:
+  QueryFeaturePipeline(const stream::QueryLog& log, size_t vocabulary = 500)
+      : log_(log), featurizer_(vocabulary) {
+    std::unordered_map<size_t, double> day0;
+    for (size_t rank : log.GenerateDay(0)) day0[rank] += 1.0;
+    std::vector<std::pair<std::string, double>> corpus;
+    corpus.reserve(day0.size());
+    for (const auto& [rank, count] : day0) {
+      corpus.push_back({log.QueryText(rank), count});
+    }
+    featurizer_.Fit(corpus);
+  }
+
+  const std::vector<double>& Features(size_t rank) {
+    auto it = cache_.find(rank);
+    if (it == cache_.end()) {
+      it = cache_.emplace(rank, featurizer_.Featurize(log_.QueryText(rank)))
+               .first;
+    }
+    return it->second;
+  }
+
+  const stream::BagOfWordsFeaturizer& featurizer() const {
+    return featurizer_;
+  }
+
+ private:
+  const stream::QueryLog& log_;
+  stream::BagOfWordsFeaturizer featurizer_;
+  std::unordered_map<size_t, std::vector<double>> cache_;
+};
+
+}  // namespace opthash::bench
+
+#endif  // OPTHASH_BENCH_EXPERIMENT_UTIL_H_

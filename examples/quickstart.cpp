@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end use of the opt-hash estimator.
+//
+//   1. Observe a stream prefix and count element frequencies.
+//   2. Train the estimator: the optimizer assigns prefix elements to
+//      buckets; a classifier learns to route unseen elements by features.
+//   3. Keep processing the stream in O(1) per arrival.
+//   4. Answer count queries for any element at any time.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "core/opt_hash_estimator.h"
+
+using opthash::core::ClassifierKind;
+using opthash::core::OptHashConfig;
+using opthash::core::OptHashEstimator;
+using opthash::core::PrefixElement;
+using opthash::core::SolverKind;
+using opthash::stream::StreamItem;
+
+int main() {
+  // ---------------------------------------------------------------- 1 ---
+  // A toy prefix: ids 1..4 are "popular" elements (large counts), ids
+  // 100..109 are rare. Each element carries one feature that separates the
+  // two populations (think: query length).
+  std::vector<PrefixElement> prefix;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    prefix.push_back({.id = id,
+                      .frequency = 90.0 + static_cast<double>(id),
+                      .features = {1.0}});
+  }
+  for (uint64_t id = 100; id < 110; ++id) {
+    prefix.push_back({.id = id,
+                      .frequency = 3.0,
+                      .features = {8.0}});
+  }
+
+  // ---------------------------------------------------------------- 2 ---
+  OptHashConfig config;
+  config.total_buckets = 20;   // Total memory: 20 buckets of 4 bytes.
+  config.id_ratio = 0.5;       // c = b/n: buckets vs stored-ID split.
+  config.lambda = 1.0;         // Optimize pure estimation error.
+  config.solver = SolverKind::kDp;            // Provably optimal for λ=1.
+  config.classifier = ClassifierKind::kCart;  // Routes unseen elements.
+  auto trained = OptHashEstimator::Train(config, prefix);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  OptHashEstimator estimator = std::move(trained).value();
+  std::printf("trained: %zu buckets + %zu stored ids = %zu buckets (%.2f KB)\n",
+              estimator.num_buckets(), estimator.num_stored_ids(),
+              estimator.MemoryBuckets(), estimator.MemoryKb());
+
+  // ---------------------------------------------------------------- 3 ---
+  // Stream processing: element 2 shows up 10 more times.
+  for (int arrival = 0; arrival < 10; ++arrival) {
+    estimator.Update({2, nullptr});
+  }
+
+  // ---------------------------------------------------------------- 4 ---
+  // Count queries. Stored elements route through the learned hash table.
+  std::printf("estimate(id=2)    = %.1f   (true 92 + 10 = 102)\n",
+              estimator.Estimate({2, nullptr}));
+  std::printf("estimate(id=100)  = %.1f   (true 3)\n",
+              estimator.Estimate({100, nullptr}));
+
+  // An element never seen before: the classifier routes it by features.
+  // Features near 1.0 look "popular"; features near 8.0 look "rare".
+  const std::vector<double> popular_features = {1.0};
+  const std::vector<double> rare_features = {8.0};
+  std::printf("estimate(new, popular-looking) = %.1f\n",
+              estimator.Estimate(StreamItem{999, &popular_features}));
+  std::printf("estimate(new, rare-looking)    = %.1f\n",
+              estimator.Estimate(StreamItem{998, &rare_features}));
+  return 0;
+}

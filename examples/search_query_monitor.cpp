@@ -1,0 +1,115 @@
+// Search-query monitoring (the paper's §7 scenario): estimate how often
+// each query hits a search frontend using a few KB of state.
+//
+// The example trains opt-hash on day 0 of a synthetic query log (bag-of-
+// words features over the query text, per §7.3), streams a week of
+// traffic, and compares its per-query estimates against an equally sized
+// Count-Min Sketch and the exact truth.
+
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "core/baseline_estimators.h"
+#include "core/evaluation.h"
+#include "core/opt_hash_estimator.h"
+#include "stream/features.h"
+#include "stream/query_log.h"
+
+using namespace opthash;
+
+int main() {
+  // A scaled-down 7-day query log (see stream/query_log.h for the shape).
+  stream::QueryLogConfig log_config;
+  log_config.num_queries = 20000;
+  log_config.arrivals_per_day = 10000;
+  log_config.num_days = 8;
+  stream::QueryLog log(log_config);
+
+  // Day 0 = observed prefix. Fit the 500-word vocabulary on it.
+  std::unordered_map<size_t, double> day0;
+  for (size_t rank : log.GenerateDay(0)) day0[rank] += 1.0;
+  std::vector<std::pair<std::string, double>> corpus;
+  for (const auto& [rank, count] : day0) {
+    corpus.push_back({log.QueryText(rank), count});
+  }
+  stream::BagOfWordsFeaturizer featurizer(500);
+  featurizer.Fit(corpus);
+  std::printf("day 0: %zu distinct queries, vocabulary = %zu words\n",
+              day0.size(), featurizer.VocabularySize());
+
+  // Train opt-hash with an 8 KB budget (2000 buckets).
+  std::vector<core::PrefixElement> prefix;
+  for (const auto& [rank, count] : day0) {
+    prefix.push_back({.id = log.QueryId(rank),
+                      .frequency = count,
+                      .features = featurizer.Featurize(log.QueryText(rank))});
+  }
+  core::OptHashConfig config;
+  config.total_buckets = 2000;
+  config.id_ratio = 0.3;
+  config.lambda = 1.0;
+  config.solver = core::SolverKind::kBcd;
+  config.classifier = core::ClassifierKind::kRandomForest;
+  config.rf.num_trees = 10;
+  auto trained = core::OptHashEstimator::Train(config, prefix);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  core::OptHashEstimator opt_hash = std::move(trained).value();
+  core::CountMinEstimator count_min(2000, 4, /*seed=*/7);
+
+  // Stream days 0..7 (the baseline also ingests day 0).
+  stream::ExactCounter truth;
+  for (size_t rank : log.GenerateDay(0)) {
+    truth.Add(log.QueryId(rank));
+    count_min.Update({log.QueryId(rank), nullptr});
+  }
+  for (size_t day = 1; day < log_config.num_days; ++day) {
+    for (size_t rank : log.GenerateDay(day)) {
+      truth.Add(log.QueryId(rank));
+      opt_hash.Update({log.QueryId(rank), nullptr});
+      count_min.Update({log.QueryId(rank), nullptr});
+    }
+  }
+
+  // Per-query report for a few ranks.
+  std::printf("\n%-28s %8s %10s %10s\n", "query", "true", "opt-hash",
+              "count-min");
+  std::unordered_map<size_t, std::vector<double>> feature_cache;
+  for (size_t rank : {1u, 5u, 25u, 200u, 2000u, 15000u}) {
+    feature_cache[rank] = featurizer.Featurize(log.QueryText(rank));
+    const stream::StreamItem item{log.QueryId(rank), &feature_cache[rank]};
+    std::printf("%-28s %8llu %10.1f %10.1f\n",
+                log.QueryText(rank).substr(0, 28).c_str(),
+                static_cast<unsigned long long>(truth.Count(log.QueryId(rank))),
+                opt_hash.Estimate(item), count_min.Estimate(item));
+  }
+
+  // Aggregate errors over the queries seen in the final day.
+  const std::vector<size_t> final_day_arrivals = log.GenerateDay(7);
+  std::set<size_t> final_day(final_day_arrivals.begin(),
+                             final_day_arrivals.end());
+  std::vector<core::EvalQuery> queries;
+  for (size_t rank : final_day) {
+    auto [it, unused] =
+        feature_cache.try_emplace(rank, featurizer.Featurize(log.QueryText(rank)));
+    queries.push_back({{log.QueryId(rank), &it->second},
+                       static_cast<double>(truth.Count(log.QueryId(rank)))});
+  }
+  const core::ErrorMetrics opt_metrics =
+      core::EvaluateEstimator(opt_hash, queries);
+  const core::ErrorMetrics cms_metrics =
+      core::EvaluateEstimator(count_min, queries);
+  std::printf("\nerrors over %zu final-day queries (both estimators ~8 KB):\n",
+              queries.size());
+  std::printf("  opt-hash : avg abs %.2f | expected %.2f\n",
+              opt_metrics.average_absolute_error,
+              opt_metrics.expected_magnitude_error);
+  std::printf("  count-min: avg abs %.2f | expected %.2f\n",
+              cms_metrics.average_absolute_error,
+              cms_metrics.expected_magnitude_error);
+  return 0;
+}

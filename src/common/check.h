@@ -1,0 +1,38 @@
+#ifndef OPTHASH_COMMON_CHECK_H_
+#define OPTHASH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal-invariant checking. CHECK macros abort on violation; they guard
+// programmer errors, not recoverable conditions (use Status for those).
+// They are active in all build types: the library is an experimental
+// artifact, and silent invariant corruption would invalidate every
+// reproduction number downstream.
+
+#define OPTHASH_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define OPTHASH_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define OPTHASH_CHECK_GE(a, b) OPTHASH_CHECK((a) >= (b))
+#define OPTHASH_CHECK_GT(a, b) OPTHASH_CHECK((a) > (b))
+#define OPTHASH_CHECK_LE(a, b) OPTHASH_CHECK((a) <= (b))
+#define OPTHASH_CHECK_LT(a, b) OPTHASH_CHECK((a) < (b))
+#define OPTHASH_CHECK_EQ(a, b) OPTHASH_CHECK((a) == (b))
+#define OPTHASH_CHECK_NE(a, b) OPTHASH_CHECK((a) != (b))
+
+#endif  // OPTHASH_COMMON_CHECK_H_

@@ -1,0 +1,88 @@
+#include "common/csv_reader.h"
+
+#include <cstdio>
+
+namespace opthash {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char ch = content[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell += '"';  // Escaped quote.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (cell_started && !cell.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted cell");
+        }
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted cell");
+  }
+  // Final row without trailing newline.
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  return ParseCsv(content);
+}
+
+}  // namespace opthash

@@ -1,0 +1,27 @@
+#ifndef OPTHASH_COMMON_CSV_READER_H_
+#define OPTHASH_COMMON_CSV_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opthash {
+
+/// \brief Minimal RFC-4180-ish CSV parsing, the inverse of CsvWriter.
+///
+/// Supports quoted cells containing commas, escaped quotes ("") and
+/// embedded newlines. Used by the trace I/O layer so users can run the
+/// estimators on their own data.
+
+/// Parses a full CSV document into rows of cells.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content);
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_CSV_READER_H_

@@ -1,0 +1,69 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace opthash {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char ch : cell) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OPTHASH_CHECK(!headers_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  OPTHASH_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += EscapeCell(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  const std::string data = ToString();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (written != data.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace opthash

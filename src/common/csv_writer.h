@@ -1,0 +1,35 @@
+#ifndef OPTHASH_COMMON_CSV_WRITER_H_
+#define OPTHASH_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opthash {
+
+/// \brief Minimal CSV emitter used by benches that dump plottable series
+/// (e.g. the Figure 1 visualization panels).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serializes the header plus all rows; cells containing commas, quotes or
+  /// newlines are quoted per RFC 4180.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, overwriting any existing file.
+  Status WriteFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_CSV_WRITER_H_

@@ -1,0 +1,48 @@
+#ifndef OPTHASH_COMMON_PREFIX_SUMS_H_
+#define OPTHASH_COMMON_PREFIX_SUMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opthash {
+
+/// \brief Immutable prefix sums over a double sequence.
+///
+/// Sum(i, j) returns values[i] + ... + values[j] in O(1). Used by the 1-D
+/// clustering DP to evaluate interval costs.
+class PrefixSums {
+ public:
+  PrefixSums() = default;
+
+  explicit PrefixSums(const std::vector<double>& values) {
+    sums_.resize(values.size() + 1, 0.0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      sums_[i + 1] = sums_[i] + values[i];
+    }
+  }
+
+  /// Sum of values[i..j] inclusive; requires i <= j < size().
+  double Sum(size_t i, size_t j) const {
+    OPTHASH_CHECK_LE(i, j);
+    OPTHASH_CHECK_LT(j, size());
+    return sums_[j + 1] - sums_[i];
+  }
+
+  /// Sum of the first `count` values.
+  double Head(size_t count) const {
+    OPTHASH_CHECK_LE(count, size());
+    return sums_[count];
+  }
+
+  size_t size() const { return sums_.empty() ? 0 : sums_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<double> sums_;
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_PREFIX_SUMS_H_

@@ -1,0 +1,108 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace opthash {
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Shuffle(perm);
+  return perm;
+}
+
+size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
+  OPTHASH_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    OPTHASH_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  OPTHASH_CHECK_GT(total, 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, size_t k, Rng& rng) {
+  const size_t n = weights.size();
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    return all;
+  }
+  // Exponential race: item i finishes at time -log(u_i)/w_i; the k earliest
+  // finishers form a weighted sample without replacement.
+  std::vector<std::pair<double, size_t>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    OPTHASH_CHECK_GE(weights[i], 0.0);
+    const double u = std::max(rng.NextDouble(), 1e-300);
+    const double key = weights[i] > 0.0
+                           ? -std::log(u) / weights[i]
+                           : std::numeric_limits<double>::infinity();
+    keys[i] = {key, i};
+  }
+  std::nth_element(keys.begin(), keys.begin() + static_cast<long>(k),
+                   keys.end());
+  std::vector<size_t> chosen(k);
+  for (size_t i = 0; i < k; ++i) chosen[i] = keys[i].second;
+  return chosen;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
+  OPTHASH_CHECK_GE(n, 1u);
+  OPTHASH_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 1; r <= n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r), s);
+    cdf_[r - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_;
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  OPTHASH_CHECK_GE(rank, 1u);
+  OPTHASH_CHECK_LE(rank, n_);
+  const double lower = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lower;
+}
+
+}  // namespace opthash

@@ -1,0 +1,152 @@
+#ifndef OPTHASH_COMMON_RANDOM_H_
+#define OPTHASH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opthash {
+
+/// \brief SplitMix64: fast 64-bit mixer used for seeding and hashing.
+///
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Deterministic xoshiro256** PRNG.
+///
+/// All stochastic components in the library (data generation, BCD element
+/// permutations, classifier bagging, sketch seeds) draw from this generator
+/// so that every experiment is exactly reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seed the generator (expands the seed via SplitMix64).
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    OPTHASH_CHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    OPTHASH_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Bernoulli(p).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  size_t SampleDiscrete(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// \brief Samples `k` distinct indices from [0, weights.size()) without
+/// replacement, with inclusion probability increasing in weights[i]
+/// (Efraimidis-Spirakis exponential races: smallest -log(u)/w keys win).
+/// Zero-weight items are only chosen once all positive weights are taken.
+/// Returns the chosen indices in an unspecified order.
+std::vector<size_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, size_t k, Rng& rng);
+
+/// \brief Draws ranks from a (generalized) Zipf distribution.
+///
+/// P(rank = r) ∝ 1 / r^s for r in [1, n]. Sampling is O(log n) via binary
+/// search over the precomputed CDF; the table build is O(n).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (n >= 1)
+  /// \param s skew exponent (s >= 0; s = 1 is classic Zipf)
+  ZipfSampler(size_t n, double s);
+
+  /// A rank in [1, n].
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of a given rank in [1, n].
+  double Probability(size_t rank) const;
+
+  size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r-1] = P(rank <= r)
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_RANDOM_H_

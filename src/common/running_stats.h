@@ -1,0 +1,51 @@
+#ifndef OPTHASH_COMMON_RUNNING_STATS_H_
+#define OPTHASH_COMMON_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace opthash {
+
+/// \brief Numerically stable streaming mean / variance / extremes
+/// (Welford's algorithm). Used to aggregate repeated experiment trials.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_RUNNING_STATS_H_

@@ -1,0 +1,102 @@
+#ifndef OPTHASH_COMMON_STATUS_H_
+#define OPTHASH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace opthash {
+
+/// \brief Error category for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+};
+
+/// \brief Lightweight success/error result for fallible operations.
+///
+/// Mirrors the Arrow/RocksDB idiom: library entry points that can fail on
+/// user input return Status (or Result<T>) instead of throwing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT implicit
+    OPTHASH_CHECK_MSG(!std::get<Status>(inner_).ok(),
+                      "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(inner_);
+  }
+
+  const T& value() const& {
+    OPTHASH_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(inner_);
+  }
+  T& value() & {
+    OPTHASH_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(inner_);
+  }
+  T&& value() && {
+    OPTHASH_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(std::move(inner_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_STATUS_H_

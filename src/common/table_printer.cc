@@ -1,0 +1,63 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace opthash {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OPTHASH_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  OPTHASH_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += "|";
+    sep.append(widths[c] + 2, '-');
+  }
+  sep += "|\n";
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace opthash

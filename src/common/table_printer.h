@@ -1,0 +1,36 @@
+#ifndef OPTHASH_COMMON_TABLE_PRINTER_H_
+#define OPTHASH_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace opthash {
+
+/// \brief Fixed-width text table for experiment output.
+///
+/// Every bench binary renders its paper table/figure series through this
+/// printer so outputs are uniform and machine-greppable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the table (with a header separator) to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_TABLE_PRINTER_H_

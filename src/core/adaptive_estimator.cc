@@ -1,0 +1,52 @@
+#include "core/adaptive_estimator.h"
+
+#include "common/check.h"
+
+namespace opthash::core {
+
+AdaptiveOptHashEstimator::AdaptiveOptHashEstimator(
+    OptHashEstimator base, const AdaptiveConfig& config,
+    const std::vector<uint64_t>& prefix_ids)
+    : base_(std::move(base)),
+      bloom_(hashing::BloomFilter::ForExpectedInsertions(
+          std::max<size_t>(config.expected_distinct, 1), config.bloom_fpr,
+          config.seed)) {
+  const size_t b = base_.num_buckets();
+  bucket_freq_.resize(b);
+  bucket_count_.resize(b);
+  for (size_t j = 0; j < b; ++j) {
+    bucket_freq_[j] = base_.BucketFrequency(j);
+    bucket_count_[j] = base_.BucketCount(j);
+  }
+  // Step 3 (§5.3): all prefix elements start out marked as seen.
+  for (uint64_t id : prefix_ids) bloom_.Add(id);
+}
+
+void AdaptiveOptHashEstimator::Update(const stream::StreamItem& item) {
+  const int32_t bucket = base_.BucketOf(item);
+  if (bucket < 0) return;  // No classifier and unseen ID: untrackable.
+  const auto j = static_cast<size_t>(bucket);
+  bucket_freq_[j] += 1.0;
+  if (!bloom_.MayContain(item.id)) {
+    bucket_count_[j] += 1.0;
+    bloom_.Add(item.id);
+  }
+}
+
+double AdaptiveOptHashEstimator::Estimate(
+    const stream::StreamItem& item) const {
+  // f~ = (phi_j / c_j) * BF(u).
+  if (!bloom_.MayContain(item.id)) return 0.0;
+  const int32_t bucket = base_.BucketOf(item);
+  if (bucket < 0) return 0.0;
+  const auto j = static_cast<size_t>(bucket);
+  if (bucket_count_[j] <= 0.0) return 0.0;
+  return bucket_freq_[j] / bucket_count_[j];
+}
+
+size_t AdaptiveOptHashEstimator::MemoryBuckets() const {
+  // Base scheme plus the Bloom filter's bit array (4 bytes per bucket).
+  return base_.MemoryBuckets() + (bloom_.MemoryBytes() + 3) / 4;
+}
+
+}  // namespace opthash::core

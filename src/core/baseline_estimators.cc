@@ -1,0 +1,67 @@
+#include "core/baseline_estimators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::core {
+
+CountMinEstimator::CountMinEstimator(size_t total_buckets, size_t depth,
+                                     uint64_t seed, bool conservative_update)
+    : sketch_(std::max<size_t>(1, total_buckets / std::max<size_t>(depth, 1)),
+              std::max<size_t>(depth, 1), seed, conservative_update) {}
+
+void CountMinEstimator::Update(const stream::StreamItem& item) {
+  sketch_.Update(item.id);
+}
+
+double CountMinEstimator::Estimate(const stream::StreamItem& item) const {
+  return static_cast<double>(sketch_.Estimate(item.id));
+}
+
+size_t CountMinEstimator::MemoryBuckets() const {
+  return sketch_.TotalBuckets();
+}
+
+CountSketchEstimator::CountSketchEstimator(size_t total_buckets, size_t depth,
+                                           uint64_t seed)
+    : sketch_(std::max<size_t>(1, total_buckets / std::max<size_t>(depth, 1)),
+              std::max<size_t>(depth, 1), seed) {}
+
+void CountSketchEstimator::Update(const stream::StreamItem& item) {
+  sketch_.Update(item.id);
+}
+
+double CountSketchEstimator::Estimate(const stream::StreamItem& item) const {
+  return static_cast<double>(sketch_.EstimateNonNegative(item.id));
+}
+
+size_t CountSketchEstimator::MemoryBuckets() const {
+  return sketch_.TotalBuckets();
+}
+
+LearnedCmsEstimator::LearnedCmsEstimator(sketch::LearnedCountMinSketch sketch)
+    : sketch_(std::move(sketch)) {}
+
+Result<LearnedCmsEstimator> LearnedCmsEstimator::Create(
+    size_t total_buckets, size_t depth, const std::vector<uint64_t>& heavy_keys,
+    uint64_t seed) {
+  auto sketch = sketch::LearnedCountMinSketch::Create(total_buckets, depth,
+                                                      heavy_keys, seed);
+  if (!sketch.ok()) return sketch.status();
+  return LearnedCmsEstimator(std::move(sketch).value());
+}
+
+void LearnedCmsEstimator::Update(const stream::StreamItem& item) {
+  sketch_.Update(item.id);
+}
+
+double LearnedCmsEstimator::Estimate(const stream::StreamItem& item) const {
+  return static_cast<double>(sketch_.Estimate(item.id));
+}
+
+size_t LearnedCmsEstimator::MemoryBuckets() const {
+  return sketch_.TotalBuckets();
+}
+
+}  // namespace opthash::core

@@ -1,0 +1,65 @@
+#ifndef OPTHASH_CORE_BASELINE_ESTIMATORS_H_
+#define OPTHASH_CORE_BASELINE_ESTIMATORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/frequency_estimator.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/learned_count_min.h"
+
+namespace opthash::core {
+
+/// \brief `count-min` baseline adapter: a CMS with width total_buckets/d.
+class CountMinEstimator : public FrequencyEstimator {
+ public:
+  CountMinEstimator(size_t total_buckets, size_t depth, uint64_t seed,
+                    bool conservative_update = false);
+
+  void Update(const stream::StreamItem& item) override;
+  double Estimate(const stream::StreamItem& item) const override;
+  size_t MemoryBuckets() const override;
+  const char* Name() const override { return "count-min"; }
+
+  const sketch::CountMinSketch& sketch() const { return sketch_; }
+
+ private:
+  sketch::CountMinSketch sketch_;
+};
+
+/// \brief `count-sketch` adapter (second conventional baseline).
+class CountSketchEstimator : public FrequencyEstimator {
+ public:
+  CountSketchEstimator(size_t total_buckets, size_t depth, uint64_t seed);
+
+  void Update(const stream::StreamItem& item) override;
+  double Estimate(const stream::StreamItem& item) const override;
+  size_t MemoryBuckets() const override;
+  const char* Name() const override { return "count-sketch"; }
+
+ private:
+  sketch::CountSketch sketch_;
+};
+
+/// \brief `heavy-hitter` (LCMS with an ideal oracle) adapter.
+class LearnedCmsEstimator : public FrequencyEstimator {
+ public:
+  static Result<LearnedCmsEstimator> Create(
+      size_t total_buckets, size_t depth,
+      const std::vector<uint64_t>& heavy_keys, uint64_t seed);
+
+  void Update(const stream::StreamItem& item) override;
+  double Estimate(const stream::StreamItem& item) const override;
+  size_t MemoryBuckets() const override;
+  const char* Name() const override { return "heavy-hitter"; }
+
+ private:
+  explicit LearnedCmsEstimator(sketch::LearnedCountMinSketch sketch);
+
+  sketch::LearnedCountMinSketch sketch_;
+};
+
+}  // namespace opthash::core
+
+#endif  // OPTHASH_CORE_BASELINE_ESTIMATORS_H_

@@ -1,0 +1,32 @@
+#include "core/evaluation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opthash::core {
+
+ErrorMetrics EvaluateEstimator(const FrequencyEstimator& estimator,
+                               const std::vector<EvalQuery>& queries) {
+  ErrorMetrics metrics;
+  metrics.num_queries = queries.size();
+  if (queries.empty()) return metrics;
+
+  double absolute_total = 0.0;
+  double weighted_total = 0.0;
+  double frequency_total = 0.0;
+  for (const EvalQuery& query : queries) {
+    const double estimate = estimator.Estimate(query.item);
+    const double error = std::abs(query.true_frequency - estimate);
+    absolute_total += error;
+    weighted_total += query.true_frequency * error;
+    frequency_total += query.true_frequency;
+  }
+  metrics.average_absolute_error =
+      absolute_total / static_cast<double>(queries.size());
+  metrics.expected_magnitude_error =
+      frequency_total > 0.0 ? weighted_total / frequency_total : 0.0;
+  return metrics;
+}
+
+}  // namespace opthash::core

@@ -1,0 +1,34 @@
+#ifndef OPTHASH_CORE_EVALUATION_H_
+#define OPTHASH_CORE_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/frequency_estimator.h"
+#include "stream/element.h"
+
+namespace opthash::core {
+
+/// \brief The two error metrics of §7.4.
+struct ErrorMetrics {
+  /// Average (per element) absolute error:  (1/|U|) Σ_u |f_u - f~_u|.
+  double average_absolute_error = 0.0;
+  /// Expected magnitude of the absolute error:
+  ///   (1/Σ f_u) Σ_u f_u · |f_u - f~_u|  — weighs elements by frequency.
+  double expected_magnitude_error = 0.0;
+  size_t num_queries = 0;
+};
+
+/// \brief One query for evaluation: the element plus its true frequency.
+struct EvalQuery {
+  stream::StreamItem item;
+  double true_frequency = 0.0;
+};
+
+/// \brief Scores an estimator on a query set under both §7.4 metrics.
+ErrorMetrics EvaluateEstimator(const FrequencyEstimator& estimator,
+                               const std::vector<EvalQuery>& queries);
+
+}  // namespace opthash::core
+
+#endif  // OPTHASH_CORE_EVALUATION_H_

@@ -1,0 +1,40 @@
+#ifndef OPTHASH_CORE_FREQUENCY_ESTIMATOR_H_
+#define OPTHASH_CORE_FREQUENCY_ESTIMATOR_H_
+
+#include <cstddef>
+#include "stream/element.h"
+
+namespace opthash::core {
+
+/// \brief Common interface of every streaming frequency estimator in the
+/// library (opt-hash, count-min, heavy-hitter/LCMS, count-sketch).
+///
+/// The contract mirrors the streaming model of §1: Update must be O(1)-ish
+/// per arrival (single pass, fixed order) and Estimate answers point count
+/// queries at any time. Memory is reported in *buckets*, the paper's §7.4
+/// accounting unit of 4 bytes.
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /// Processes one stream arrival.
+  virtual void Update(const stream::StreamItem& item) = 0;
+
+  /// Estimated frequency of the element.
+  virtual double Estimate(const stream::StreamItem& item) const = 0;
+
+  /// Memory footprint in 4-byte buckets (stored IDs count as one bucket,
+  /// LCMS unique buckets as two; see DESIGN.md §4).
+  virtual size_t MemoryBuckets() const = 0;
+
+  virtual const char* Name() const = 0;
+
+  /// Memory footprint in KB (b = m*10^3/4 per the paper).
+  double MemoryKb() const {
+    return static_cast<double>(MemoryBuckets()) * 4.0 / 1000.0;
+  }
+};
+
+}  // namespace opthash::core
+
+#endif  // OPTHASH_CORE_FREQUENCY_ESTIMATOR_H_

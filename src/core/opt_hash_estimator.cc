@@ -1,0 +1,320 @@
+#include "core/opt_hash_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace opthash::core {
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kBcd:
+      return "bcd";
+    case SolverKind::kDp:
+      return "dp";
+    case SolverKind::kExact:
+      return "milp";
+  }
+  return "unknown";
+}
+
+const char* ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kNone:
+      return "none";
+    case ClassifierKind::kLogisticRegression:
+      return "logreg";
+    case ClassifierKind::kCart:
+      return "cart";
+    case ClassifierKind::kRandomForest:
+      return "rf";
+  }
+  return "unknown";
+}
+
+Status OptHashConfig::Validate() const {
+  if (total_buckets < 2) {
+    return Status::InvalidArgument("total_buckets must be >= 2");
+  }
+  if (id_ratio <= 0.0) {
+    return Status::InvalidArgument("id_ratio (c) must be positive");
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<OptHashEstimator> OptHashEstimator::Train(
+    const OptHashConfig& config, const std::vector<PrefixElement>& prefix) {
+  Status status = config.Validate();
+  if (!status.ok()) return status;
+  if (prefix.empty()) {
+    return Status::InvalidArgument("prefix must contain at least one element");
+  }
+  Timer total_timer;
+
+  // Memory split (§7.3): n stored IDs, b = b_total - n buckets.
+  const auto id_budget = static_cast<size_t>(
+      std::floor(static_cast<double>(config.total_buckets) /
+                 (1.0 + config.id_ratio)));
+  if (id_budget < 1 || id_budget >= config.total_buckets) {
+    return Status::InvalidArgument(
+        "id_ratio leaves no room for buckets or no room for IDs");
+  }
+  const size_t num_buckets = config.total_buckets - id_budget;
+
+  // Subsample the prefix support when it exceeds the ID budget, with
+  // probability proportional to observed frequency (§7.3).
+  std::vector<size_t> chosen;
+  if (prefix.size() > id_budget) {
+    std::vector<double> weights(prefix.size());
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      weights[i] = prefix[i].frequency;
+    }
+    Rng rng(config.seed);
+    chosen = WeightedSampleWithoutReplacement(weights, id_budget, rng);
+    std::sort(chosen.begin(), chosen.end());
+  } else {
+    chosen.resize(prefix.size());
+    for (size_t i = 0; i < prefix.size(); ++i) chosen[i] = i;
+  }
+
+  // Build the optimization instance over the sampled elements.
+  opt::HashingProblem problem;
+  problem.num_buckets = num_buckets;
+  problem.lambda = config.lambda;
+  problem.frequencies.reserve(chosen.size());
+  const bool have_features = !prefix.front().features.empty();
+  if (have_features) problem.features.reserve(chosen.size());
+  for (size_t index : chosen) {
+    problem.frequencies.push_back(prefix[index].frequency);
+    if (have_features) problem.features.push_back(prefix[index].features);
+  }
+  if (config.lambda < 1.0 && !have_features) {
+    return Status::InvalidArgument(
+        "lambda < 1 requires element features in the prefix");
+  }
+
+  opt::SolveResult solved;
+  switch (config.solver) {
+    case SolverKind::kBcd: {
+      opt::BcdSolver solver(config.bcd);
+      solved = solver.Solve(problem);
+      break;
+    }
+    case SolverKind::kDp: {
+      opt::DpSolver solver(config.dp);
+      solved = solver.Solve(problem);
+      break;
+    }
+    case SolverKind::kExact: {
+      opt::ExactSolver solver(config.exact);
+      solved = solver.Solve(problem);
+      break;
+    }
+  }
+
+  OptHashEstimator estimator;
+  estimator.bucket_freq_.assign(num_buckets, 0.0);
+  estimator.bucket_count_.assign(num_buckets, 0.0);
+  estimator.table_.reserve(chosen.size());
+  for (size_t t = 0; t < chosen.size(); ++t) {
+    const PrefixElement& element = prefix[chosen[t]];
+    const auto bucket = static_cast<size_t>(solved.assignment[t]);
+    estimator.table_.emplace(element.id, solved.assignment[t]);
+    estimator.bucket_freq_[bucket] += element.frequency;
+    estimator.bucket_count_[bucket] += 1.0;
+  }
+
+  // Phase 2 (§5.2): classifier mapping features to learned buckets.
+  Timer classifier_timer;
+  if (config.classifier != ClassifierKind::kNone && have_features) {
+    ml::Dataset train(prefix.front().features.size());
+    for (size_t t = 0; t < chosen.size(); ++t) {
+      train.Add(prefix[chosen[t]].features,
+                static_cast<int>(solved.assignment[t]));
+    }
+    switch (config.classifier) {
+      case ClassifierKind::kLogisticRegression:
+        estimator.classifier_ =
+            std::make_unique<ml::LogisticRegression>(config.logreg);
+        break;
+      case ClassifierKind::kCart:
+        estimator.classifier_ = std::make_unique<ml::DecisionTree>(config.cart);
+        break;
+      case ClassifierKind::kRandomForest:
+        estimator.classifier_ = std::make_unique<ml::RandomForest>(config.rf);
+        break;
+      case ClassifierKind::kNone:
+        break;
+    }
+    if (estimator.classifier_ != nullptr) {
+      estimator.classifier_->Fit(train);
+      estimator.classifier_kind_ = config.classifier;
+    }
+  }
+
+  estimator.training_info_.num_prefix_elements = prefix.size();
+  estimator.training_info_.num_sampled_elements = chosen.size();
+  estimator.training_info_.num_buckets = num_buckets;
+  estimator.training_info_.classifier_train_seconds =
+      classifier_timer.ElapsedSeconds();
+  estimator.training_info_.solve_result = std::move(solved);
+  estimator.training_info_.total_train_seconds = total_timer.ElapsedSeconds();
+  return estimator;
+}
+
+int32_t OptHashEstimator::BucketOf(const stream::StreamItem& item) const {
+  auto it = table_.find(item.id);
+  if (it != table_.end()) return it->second;
+  if (classifier_ != nullptr && item.features != nullptr) {
+    const int bucket = classifier_->Predict(*item.features);
+    OPTHASH_CHECK_GE(bucket, 0);
+    OPTHASH_CHECK_LT(static_cast<size_t>(bucket), bucket_freq_.size());
+    return bucket;
+  }
+  return -1;
+}
+
+void OptHashEstimator::Update(const stream::StreamItem& item) {
+  // Static mode (Fig. 9c): only elements stored in the learned hash table
+  // are tracked during stream processing.
+  auto it = table_.find(item.id);
+  if (it == table_.end()) return;
+  bucket_freq_[static_cast<size_t>(it->second)] += 1.0;
+}
+
+double OptHashEstimator::Estimate(const stream::StreamItem& item) const {
+  const int32_t bucket = BucketOf(item);
+  if (bucket < 0) return 0.0;
+  const auto j = static_cast<size_t>(bucket);
+  if (bucket_count_[j] <= 0.0) return 0.0;
+  return bucket_freq_[j] / bucket_count_[j];
+}
+
+size_t OptHashEstimator::MemoryBuckets() const {
+  // b buckets plus one bucket per stored ID (§7.3: "just storing their IDs
+  // would require 200,000 buckets").
+  return bucket_freq_.size() + table_.size();
+}
+
+namespace {
+constexpr const char* kEstimatorMagic = "opthash.estimator.v1";
+}  // namespace
+
+std::string OptHashEstimator::Serialize() const {
+  std::ostringstream out;
+  out << kEstimatorMagic << ' ' << bucket_freq_.size() << ' ' << table_.size()
+      << ' ' << ClassifierKindName(classifier_kind_) << '\n';
+  out << std::setprecision(17);
+  for (double phi : bucket_freq_) out << phi << ' ';
+  out << '\n';
+  for (double c : bucket_count_) out << c << ' ';
+  out << '\n';
+  // Table entries in sorted-id order so the blob is deterministic.
+  std::vector<std::pair<uint64_t, int32_t>> entries(table_.begin(),
+                                                    table_.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [id, bucket] : entries) {
+    out << id << ' ' << bucket << '\n';
+  }
+  if (classifier_ != nullptr) {
+    switch (classifier_kind_) {
+      case ClassifierKind::kLogisticRegression:
+        static_cast<const ml::LogisticRegression*>(classifier_.get())
+            ->SerializeTo(out);
+        break;
+      case ClassifierKind::kCart:
+        static_cast<const ml::DecisionTree*>(classifier_.get())
+            ->SerializeTo(out);
+        break;
+      case ClassifierKind::kRandomForest:
+        static_cast<const ml::RandomForest*>(classifier_.get())
+            ->SerializeTo(out);
+        break;
+      case ClassifierKind::kNone:
+        break;
+    }
+  }
+  return out.str();
+}
+
+Result<OptHashEstimator> OptHashEstimator::Deserialize(
+    const std::string& blob) {
+  std::istringstream in(blob);
+  std::string magic;
+  size_t num_buckets = 0;
+  size_t table_size = 0;
+  std::string classifier_name;
+  if (!(in >> magic >> num_buckets >> table_size >> classifier_name)) {
+    return Status::InvalidArgument("truncated estimator header");
+  }
+  if (magic != kEstimatorMagic) {
+    return Status::InvalidArgument("bad estimator magic: " + magic);
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("estimator needs at least one bucket");
+  }
+  OptHashEstimator estimator;
+  estimator.bucket_freq_.resize(num_buckets);
+  estimator.bucket_count_.resize(num_buckets);
+  for (double& phi : estimator.bucket_freq_) {
+    if (!(in >> phi)) {
+      return Status::InvalidArgument("truncated bucket frequencies");
+    }
+  }
+  for (double& c : estimator.bucket_count_) {
+    if (!(in >> c)) return Status::InvalidArgument("truncated bucket counts");
+  }
+  estimator.table_.reserve(table_size);
+  for (size_t t = 0; t < table_size; ++t) {
+    uint64_t id = 0;
+    int32_t bucket = 0;
+    if (!(in >> id >> bucket)) {
+      return Status::InvalidArgument("truncated table entries");
+    }
+    if (bucket < 0 || static_cast<size_t>(bucket) >= num_buckets) {
+      return Status::InvalidArgument("table bucket out of range");
+    }
+    estimator.table_.emplace(id, bucket);
+  }
+
+  if (classifier_name == ClassifierKindName(ClassifierKind::kNone)) {
+    estimator.classifier_kind_ = ClassifierKind::kNone;
+  } else if (classifier_name ==
+             ClassifierKindName(ClassifierKind::kLogisticRegression)) {
+    auto model = ml::LogisticRegression::DeserializeFrom(in);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::LogisticRegression>(std::move(model).value());
+    estimator.classifier_kind_ = ClassifierKind::kLogisticRegression;
+  } else if (classifier_name == ClassifierKindName(ClassifierKind::kCart)) {
+    auto model = ml::DecisionTree::DeserializeFrom(in);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::DecisionTree>(std::move(model).value());
+    estimator.classifier_kind_ = ClassifierKind::kCart;
+  } else if (classifier_name ==
+             ClassifierKindName(ClassifierKind::kRandomForest)) {
+    auto model = ml::RandomForest::DeserializeFrom(in);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::RandomForest>(std::move(model).value());
+    estimator.classifier_kind_ = ClassifierKind::kRandomForest;
+  } else {
+    return Status::InvalidArgument("unknown classifier kind: " +
+                                   classifier_name);
+  }
+
+  estimator.training_info_.num_sampled_elements = table_size;
+  estimator.training_info_.num_buckets = num_buckets;
+  return estimator;
+}
+
+}  // namespace opthash::core

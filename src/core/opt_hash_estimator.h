@@ -1,0 +1,144 @@
+#ifndef OPTHASH_CORE_OPT_HASH_ESTIMATOR_H_
+#define OPTHASH_CORE_OPT_HASH_ESTIMATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/frequency_estimator.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "opt/bcd.h"
+#include "opt/dp.h"
+#include "opt/exact.h"
+
+namespace opthash::core {
+
+/// \brief Which optimization algorithm learns the hashing scheme (§4).
+enum class SolverKind {
+  kBcd,    // Algorithm 1 (block coordinate descent).
+  kDp,     // §4.4 dynamic programming (lambda = 1).
+  kExact,  // Branch-and-bound (the paper's `milp` role).
+};
+
+/// \brief Which classifier hashes unseen elements (§5.2).
+enum class ClassifierKind {
+  kNone,  // Unseen elements estimate 0 (hash-table-only mode).
+  kLogisticRegression,
+  kCart,
+  kRandomForest,
+};
+
+const char* SolverKindName(SolverKind kind);
+const char* ClassifierKindName(ClassifierKind kind);
+
+/// \brief One element observed in the stream prefix S0: the training input
+/// of the two-phase learning procedure (§3).
+struct PrefixElement {
+  uint64_t id = 0;
+  double frequency = 0.0;          // f0_u, occurrences within S0.
+  std::vector<double> features;    // x_u.
+};
+
+/// \brief Full configuration of the opt-hash estimator.
+struct OptHashConfig {
+  /// Overall memory budget b_total in 4-byte buckets. Split between b
+  /// aggregation buckets and n stored element IDs via §7.3's ratio c = b/n:
+  /// n = b_total/(1+c), b = b_total - n.
+  size_t total_buckets = 256;
+  /// The ratio c (the paper examines c in {0.03, 0.3}).
+  double id_ratio = 0.3;
+  /// Objective trade-off lambda (§4.1); the real-data experiments use 1.
+  double lambda = 1.0;
+
+  SolverKind solver = SolverKind::kBcd;
+  opt::BcdConfig bcd;
+  opt::DpConfig dp;
+  opt::ExactConfig exact;
+
+  ClassifierKind classifier = ClassifierKind::kRandomForest;
+  ml::LogisticRegressionConfig logreg;
+  ml::DecisionTreeConfig cart;
+  ml::RandomForestConfig rf;
+
+  /// Seed for prefix subsampling.
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// \brief Diagnostics captured while training an OptHashEstimator.
+struct OptHashTrainingInfo {
+  size_t num_prefix_elements = 0;   // Distinct elements offered.
+  size_t num_sampled_elements = 0;  // n: elements whose IDs are stored.
+  size_t num_buckets = 0;           // b.
+  opt::SolveResult solve_result;    // Learned-scheme optimization outcome.
+  double classifier_train_seconds = 0.0;
+  double total_train_seconds = 0.0;
+};
+
+/// \brief The paper's proposed estimator (`opt-hash`).
+///
+/// Two-phase learning (§3): (1) the prefix elements — subsampled with
+/// probability proportional to frequency when the ID budget is smaller than
+/// the prefix support (§7.3) — are near-optimally assigned to buckets by
+/// the configured solver; (2) a classifier maps features to buckets for
+/// elements that never appeared in the prefix.
+///
+/// Stream processing (static mode, §5 / Fig. 9c): an arrival whose ID is in
+/// the learned hash table increments its bucket's aggregated frequency;
+/// other arrivals are ignored. A count query returns the *average*
+/// frequency phi_j / c_j of the element's bucket, located via the hash
+/// table for stored IDs and via the classifier otherwise.
+class OptHashEstimator : public FrequencyEstimator {
+ public:
+  /// Learns the hashing scheme and classifier from the observed prefix.
+  static Result<OptHashEstimator> Train(
+      const OptHashConfig& config, const std::vector<PrefixElement>& prefix);
+
+  void Update(const stream::StreamItem& item) override;
+  double Estimate(const stream::StreamItem& item) const override;
+  size_t MemoryBuckets() const override;
+  const char* Name() const override { return "opt-hash"; }
+
+  /// Bucket the item routes to: hash table first, classifier fallback;
+  /// -1 when neither applies (no classifier and unseen ID).
+  int32_t BucketOf(const stream::StreamItem& item) const;
+
+  size_t num_buckets() const { return bucket_freq_.size(); }
+  size_t num_stored_ids() const { return table_.size(); }
+  const OptHashTrainingInfo& training_info() const { return training_info_; }
+  const ml::Classifier* classifier() const { return classifier_.get(); }
+
+  /// Aggregated frequency and element count of a bucket (phi_j, c_j).
+  double BucketFrequency(size_t j) const { return bucket_freq_.at(j); }
+  double BucketCount(size_t j) const { return bucket_count_.at(j); }
+
+  /// The learned table (id -> bucket) — exposed for the adaptive extension
+  /// and for tests.
+  const std::unordered_map<uint64_t, int32_t>& table() const { return table_; }
+
+  /// Serializes the deployed state (hash table, bucket counters, fitted
+  /// classifier) as a portable text blob — train offline, ship the scheme
+  /// to the stream processor, Deserialize there. Training diagnostics are
+  /// not preserved.
+  std::string Serialize() const;
+  static Result<OptHashEstimator> Deserialize(const std::string& blob);
+
+ private:
+  OptHashEstimator() = default;
+
+  std::unordered_map<uint64_t, int32_t> table_;
+  std::vector<double> bucket_freq_;   // phi_j
+  std::vector<double> bucket_count_;  // c_j
+  std::unique_ptr<ml::Classifier> classifier_;
+  ClassifierKind classifier_kind_ = ClassifierKind::kNone;
+  OptHashTrainingInfo training_info_;
+};
+
+}  // namespace opthash::core
+
+#endif  // OPTHASH_CORE_OPT_HASH_ESTIMATOR_H_

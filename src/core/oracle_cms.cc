@@ -1,0 +1,114 @@
+#include "core/oracle_cms.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace opthash::core {
+
+OracleLearnedCms::OracleLearnedCms(size_t total_buckets, size_t heavy_capacity,
+                                   Oracle oracle,
+                                   sketch::CountMinSketch remainder)
+    : total_buckets_(total_buckets),
+      heavy_capacity_(heavy_capacity),
+      oracle_(std::move(oracle)),
+      remainder_(std::move(remainder)) {
+  heavy_counts_.reserve(heavy_capacity);
+}
+
+Result<OracleLearnedCms> OracleLearnedCms::Create(size_t total_buckets,
+                                                  size_t depth,
+                                                  size_t heavy_capacity,
+                                                  Oracle oracle,
+                                                  uint64_t seed) {
+  if (depth == 0) return Status::InvalidArgument("depth must be >= 1");
+  if (oracle == nullptr) return Status::InvalidArgument("oracle is null");
+  if (2 * heavy_capacity >= total_buckets) {
+    return Status::InvalidArgument(
+        "2 * heavy_capacity must be < total_buckets");
+  }
+  const size_t remainder_buckets = total_buckets - 2 * heavy_capacity;
+  sketch::CountMinSketch remainder(
+      std::max<size_t>(1, remainder_buckets / depth), depth, seed);
+  return OracleLearnedCms(total_buckets, heavy_capacity, std::move(oracle),
+                          std::move(remainder));
+}
+
+void OracleLearnedCms::Update(const stream::StreamItem& item) {
+  auto it = heavy_counts_.find(item.id);
+  if (it != heavy_counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (heavy_counts_.size() < heavy_capacity_ && oracle_(item)) {
+    heavy_counts_.emplace(item.id, 1);
+    return;
+  }
+  remainder_.Update(item.id);
+}
+
+double OracleLearnedCms::Estimate(const stream::StreamItem& item) const {
+  auto it = heavy_counts_.find(item.id);
+  if (it != heavy_counts_.end()) return static_cast<double>(it->second);
+  return static_cast<double>(remainder_.Estimate(item.id));
+}
+
+size_t OracleLearnedCms::MemoryBuckets() const { return total_buckets_; }
+
+OracleLearnedCms::Oracle HeavyHitterOracle::AsPredicate() const {
+  const ml::Classifier* model = classifier.get();
+  return [model](const stream::StreamItem& item) {
+    if (item.features == nullptr) return false;
+    return model->Predict(*item.features) == 1;
+  };
+}
+
+Result<HeavyHitterOracle> TrainHeavyHitterOracle(
+    const std::vector<PrefixElement>& prefix, double top_fraction,
+    uint64_t seed) {
+  if (prefix.empty()) {
+    return Status::InvalidArgument("prefix must be non-empty");
+  }
+  if (top_fraction <= 0.0 || top_fraction >= 1.0) {
+    return Status::InvalidArgument("top_fraction must lie in (0, 1)");
+  }
+  if (prefix.front().features.empty()) {
+    return Status::InvalidArgument("prefix elements need features");
+  }
+
+  // Label the top fraction by prefix frequency as heavy.
+  std::vector<size_t> order(prefix.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return prefix[a].frequency > prefix[b].frequency;
+  });
+  const size_t heavy_count = std::max<size_t>(
+      1, static_cast<size_t>(top_fraction * static_cast<double>(prefix.size())));
+
+  HeavyHitterOracle oracle;
+  oracle.frequency_cutoff = prefix[order[heavy_count - 1]].frequency;
+
+  ml::Dataset train(prefix.front().features.size());
+  std::vector<bool> is_heavy(prefix.size(), false);
+  for (size_t rank = 0; rank < heavy_count; ++rank) {
+    is_heavy[order[rank]] = true;
+  }
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    train.Add(prefix[i].features, is_heavy[i] ? 1 : 0);
+  }
+
+  ml::RandomForestConfig config;
+  config.num_trees = 15;
+  config.max_depth = 12;
+  config.seed = seed;
+  auto forest = std::make_unique<ml::RandomForest>(config);
+  forest->Fit(train);
+  oracle.train_accuracy =
+      ml::Accuracy(train.labels(), forest->PredictBatch(train));
+  oracle.classifier = std::move(forest);
+  return oracle;
+}
+
+}  // namespace opthash::core

@@ -1,0 +1,80 @@
+#ifndef OPTHASH_CORE_ORACLE_CMS_H_
+#define OPTHASH_CORE_ORACLE_CMS_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/frequency_estimator.h"
+#include "core/opt_hash_estimator.h"
+#include "ml/dataset.h"
+#include "sketch/count_min_sketch.h"
+
+namespace opthash::core {
+
+/// \brief A *realizable* Learned Count-Min Sketch (Hsu et al., ref [8]) —
+/// the variant the paper's ideal `heavy-hitter` baseline upper-bounds.
+///
+/// Instead of being handed the true heavy-hitter IDs in hindsight, this
+/// estimator consults a caller-provided oracle predicate on each arrival's
+/// *features*. Elements the oracle flags claim one of `heavy_capacity`
+/// unique buckets (exact counting, 2 memory units each, first-come
+/// first-served); everything else flows into a standard CMS occupying the
+/// remaining budget. This is exactly the architecture of ref [8]'s Fig. 1
+/// with a pluggable learned oracle.
+class OracleLearnedCms : public FrequencyEstimator {
+ public:
+  using Oracle = std::function<bool(const stream::StreamItem&)>;
+
+  /// \param total_buckets  memory budget (4-byte buckets)
+  /// \param depth          CMS depth for the non-heavy remainder
+  /// \param heavy_capacity max unique buckets (each costs 2 budget units);
+  ///                       must satisfy 2*heavy_capacity < total_buckets
+  static Result<OracleLearnedCms> Create(size_t total_buckets, size_t depth,
+                                         size_t heavy_capacity, Oracle oracle,
+                                         uint64_t seed);
+
+  void Update(const stream::StreamItem& item) override;
+  double Estimate(const stream::StreamItem& item) const override;
+  size_t MemoryBuckets() const override;
+  const char* Name() const override { return "heavy-hitter-learned"; }
+
+  size_t heavy_in_use() const { return heavy_counts_.size(); }
+  size_t heavy_capacity() const { return heavy_capacity_; }
+
+ private:
+  OracleLearnedCms(size_t total_buckets, size_t heavy_capacity, Oracle oracle,
+                   sketch::CountMinSketch remainder);
+
+  size_t total_buckets_;
+  size_t heavy_capacity_;
+  Oracle oracle_;
+  std::unordered_map<uint64_t, uint64_t> heavy_counts_;
+  sketch::CountMinSketch remainder_;
+};
+
+/// \brief A trained heavy-hitter oracle: classifier + the feature
+/// convention to apply it (ref [8]'s footnote: "identify the heavy-hitters
+/// by first predicting the element frequencies ... then selecting ... the
+/// optimal cutoff threshold"; their experiments predict top-1%).
+struct HeavyHitterOracle {
+  std::unique_ptr<ml::Classifier> classifier;  // Binary: 1 = heavy.
+  double train_accuracy = 0.0;
+  double frequency_cutoff = 0.0;  // Prefix frequency at the top-fraction.
+
+  /// Adapts the classifier into an OracleLearnedCms::Oracle. Elements
+  /// without features are treated as non-heavy.
+  OracleLearnedCms::Oracle AsPredicate() const;
+};
+
+/// \brief Trains a binary heavy/not-heavy classifier on prefix elements:
+/// the top `top_fraction` of elements by frequency are labelled heavy.
+Result<HeavyHitterOracle> TrainHeavyHitterOracle(
+    const std::vector<PrefixElement>& prefix, double top_fraction,
+    uint64_t seed);
+
+}  // namespace opthash::core
+
+#endif  // OPTHASH_CORE_ORACLE_CMS_H_

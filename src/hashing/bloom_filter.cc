@@ -1,0 +1,70 @@
+#include "hashing/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "hashing/hash_functions.h"
+
+namespace opthash::hashing {
+
+BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed)
+    : num_bits_(num_bits), num_hashes_(num_hashes) {
+  OPTHASH_CHECK_GE(num_bits, 1u);
+  OPTHASH_CHECK_GE(num_hashes, 1u);
+  uint64_t sm = seed;
+  seed1_ = SplitMix64(sm);
+  seed2_ = SplitMix64(sm) | 1;  // Odd step so probes cycle through all bits.
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::ForExpectedInsertions(size_t expected,
+                                               double target_fpr,
+                                               uint64_t seed) {
+  OPTHASH_CHECK_GE(expected, 1u);
+  OPTHASH_CHECK_GT(target_fpr, 0.0);
+  OPTHASH_CHECK_LT(target_fpr, 1.0);
+  const double ln2 = std::log(2.0);
+  const double bits =
+      -static_cast<double>(expected) * std::log(target_fpr) / (ln2 * ln2);
+  const size_t num_bits = static_cast<size_t>(std::ceil(bits));
+  const size_t num_hashes = static_cast<size_t>(
+      std::max(1.0, std::round(bits / static_cast<double>(expected) * ln2)));
+  return BloomFilter(std::max<size_t>(num_bits, 64), num_hashes, seed);
+}
+
+uint64_t BloomFilter::Probe(uint64_t key, size_t probe_index) const {
+  // Kirsch-Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x).
+  const uint64_t h1 = Mix64(key ^ seed1_);
+  const uint64_t h2 = Mix64(key ^ seed2_) | 1;
+  return (h1 + probe_index * h2) % num_bits_;
+}
+
+void BloomFilter::Add(uint64_t key) {
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = Probe(key, i);
+    uint64_t& word = words_[bit >> 6];
+    const uint64_t mask = 1ULL << (bit & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++bits_set_;
+    }
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = Probe(key, i);
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  return static_cast<double>(bits_set_) / static_cast<double>(num_bits_);
+}
+
+double BloomFilter::EstimatedFpr() const {
+  return std::pow(FillRatio(), static_cast<double>(num_hashes_));
+}
+
+}  // namespace opthash::hashing

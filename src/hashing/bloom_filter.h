@@ -1,0 +1,61 @@
+#ifndef OPTHASH_HASHING_BLOOM_FILTER_H_
+#define OPTHASH_HASHING_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace opthash::hashing {
+
+/// \brief Classic Bloom filter (Bloom 1970, ref [20] in the paper).
+///
+/// Supports Add/MayContain over 64-bit keys with k independent probe
+/// positions derived by double hashing (Kirsch-Mitzenmacher). Used by the
+/// adaptive-counting extension of the opt-hash estimator (paper §5.3): the
+/// filter decides whether an arriving element has been seen before, which
+/// drives the per-bucket distinct-element counters.
+class BloomFilter {
+ public:
+  /// \param num_bits  size of the bit array (>= 1)
+  /// \param num_hashes number of probes per key (>= 1)
+  /// \param seed       seed for the two base hash functions
+  BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed);
+
+  /// Sizes the filter for an expected insertion count and target false
+  /// positive rate: m = -n ln(fpr) / (ln 2)^2, k = (m/n) ln 2.
+  static BloomFilter ForExpectedInsertions(size_t expected, double target_fpr,
+                                           uint64_t seed);
+
+  void Add(uint64_t key);
+
+  /// True if the key *may* have been added (never a false negative).
+  bool MayContain(uint64_t key) const;
+
+  /// Fraction of bits set (load factor); useful to estimate the current
+  /// false-positive rate as load^k.
+  double FillRatio() const;
+
+  /// Estimated false positive probability at the current load.
+  double EstimatedFpr() const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Memory footprint of the bit array in bytes.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  uint64_t Probe(uint64_t key, size_t probe_index) const;
+
+  size_t num_bits_;
+  size_t num_hashes_;
+  uint64_t seed1_;
+  uint64_t seed2_;
+  std::vector<uint64_t> words_;
+  size_t bits_set_ = 0;
+};
+
+}  // namespace opthash::hashing
+
+#endif  // OPTHASH_HASHING_BLOOM_FILTER_H_

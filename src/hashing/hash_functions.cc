@@ -1,0 +1,81 @@
+#include "hashing/hash_functions.h"
+
+#include "common/check.h"
+
+namespace opthash::hashing {
+
+uint64_t Mix64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDULL;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+uint64_t HashBytes(const void* data, size_t length, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xCBF29CE484222325ULL ^ seed;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return Mix64(hash);
+}
+
+namespace {
+
+// (a*x + b) mod (2^61 - 1) without overflow, using 128-bit intermediates and
+// the Mersenne reduction x mod p = (x & p) + (x >> 61), repeated once.
+uint64_t MulAddModMersenne61(uint64_t a, uint64_t x, uint64_t b) {
+  constexpr uint64_t kP = LinearHash::kPrime;
+  __uint128_t product = static_cast<__uint128_t>(a) * x + b;
+  uint64_t lo = static_cast<uint64_t>(product & kP);
+  uint64_t hi = static_cast<uint64_t>(product >> 61);
+  uint64_t result = lo + hi;
+  if (result >= kP) result -= kP;
+  return result;
+}
+
+}  // namespace
+
+LinearHash::LinearHash(uint64_t range, Rng& rng) : range_(range) {
+  OPTHASH_CHECK_GT(range, 0u);
+  a_ = 1 + rng.NextBounded(kPrime - 1);
+  b_ = rng.NextBounded(kPrime);
+}
+
+LinearHash::LinearHash(uint64_t range, uint64_t a, uint64_t b)
+    : range_(range), a_(a), b_(b) {
+  OPTHASH_CHECK_GT(range, 0u);
+  OPTHASH_CHECK_GE(a, 1u);
+  OPTHASH_CHECK_LT(a, kPrime);
+  OPTHASH_CHECK_LT(b, kPrime);
+}
+
+uint64_t LinearHash::operator()(uint64_t key) const {
+  // Reduce the key into the field first; keys above p would alias otherwise.
+  uint64_t x = key % kPrime;
+  return MulAddModMersenne61(a_, x, b_) % range_;
+}
+
+SignHash::SignHash(Rng& rng) : hash_(2, rng) {}
+
+int SignHash::operator()(uint64_t key) const {
+  return hash_(key) == 0 ? -1 : 1;
+}
+
+TabulationHash::TabulationHash(Rng& rng) : tables_(8 * 256) {
+  for (auto& entry : tables_) entry = rng.NextUint64();
+}
+
+uint64_t TabulationHash::operator()(uint64_t key) const {
+  uint64_t hash = 0;
+  for (int byte_index = 0; byte_index < 8; ++byte_index) {
+    const uint64_t byte = (key >> (8 * byte_index)) & 0xFF;
+    hash ^= tables_[static_cast<size_t>(byte_index) * 256 + byte];
+  }
+  return hash;
+}
+
+}  // namespace opthash::hashing

@@ -1,0 +1,79 @@
+#ifndef OPTHASH_HASHING_HASH_FUNCTIONS_H_
+#define OPTHASH_HASHING_HASH_FUNCTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace opthash::hashing {
+
+/// \brief Strong 64-bit finalizer (the MurmurHash3 fmix64 step).
+uint64_t Mix64(uint64_t key);
+
+/// \brief Hash of an arbitrary byte string (FNV-1a core + Mix64 finalizer).
+uint64_t HashBytes(const void* data, size_t length, uint64_t seed = 0);
+
+/// \brief Hash of a std::string.
+inline uint64_t HashString(const std::string& text, uint64_t seed = 0) {
+  return HashBytes(text.data(), text.size(), seed);
+}
+
+/// \brief A 2-universal Carter-Wegman hash over the Mersenne prime 2^61 - 1.
+///
+/// h(x) = ((a*x + b) mod p) mod range, with a drawn uniformly from [1, p-1]
+/// and b from [0, p-1]. This is the "random linear hash function" that the
+/// Count-Min Sketch analysis (Cormode & Muthukrishnan 2005) assumes, giving
+/// pairwise-independent bucket assignments.
+class LinearHash {
+ public:
+  /// Draws (a, b) from `rng`; maps keys into [0, range).
+  LinearHash(uint64_t range, Rng& rng);
+
+  /// Deterministic construction from explicit coefficients (for tests).
+  LinearHash(uint64_t range, uint64_t a, uint64_t b);
+
+  uint64_t operator()(uint64_t key) const;
+
+  uint64_t range() const { return range_; }
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+ private:
+  uint64_t range_;
+  uint64_t a_;
+  uint64_t b_;
+};
+
+/// \brief Pairwise-independent ±1 sign hash used by the Count Sketch.
+class SignHash {
+ public:
+  explicit SignHash(Rng& rng);
+
+  /// Returns +1 or -1.
+  int operator()(uint64_t key) const;
+
+ private:
+  LinearHash hash_;
+};
+
+/// \brief Simple tabulation hashing: 3-independent and fast in practice.
+///
+/// Splits the 64-bit key into 8 bytes and XORs per-byte random tables
+/// (Patrascu & Thorup, "The power of simple tabulation hashing").
+class TabulationHash {
+ public:
+  explicit TabulationHash(Rng& rng);
+
+  uint64_t operator()(uint64_t key) const;
+
+ private:
+  std::vector<uint64_t> tables_;  // 8 tables of 256 entries, flattened.
+};
+
+}  // namespace opthash::hashing
+
+#endif  // OPTHASH_HASHING_HASH_FUNCTIONS_H_

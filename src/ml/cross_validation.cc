@@ -1,0 +1,89 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+
+namespace opthash::ml {
+
+std::vector<Fold> StratifiedKFold(const Dataset& data, size_t num_folds,
+                                  uint64_t seed) {
+  OPTHASH_CHECK_GE(num_folds, 2u);
+  OPTHASH_CHECK_GT(data.NumExamples(), 0u);
+
+  // Group example indices by class, shuffle within each class, then deal
+  // them round-robin into folds.
+  const size_t num_classes = data.NumClasses();
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < data.NumExamples(); ++i) {
+    by_class[static_cast<size_t>(data.Label(i))].push_back(i);
+  }
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> fold_members(num_folds);
+  size_t next_fold = 0;
+  for (auto& members : by_class) {
+    rng.Shuffle(members);
+    for (size_t index : members) {
+      fold_members[next_fold].push_back(index);
+      next_fold = (next_fold + 1) % num_folds;
+    }
+  }
+
+  std::vector<Fold> folds(num_folds);
+  for (size_t f = 0; f < num_folds; ++f) {
+    folds[f].validation_indices = fold_members[f];
+    for (size_t other = 0; other < num_folds; ++other) {
+      if (other == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    fold_members[other].begin(),
+                                    fold_members[other].end());
+    }
+    std::sort(folds[f].train_indices.begin(), folds[f].train_indices.end());
+    std::sort(folds[f].validation_indices.begin(),
+              folds[f].validation_indices.end());
+  }
+  return folds;
+}
+
+double CrossValAccuracy(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, size_t num_folds, uint64_t seed) {
+  const std::vector<Fold> folds = StratifiedKFold(data, num_folds, seed);
+  double total_accuracy = 0.0;
+  size_t scored_folds = 0;
+  for (const Fold& fold : folds) {
+    if (fold.validation_indices.empty() || fold.train_indices.empty()) {
+      continue;
+    }
+    const Dataset train = data.Subset(fold.train_indices);
+    const Dataset validation = data.Subset(fold.validation_indices);
+    std::unique_ptr<Classifier> model = factory();
+    model->Fit(train);
+    const std::vector<int> predictions = model->PredictBatch(validation);
+    total_accuracy += Accuracy(validation.labels(), predictions);
+    ++scored_folds;
+  }
+  OPTHASH_CHECK_GT(scored_folds, 0u);
+  return total_accuracy / static_cast<double>(scored_folds);
+}
+
+GridSearchResult GridSearchCV(const std::vector<GridCandidate>& candidates,
+                              const Dataset& data, size_t num_folds,
+                              uint64_t seed) {
+  OPTHASH_CHECK(!candidates.empty());
+  GridSearchResult result;
+  result.accuracies.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double accuracy =
+        CrossValAccuracy(candidates[i].factory, data, num_folds, seed);
+    result.accuracies.push_back(accuracy);
+    if (i == 0 || accuracy > result.best_accuracy) {
+      result.best_accuracy = accuracy;
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace opthash::ml

@@ -1,0 +1,55 @@
+#ifndef OPTHASH_ML_CROSS_VALIDATION_H_
+#define OPTHASH_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/dataset.h"
+
+namespace opthash::ml {
+
+/// \brief One train/validation split: indices into the original dataset.
+struct Fold {
+  std::vector<size_t> train_indices;
+  std::vector<size_t> validation_indices;
+};
+
+/// \brief Stratified k-fold splits: every fold approximately preserves the
+/// class distribution (examples of each class are dealt round-robin after a
+/// per-class shuffle). Classes with fewer examples than folds simply appear
+/// in fewer validation folds.
+std::vector<Fold> StratifiedKFold(const Dataset& data, size_t num_folds,
+                                  uint64_t seed);
+
+/// \brief Mean validation accuracy of `factory`-produced classifiers over
+/// stratified k-fold CV.
+double CrossValAccuracy(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, size_t num_folds, uint64_t seed);
+
+/// \brief One hyperparameter candidate in a grid search.
+struct GridCandidate {
+  std::string description;
+  std::function<std::unique_ptr<Classifier>()> factory;
+};
+
+/// \brief Result of GridSearchCV.
+struct GridSearchResult {
+  size_t best_index = 0;
+  double best_accuracy = 0.0;
+  std::vector<double> accuracies;  // One per candidate, same order.
+};
+
+/// \brief Exhaustive hyperparameter search by k-fold CV — the tuning
+/// procedure the paper applies to all three classifiers (§6.2: "All methods
+/// are tuned using 10-fold cross validation").
+GridSearchResult GridSearchCV(const std::vector<GridCandidate>& candidates,
+                              const Dataset& data, size_t num_folds,
+                              uint64_t seed);
+
+}  // namespace opthash::ml
+
+#endif  // OPTHASH_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,269 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace opthash::ml {
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config)
+    : config_(config) {}
+
+std::vector<double> LogisticRegression::Standardize(
+    const std::vector<double>& features) const {
+  std::vector<double> out(features.size());
+  for (size_t f = 0; f < features.size(); ++f) {
+    out[f] = (features[f] - feature_means_[f]) / feature_stds_[f];
+  }
+  return out;
+}
+
+void LogisticRegression::ComputeLogits(const std::vector<double>& standardized,
+                                       std::vector<double>& logits) const {
+  logits.assign(num_classes_, 0.0);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    const double* weight_row = weights_.Row(c);
+    double dot = biases_[c];
+    for (size_t f = 0; f < num_features_; ++f) {
+      dot += weight_row[f] * standardized[f];
+    }
+    logits[c] = dot;
+  }
+}
+
+namespace {
+
+// In-place softmax with max-subtraction for stability.
+void Softmax(std::vector<double>& logits) {
+  double max_logit = logits[0];
+  for (double v : logits) max_logit = std::max(max_logit, v);
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const Dataset& train) {
+  OPTHASH_CHECK_GT(train.NumExamples(), 0u);
+  num_features_ = train.NumFeatures();
+  num_classes_ = std::max<size_t>(train.NumClasses(), 1);
+  const size_t n = train.NumExamples();
+
+  // Standardization statistics.
+  feature_means_.assign(num_features_, 0.0);
+  feature_stds_.assign(num_features_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& x = train.Features(i);
+    for (size_t f = 0; f < num_features_; ++f) feature_means_[f] += x[f];
+  }
+  for (double& m : feature_means_) m /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& x = train.Features(i);
+    for (size_t f = 0; f < num_features_; ++f) {
+      const double d = x[f] - feature_means_[f];
+      feature_stds_[f] += d * d;
+    }
+  }
+  for (double& s : feature_stds_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // Constant feature: leave centered at zero.
+  }
+
+  std::vector<std::vector<double>> standardized(n);
+  for (size_t i = 0; i < n; ++i) standardized[i] = Standardize(train.Features(i));
+
+  weights_ = Matrix(num_classes_, num_features_, 0.0);
+  biases_.assign(num_classes_, 0.0);
+  fitted_ = true;
+
+  Matrix gradient(num_classes_, num_features_, 0.0);
+  std::vector<double> bias_gradient(num_classes_, 0.0);
+  std::vector<double> probs;
+
+  double learning_rate = config_.learning_rate;
+  double previous_loss = Loss(train);
+
+  Matrix best_weights = weights_;
+  std::vector<double> best_biases = biases_;
+  double best_loss = previous_loss;
+
+  for (size_t iter = 0; iter < config_.max_iters; ++iter) {
+    gradient.Fill(0.0);
+    std::fill(bias_gradient.begin(), bias_gradient.end(), 0.0);
+
+    for (size_t i = 0; i < n; ++i) {
+      ComputeLogits(standardized[i], probs);
+      Softmax(probs);
+      const int label = train.Label(i);
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double err =
+            probs[c] - (static_cast<int>(c) == label ? 1.0 : 0.0);
+        double* grad_row = gradient.Row(c);
+        const double* x = standardized[i].data();
+        for (size_t f = 0; f < num_features_; ++f) grad_row[f] += err * x[f];
+        bias_gradient[c] += err;
+      }
+    }
+    // Scale the data gradient by 1/n and add the ridge gradient l2 * W.
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t c = 0; c < num_classes_; ++c) {
+      double* grad_row = gradient.Row(c);
+      const double* weight_row = weights_.Row(c);
+      for (size_t f = 0; f < num_features_; ++f) {
+        grad_row[f] = grad_row[f] * inv_n + config_.l2 * weight_row[f];
+      }
+      bias_gradient[c] *= inv_n;
+    }
+
+    weights_.Axpy(-learning_rate, gradient);
+    for (size_t c = 0; c < num_classes_; ++c) {
+      biases_[c] -= learning_rate * bias_gradient[c];
+    }
+
+    const double loss = Loss(train);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best_weights = weights_;
+      best_biases = biases_;
+    }
+    if (loss > previous_loss) {
+      // Overshot: back off the step size and restart from the best point.
+      learning_rate *= 0.5;
+      weights_ = best_weights;
+      biases_ = best_biases;
+      previous_loss = best_loss;
+      if (learning_rate < 1e-8) break;
+      continue;
+    }
+    if (previous_loss - loss < config_.tolerance * std::abs(previous_loss)) {
+      previous_loss = loss;
+      break;
+    }
+    previous_loss = loss;
+  }
+  weights_ = best_weights;
+  biases_ = best_biases;
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const std::vector<double>& features) const {
+  OPTHASH_CHECK_MSG(fitted_, "PredictProba before Fit");
+  OPTHASH_CHECK_EQ(features.size(), num_features_);
+  std::vector<double> probs;
+  ComputeLogits(Standardize(features), probs);
+  Softmax(probs);
+  return probs;
+}
+
+int LogisticRegression::Predict(const std::vector<double>& features) const {
+  const std::vector<double> probs = PredictProba(features);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+namespace {
+constexpr const char* kLogRegMagic = "opthash.logreg.v1";
+}  // namespace
+
+void LogisticRegression::SerializeTo(std::ostream& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "Serialize before Fit");
+  out << kLogRegMagic << ' ' << num_classes_ << ' ' << num_features_ << '\n';
+  out << std::setprecision(17);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      out << weights_.At(c, f) << ' ';
+    }
+  }
+  out << '\n';
+  for (double b : biases_) out << b << ' ';
+  out << '\n';
+  for (double m : feature_means_) out << m << ' ';
+  out << '\n';
+  for (double s : feature_stds_) out << s << ' ';
+  out << '\n';
+}
+
+std::string LogisticRegression::Serialize() const {
+  std::ostringstream out;
+  SerializeTo(out);
+  return out.str();
+}
+
+Result<LogisticRegression> LogisticRegression::DeserializeFrom(
+    std::istream& in) {
+  std::string magic;
+  size_t num_classes = 0;
+  size_t num_features = 0;
+  if (!(in >> magic >> num_classes >> num_features)) {
+    return Status::InvalidArgument("truncated logreg header");
+  }
+  if (magic != kLogRegMagic) {
+    return Status::InvalidArgument("bad logreg magic: " + magic);
+  }
+  if (num_classes == 0) {
+    return Status::InvalidArgument("logreg needs at least one class");
+  }
+  LogisticRegression model;
+  model.num_classes_ = num_classes;
+  model.num_features_ = num_features;
+  model.weights_ = Matrix(num_classes, num_features);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t f = 0; f < num_features; ++f) {
+      if (!(in >> model.weights_.At(c, f))) {
+        return Status::InvalidArgument("truncated logreg weights");
+      }
+    }
+  }
+  auto read_vector = [&in](std::vector<double>& values, size_t count,
+                           const char* what) {
+    values.resize(count);
+    for (double& v : values) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument(std::string("truncated logreg ") +
+                                       what);
+      }
+    }
+    return Status::OK();
+  };
+  Status status = read_vector(model.biases_, num_classes, "biases");
+  if (!status.ok()) return status;
+  status = read_vector(model.feature_means_, num_features, "means");
+  if (!status.ok()) return status;
+  status = read_vector(model.feature_stds_, num_features, "stds");
+  if (!status.ok()) return status;
+  for (double s : model.feature_stds_) {
+    if (s <= 0.0) return Status::InvalidArgument("non-positive feature std");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+Result<LogisticRegression> LogisticRegression::Deserialize(
+    const std::string& blob) {
+  std::istringstream in(blob);
+  return DeserializeFrom(in);
+}
+
+double LogisticRegression::Loss(const Dataset& data) const {
+  OPTHASH_CHECK_MSG(fitted_, "Loss before Fit");
+  double total = 0.0;
+  std::vector<double> probs;
+  for (size_t i = 0; i < data.NumExamples(); ++i) {
+    ComputeLogits(Standardize(data.Features(i)), probs);
+    Softmax(probs);
+    const auto label = static_cast<size_t>(data.Label(i));
+    total -= std::log(std::max(probs[label], 1e-15));
+  }
+  total /= static_cast<double>(data.NumExamples());
+  total += 0.5 * config_.l2 * weights_.SquaredNorm();
+  return total;
+}
+
+}  // namespace opthash::ml

@@ -1,0 +1,65 @@
+#ifndef OPTHASH_ML_MATRIX_H_
+#define OPTHASH_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opthash::ml {
+
+/// \brief Minimal dense row-major matrix of doubles.
+///
+/// Just enough linear algebra for the multinomial logistic regression
+/// (weights, gradients); deliberately not a general-purpose BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& At(size_t r, size_t c) {
+    OPTHASH_CHECK_LT(r, rows_);
+    OPTHASH_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    OPTHASH_CHECK_LT(r, rows_);
+    OPTHASH_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked row pointer (hot paths).
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// this += alpha * other (shapes must match).
+  void Axpy(double alpha, const Matrix& other) {
+    OPTHASH_CHECK_EQ(rows_, other.rows_);
+    OPTHASH_CHECK_EQ(cols_, other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+      data_[i] += alpha * other.data_[i];
+    }
+  }
+
+  /// Squared Frobenius norm.
+  double SquaredNorm() const {
+    double total = 0.0;
+    for (double v : data_) total += v * v;
+    return total;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace opthash::ml
+
+#endif  // OPTHASH_ML_MATRIX_H_

@@ -1,0 +1,59 @@
+#include "ml/metrics.h"
+
+#include "common/check.h"
+
+namespace opthash::ml {
+
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<int>& predictions) {
+  OPTHASH_CHECK_EQ(labels.size(), predictions.size());
+  OPTHASH_CHECK(!labels.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == predictions[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& labels, const std::vector<int>& predictions,
+    size_t num_classes) {
+  OPTHASH_CHECK_EQ(labels.size(), predictions.size());
+  std::vector<std::vector<size_t>> matrix(num_classes,
+                                          std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto truth = static_cast<size_t>(labels[i]);
+    const auto pred = static_cast<size_t>(predictions[i]);
+    OPTHASH_CHECK_LT(truth, num_classes);
+    OPTHASH_CHECK_LT(pred, num_classes);
+    ++matrix[truth][pred];
+  }
+  return matrix;
+}
+
+double MacroF1(const std::vector<int>& labels,
+               const std::vector<int>& predictions, size_t num_classes) {
+  const auto matrix = ConfusionMatrix(labels, predictions, num_classes);
+  double f1_total = 0.0;
+  size_t active_classes = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    size_t tp = matrix[c][c];
+    size_t fp = 0;
+    size_t fn = 0;
+    for (size_t other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += matrix[other][c];
+      fn += matrix[c][other];
+    }
+    if (tp + fp + fn == 0) continue;  // Class absent everywhere.
+    ++active_classes;
+    if (tp == 0) continue;  // F1 = 0 for this class.
+    const double precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    f1_total += 2.0 * precision * recall / (precision + recall);
+  }
+  return active_classes == 0 ? 0.0
+                             : f1_total / static_cast<double>(active_classes);
+}
+
+}  // namespace opthash::ml

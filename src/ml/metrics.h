@@ -1,0 +1,26 @@
+#ifndef OPTHASH_ML_METRICS_H_
+#define OPTHASH_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace opthash::ml {
+
+/// \brief Fraction of positions where predictions match labels.
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<int>& predictions);
+
+/// \brief num_classes x num_classes confusion matrix, rows = true label,
+/// columns = predicted label.
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& labels, const std::vector<int>& predictions,
+    size_t num_classes);
+
+/// \brief Macro-averaged F1 score (classes absent from both labels and
+/// predictions are skipped).
+double MacroF1(const std::vector<int>& labels,
+               const std::vector<int>& predictions, size_t num_classes);
+
+}  // namespace opthash::ml
+
+#endif  // OPTHASH_ML_METRICS_H_

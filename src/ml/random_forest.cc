@@ -1,0 +1,125 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace opthash::ml {
+
+RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
+  OPTHASH_CHECK_GE(config_.num_trees, 1u);
+}
+
+void RandomForest::Fit(const Dataset& train) {
+  OPTHASH_CHECK_GT(train.NumExamples(), 0u);
+  num_classes_ = std::max<size_t>(train.NumClasses(), 1);
+  num_features_ = train.NumFeatures();
+  const size_t n = train.NumExamples();
+
+  size_t max_features = config_.max_features;
+  if (max_features == 0) {
+    max_features = static_cast<size_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(num_features_)))));
+  }
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  std::vector<size_t> bootstrap(n);
+  for (size_t t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) bootstrap[i] = rng.NextBounded(n);
+    const Dataset sample = train.Subset(bootstrap);
+    DecisionTreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.max_features = max_features;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.seed = rng.NextUint64();
+    DecisionTree tree(tree_config);
+    // Bootstrap samples can miss the highest label; fit against a dataset
+    // that remembers the global class count via an appended no-op example
+    // would skew training, so instead trees simply vote over their own
+    // label space and the argmax below runs over the global class count.
+    tree.Fit(sample);
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+int RandomForest::Predict(const std::vector<double>& features) const {
+  OPTHASH_CHECK_MSG(fitted_, "Predict before Fit");
+  std::vector<size_t> votes(num_classes_, 0);
+  for (const DecisionTree& tree : trees_) {
+    const int label = tree.Predict(features);
+    OPTHASH_CHECK_LT(static_cast<size_t>(label), num_classes_);
+    ++votes[static_cast<size_t>(label)];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+namespace {
+constexpr const char* kForestMagic = "opthash.rf.v1";
+}  // namespace
+
+void RandomForest::SerializeTo(std::ostream& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "Serialize before Fit");
+  out << kForestMagic << ' ' << num_classes_ << ' ' << num_features_ << ' '
+      << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) tree.SerializeTo(out);
+}
+
+std::string RandomForest::Serialize() const {
+  std::ostringstream out;
+  SerializeTo(out);
+  return out.str();
+}
+
+Result<RandomForest> RandomForest::DeserializeFrom(std::istream& in) {
+  std::string magic;
+  size_t num_classes = 0;
+  size_t num_features = 0;
+  size_t num_trees = 0;
+  if (!(in >> magic >> num_classes >> num_features >> num_trees)) {
+    return Status::InvalidArgument("truncated random forest header");
+  }
+  if (magic != kForestMagic) {
+    return Status::InvalidArgument("bad random forest magic: " + magic);
+  }
+  if (num_trees == 0) {
+    return Status::InvalidArgument("random forest has no trees");
+  }
+  RandomForest forest;
+  forest.num_classes_ = num_classes;
+  forest.num_features_ = num_features;
+  forest.trees_.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    Result<DecisionTree> tree = DecisionTree::DeserializeFrom(in);
+    if (!tree.ok()) return tree.status();
+    forest.trees_.push_back(std::move(tree).value());
+  }
+  forest.fitted_ = true;
+  return forest;
+}
+
+Result<RandomForest> RandomForest::Deserialize(const std::string& blob) {
+  std::istringstream in(blob);
+  return DeserializeFrom(in);
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  OPTHASH_CHECK_MSG(fitted_, "FeatureImportances before Fit");
+  std::vector<double> importances(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> tree_importances = tree.FeatureImportances();
+    for (size_t f = 0; f < num_features_; ++f) {
+      importances[f] += tree_importances[f];
+    }
+  }
+  for (double& v : importances) v /= static_cast<double>(trees_.size());
+  return importances;
+}
+
+}  // namespace opthash::ml

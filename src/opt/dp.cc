@@ -1,0 +1,242 @@
+#include "opt/dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "opt/interval_cost.h"
+#include "opt/smawk.h"
+
+namespace opthash::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cost oracle dispatching on the configured cluster center.
+class ClusterCost {
+ public:
+  ClusterCost(const std::vector<double>& sorted, DpCostCenter center)
+      : center_(center) {
+    if (center == DpCostCenter::kMean) {
+      mean_.emplace(sorted);
+    } else {
+      median_.emplace(sorted);
+    }
+  }
+
+  double Cost(size_t i, size_t j) const {
+    return center_ == DpCostCenter::kMean ? mean_->Cost(i, j)
+                                          : median_->Cost(i, j);
+  }
+
+  size_t size() const {
+    return center_ == DpCostCenter::kMean ? mean_->size() : median_->size();
+  }
+
+ private:
+  DpCostCenter center_;
+  std::optional<IntervalCost> mean_;
+  std::optional<MedianIntervalCost> median_;
+};
+
+// One DP layer: given the previous layer's costs (prev[i-1] = optimal cost
+// of clustering v[0..i-1] into m-1 clusters), compute for each end index j
+// the best split i (start of the last cluster) minimizing
+// prev[i-1] + w(i, j), with i constrained to [min_split, j].
+struct Layer {
+  std::vector<double> cost;    // cost[j]
+  std::vector<int32_t> split;  // split[j] = chosen i
+};
+
+double Candidate(const ClusterCost& w, const std::vector<double>& prev,
+                 size_t i, size_t j) {
+  return prev[i - 1] + w.Cost(i, j);
+}
+
+Layer ComputeLayerQuadratic(const ClusterCost& w,
+                            const std::vector<double>& prev, size_t min_split) {
+  const size_t n = w.size();
+  Layer layer{std::vector<double>(n, kInf), std::vector<int32_t>(n, -1)};
+  for (size_t j = min_split; j < n; ++j) {
+    for (size_t i = min_split; i <= j; ++i) {
+      const double candidate = Candidate(w, prev, i, j);
+      if (candidate < layer.cost[j]) {
+        layer.cost[j] = candidate;
+        layer.split[j] = static_cast<int32_t>(i);
+      }
+    }
+  }
+  return layer;
+}
+
+void DivideConquerRange(const ClusterCost& w, const std::vector<double>& prev,
+                        size_t jlo, size_t jhi, size_t ilo, size_t ihi,
+                        Layer& layer) {
+  if (jlo > jhi) return;
+  const size_t mid = jlo + (jhi - jlo) / 2;
+  size_t best_i = ilo;
+  double best_cost = kInf;
+  const size_t upper = std::min(ihi, mid);
+  for (size_t i = ilo; i <= upper; ++i) {
+    const double candidate = Candidate(w, prev, i, mid);
+    if (candidate < best_cost) {
+      best_cost = candidate;
+      best_i = i;
+    }
+  }
+  layer.cost[mid] = best_cost;
+  layer.split[mid] = static_cast<int32_t>(best_i);
+  if (mid > jlo) DivideConquerRange(w, prev, jlo, mid - 1, ilo, best_i, layer);
+  if (mid < jhi) DivideConquerRange(w, prev, mid + 1, jhi, best_i, ihi, layer);
+}
+
+Layer ComputeLayerDivideConquer(const ClusterCost& w,
+                                const std::vector<double>& prev,
+                                size_t min_split) {
+  const size_t n = w.size();
+  Layer layer{std::vector<double>(n, kInf), std::vector<int32_t>(n, -1)};
+  DivideConquerRange(w, prev, min_split, n - 1, min_split, n - 1, layer);
+  return layer;
+}
+
+Layer ComputeLayerSmawk(const ClusterCost& w, const std::vector<double>& prev,
+                        size_t min_split) {
+  const size_t n = w.size();
+  Layer layer{std::vector<double>(n, kInf), std::vector<int32_t>(n, -1)};
+  // Rows are end indices j = min_split..n-1; columns are splits
+  // i = min_split..n-1. Entries above the diagonal (i > j) are padded with
+  // an increasing +inf-like ramp that preserves total monotonicity.
+  const size_t rows = n - min_split;
+  const size_t cols = n - min_split;
+  constexpr double kPad = 1e30;
+  auto value = [&](size_t r, size_t c) -> double {
+    const size_t j = min_split + r;
+    const size_t i = min_split + c;
+    if (i > j) return kPad + static_cast<double>(c);
+    return Candidate(w, prev, i, j);
+  };
+  const std::vector<size_t> argmin = SmawkRowMinima(rows, cols, value);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t j = min_split + r;
+    const size_t i = min_split + argmin[r];
+    layer.cost[j] = Candidate(w, prev, i, j);
+    layer.split[j] = static_cast<int32_t>(i);
+  }
+  return layer;
+}
+
+}  // namespace
+
+const char* DpAlgorithmName(DpAlgorithm algorithm) {
+  switch (algorithm) {
+    case DpAlgorithm::kQuadratic:
+      return "quadratic";
+    case DpAlgorithm::kDivideConquer:
+      return "divide_and_conquer";
+    case DpAlgorithm::kSmawk:
+      return "smawk";
+  }
+  return "unknown";
+}
+
+const char* DpCostCenterName(DpCostCenter center) {
+  switch (center) {
+    case DpCostCenter::kMean:
+      return "mean";
+    case DpCostCenter::kMedian:
+      return "median";
+  }
+  return "unknown";
+}
+
+DpSolver::DpSolver(DpConfig config) : config_(config) {}
+
+SolveResult DpSolver::Solve(const HashingProblem& problem) const {
+  OPTHASH_CHECK_MSG(problem.Validate().ok(),
+                    problem.Validate().ToString().c_str());
+  Timer timer;
+  const size_t n = problem.NumElements();
+  const size_t b = problem.num_buckets;
+  const bool certified = problem.lambda == 1.0 &&
+                         config_.algorithm == DpAlgorithm::kQuadratic &&
+                         config_.center == DpCostCenter::kMean;
+
+  SolveResult result;
+  result.assignment.assign(n, 0);
+
+  // Sort element indices by frequency (stable ties by index).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+    return problem.frequencies[a] < problem.frequencies[c];
+  });
+  std::vector<double> sorted(n);
+  for (size_t t = 0; t < n; ++t) sorted[t] = problem.frequencies[order[t]];
+
+  const size_t clusters = std::min(b, n);
+  if (clusters == n) {
+    // Every element gets its own bucket: zero estimation error.
+    for (size_t t = 0; t < n; ++t) {
+      result.assignment[order[t]] = static_cast<int32_t>(t);
+    }
+    result.objective = EvaluateObjective(problem, result.assignment);
+    result.proven_optimal = problem.lambda == 1.0;
+    result.lower_bound = result.proven_optimal ? result.objective.overall : 0.0;
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const ClusterCost w(sorted, config_.center);
+
+  // Layer 1: one cluster covering v[0..j].
+  std::vector<double> prev(n);
+  for (size_t j = 0; j < n; ++j) prev[j] = w.Cost(0, j);
+
+  // Layers 2..clusters, keeping split points for backtracking.
+  std::vector<std::vector<int32_t>> splits(clusters + 1);
+  for (size_t m = 2; m <= clusters; ++m) {
+    const size_t min_split = m - 1;  // Need at least m-1 elements before i.
+    Layer layer;
+    switch (config_.algorithm) {
+      case DpAlgorithm::kQuadratic:
+        layer = ComputeLayerQuadratic(w, prev, min_split);
+        break;
+      case DpAlgorithm::kDivideConquer:
+        layer = ComputeLayerDivideConquer(w, prev, min_split);
+        break;
+      case DpAlgorithm::kSmawk:
+        layer = ComputeLayerSmawk(w, prev, min_split);
+        break;
+    }
+    splits[m] = std::move(layer.split);
+    prev = std::move(layer.cost);
+  }
+
+  // Backtrack: the last cluster of layer m covers [splits[m][j], j].
+  size_t j = n - 1;
+  std::vector<int32_t> sorted_assignment(n, 0);
+  for (size_t m = clusters; m >= 2; --m) {
+    const auto i = static_cast<size_t>(splits[m][j]);
+    for (size_t t = i; t <= j; ++t) {
+      sorted_assignment[t] = static_cast<int32_t>(m - 1);
+    }
+    OPTHASH_CHECK_GE(i, 1u);
+    j = i - 1;
+  }
+  // Remaining prefix belongs to cluster 0 (already zero-initialized).
+
+  for (size_t t = 0; t < n; ++t) {
+    result.assignment[order[t]] = sorted_assignment[t];
+  }
+  result.objective = EvaluateObjective(problem, result.assignment);
+  result.proven_optimal = certified;
+  result.lower_bound = certified ? result.objective.overall : 0.0;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace opthash::opt

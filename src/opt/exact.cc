@@ -1,0 +1,206 @@
+#include "opt/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "opt/bucket_stats.h"
+#include "opt/interval_cost.h"
+
+namespace opthash::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// P[r] = optimal cost of clustering the r smallest frequencies into at most
+// `buckets` groups with free (median) centers. O(n^2 * b) precompute; the
+// exact solver only runs on small n.
+std::vector<double> SuffixClusteringBound(const std::vector<double>& ascending,
+                                          size_t buckets) {
+  const size_t n = ascending.size();
+  const MedianIntervalCost cost(ascending);
+  std::vector<double> prev(n + 1, kInf);  // <= m clusters for first r values
+  prev[0] = 0.0;
+  for (size_t r = 1; r <= n; ++r) prev[r] = cost.Cost(0, r - 1);
+  for (size_t m = 2; m <= std::min(buckets, n); ++m) {
+    std::vector<double> cur(n + 1, kInf);
+    cur[0] = 0.0;
+    for (size_t r = 1; r <= n; ++r) {
+      cur[r] = prev[r];  // Using fewer clusters is allowed.
+      for (size_t split = 1; split < r; ++split) {
+        const double candidate = prev[split] + cost.Cost(split, r - 1);
+        if (candidate < cur[r]) cur[r] = candidate;
+      }
+    }
+    prev = std::move(cur);
+  }
+  return prev;
+}
+
+// Matched-pair lower bound on a bucket's eventual estimation error given
+// its currently assigned member frequencies (ascending): pair the smallest
+// with the largest, second smallest with second largest, ...; each pair
+// (a, b) contributes |a - b| regardless of the final mean.
+double MatchedPairBound(const std::vector<double>& sorted) {
+  double bound = 0.0;
+  size_t lo = 0;
+  size_t hi = sorted.size();
+  while (hi - lo >= 2) {
+    bound += sorted[hi - 1] - sorted[lo];
+    ++lo;
+    --hi;
+  }
+  return bound;
+}
+
+struct SearchState {
+  const HashingProblem* problem = nullptr;
+  const ExactConfig* config = nullptr;
+  const Timer* timer = nullptr;
+  std::vector<size_t> order;           // Elements, decreasing frequency.
+  std::vector<double> remaining_bound; // remaining_bound[t]: depth-t suffix.
+  std::vector<BucketStats> buckets;
+  std::vector<double> bucket_lb;       // Per-bucket partial lower bound.
+  double partial_lb = 0.0;
+  Assignment assignment;
+  Assignment best_assignment;
+  double incumbent = kInf;
+  size_t nodes = 0;
+  bool budget_exhausted = false;
+  bool use_features = false;
+
+  bool OutOfBudget() {
+    if (config->node_limit > 0 && nodes > config->node_limit) {
+      budget_exhausted = true;
+    }
+    // Poll the clock sparsely; Timer reads are cheap but not free.
+    if (config->time_limit_seconds > 0.0 && (nodes & 0x3FF) == 0 &&
+        timer->ElapsedSeconds() > config->time_limit_seconds) {
+      budget_exhausted = true;
+    }
+    return budget_exhausted;
+  }
+
+  double BucketPartialBound(size_t j) const {
+    const double lambda = problem->lambda;
+    double bound = lambda * MatchedPairBound(buckets[j].sorted_frequencies());
+    if (use_features) {
+      bound += (1.0 - lambda) * buckets[j].SimilarityError();
+    }
+    return bound;
+  }
+
+  void Dfs(size_t depth, size_t buckets_used) {
+    ++nodes;
+    if (OutOfBudget()) return;
+    const size_t n = problem->NumElements();
+    if (depth == n) {
+      const ObjectiveValue value = EvaluateObjective(*problem, assignment);
+      if (value.overall < incumbent - 1e-12) {
+        incumbent = value.overall;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    const double lambda = problem->lambda;
+    const size_t element = order[depth];
+    const double f = problem->frequencies[element];
+    // Never destroyed, per the style rule on static storage duration
+    // objects with non-trivial destructors.
+    static const auto& kNoFeatures = *new std::vector<double>();
+    const std::vector<double>& x =
+        use_features ? problem->features[element] : kNoFeatures;
+
+    // Symmetry breaking: buckets are interchangeable, so the element may
+    // enter any used bucket or open exactly the next unused one.
+    const size_t candidate_count =
+        std::min(problem->num_buckets, buckets_used + 1);
+    for (size_t j = 0; j < candidate_count; ++j) {
+      buckets[j].Add(f, x);
+      const double old_bucket_lb = bucket_lb[j];
+      const double new_bucket_lb = BucketPartialBound(j);
+      partial_lb += new_bucket_lb - old_bucket_lb;
+      bucket_lb[j] = new_bucket_lb;
+
+      const double future = lambda * remaining_bound[n - depth - 1];
+      if (partial_lb + future < incumbent - 1e-12) {
+        assignment[element] = static_cast<int32_t>(j);
+        Dfs(depth + 1, std::max(buckets_used, j + 1));
+      }
+
+      partial_lb += old_bucket_lb - bucket_lb[j];
+      bucket_lb[j] = old_bucket_lb;
+      buckets[j].Remove(f, x);
+      if (budget_exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactSolver::ExactSolver(ExactConfig config) : config_(config) {}
+
+SolveResult ExactSolver::Solve(const HashingProblem& problem) const {
+  OPTHASH_CHECK_MSG(problem.Validate().ok(), "invalid problem");
+  Timer timer;
+  const size_t n = problem.NumElements();
+
+  SearchState state;
+  state.problem = &problem;
+  state.config = &config_;
+  state.timer = &timer;
+  state.use_features = problem.lambda < 1.0 && problem.FeatureDim() > 0;
+
+  // Incumbent from BCD (optionally) — branch-and-bound then only needs to
+  // certify or improve it.
+  if (config_.use_bcd_incumbent) {
+    BcdSolver bcd(config_.bcd);
+    SolveResult warm = bcd.Solve(problem);
+    state.incumbent = warm.objective.overall;
+    state.best_assignment = std::move(warm.assignment);
+  }
+
+  state.order.resize(n);
+  std::iota(state.order.begin(), state.order.end(), size_t{0});
+  std::stable_sort(state.order.begin(), state.order.end(),
+                   [&](size_t a, size_t c) {
+                     return problem.frequencies[a] > problem.frequencies[c];
+                   });
+
+  // remaining_bound[r] = free-center clustering bound for the r smallest
+  // frequencies (the suffix of the DFS order).
+  std::vector<double> ascending = problem.frequencies;
+  std::sort(ascending.begin(), ascending.end());
+  state.remaining_bound = SuffixClusteringBound(ascending, problem.num_buckets);
+
+  state.buckets.assign(problem.num_buckets,
+                       BucketStats(state.use_features ? problem.FeatureDim() : 0));
+  state.bucket_lb.assign(problem.num_buckets, 0.0);
+  state.assignment.assign(n, 0);
+  if (state.best_assignment.empty()) {
+    state.best_assignment.assign(n, 0);
+    state.incumbent = kInf;
+  }
+
+  state.Dfs(0, 0);
+
+  SolveResult result;
+  result.assignment = std::move(state.best_assignment);
+  if (result.assignment.empty() ||
+      !IsValidAssignment(problem, result.assignment)) {
+    result.assignment.assign(n, 0);
+  }
+  result.objective = EvaluateObjective(problem, result.assignment);
+  result.iterations = state.nodes;
+  result.proven_optimal = !state.budget_exhausted;
+  result.lower_bound =
+      result.proven_optimal ? result.objective.overall : 0.0;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace opthash::opt

@@ -1,0 +1,51 @@
+#ifndef OPTHASH_OPT_EXACT_H_
+#define OPTHASH_OPT_EXACT_H_
+
+#include "opt/bcd.h"
+#include "opt/solver.h"
+
+namespace opthash::opt {
+
+/// \brief Budget and options for the exact branch-and-bound solver.
+struct ExactConfig {
+  /// Stop after exploring this many search nodes (0 = unlimited).
+  size_t node_limit = 20'000'000;
+  /// Wall-clock budget in seconds (0 = unlimited). When the budget runs out
+  /// the incumbent is returned with proven_optimal = false — mirroring a
+  /// MIP solver hitting its time limit.
+  double time_limit_seconds = 30.0;
+  /// Seed the incumbent with a BCD solution (strongly recommended).
+  bool use_bcd_incumbent = true;
+  BcdConfig bcd;
+};
+
+/// \brief Exact solver for Problem (1) by depth-first branch-and-bound.
+///
+/// This plays the role of the paper's `milp` (Problem (2) in Gurobi): it
+/// certifies optimal hashing schemes on small instances and polishes BCD
+/// solutions on larger ones under a time budget. See DESIGN.md §1 for why
+/// this substitutes for the commercial MIP solver.
+///
+/// Search: elements in decreasing-frequency order; bucket symmetry broken
+/// by allowing an element to open at most one new bucket. Bounds:
+///  * assigned estimation error >= sum of matched-pair ranges per bucket
+///    (|a - mu| + |b - mu| >= |a - b| for disjoint pairs, any mean);
+///  * assigned similarity error is exact and only grows;
+///  * remaining elements contribute at least lambda times the free-center
+///    k-median cost of clustering them into <= b groups, precomputed by a
+///    suffix DP.
+class ExactSolver {
+ public:
+  explicit ExactSolver(ExactConfig config = {});
+
+  SolveResult Solve(const HashingProblem& problem) const;
+
+  const ExactConfig& config() const { return config_; }
+
+ private:
+  ExactConfig config_;
+};
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_EXACT_H_

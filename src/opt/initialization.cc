@@ -1,0 +1,80 @@
+#include "opt/initialization.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "opt/dp.h"
+
+namespace opthash::opt {
+
+const char* InitStrategyName(InitStrategy strategy) {
+  switch (strategy) {
+    case InitStrategy::kRandom:
+      return "random";
+    case InitStrategy::kSortedSplit:
+      return "sorted_split";
+    case InitStrategy::kHeavyHitter:
+      return "heavy_hitter";
+    case InitStrategy::kDpWarmStart:
+      return "dp_warm_start";
+  }
+  return "unknown";
+}
+
+Assignment InitializeAssignment(const HashingProblem& problem,
+                                InitStrategy strategy, Rng& rng) {
+  OPTHASH_CHECK_MSG(problem.Validate().ok(), "invalid problem");
+  const size_t n = problem.NumElements();
+  const size_t b = problem.num_buckets;
+  Assignment assignment(n, 0);
+
+  switch (strategy) {
+    case InitStrategy::kRandom: {
+      for (size_t i = 0; i < n; ++i) {
+        assignment[i] = static_cast<int32_t>(rng.NextBounded(b));
+      }
+      break;
+    }
+    case InitStrategy::kSortedSplit: {
+      // Sort by frequency; bucket t holds the t-th chunk of ceil(n/b)
+      // consecutive elements (paper §4.3's second initialization).
+      std::vector<size_t> order(n);
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+        return problem.frequencies[a] < problem.frequencies[c];
+      });
+      const size_t chunk = (n + b - 1) / b;
+      for (size_t t = 0; t < n; ++t) {
+        assignment[order[t]] = static_cast<int32_t>(
+            std::min(t / chunk, b - 1));
+      }
+      break;
+    }
+    case InitStrategy::kHeavyHitter: {
+      // The b-1 most frequent elements get private buckets 1..b-1; the rest
+      // share bucket 0 (paper §4.3's heavy-hitter heuristic).
+      std::vector<size_t> order(n);
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+        return problem.frequencies[a] > problem.frequencies[c];
+      });
+      for (size_t rank = 0; rank < n; ++rank) {
+        if (rank + 1 < b) {
+          assignment[order[rank]] = static_cast<int32_t>(rank + 1);
+        } else {
+          assignment[order[rank]] = 0;
+        }
+      }
+      break;
+    }
+    case InitStrategy::kDpWarmStart: {
+      DpSolver dp;
+      assignment = dp.Solve(problem).assignment;
+      break;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace opthash::opt

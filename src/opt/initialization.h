@@ -1,0 +1,35 @@
+#ifndef OPTHASH_OPT_INITIALIZATION_H_
+#define OPTHASH_OPT_INITIALIZATION_H_
+
+#include "common/random.h"
+#include "opt/problem.h"
+
+namespace opthash::opt {
+
+/// \brief Starting-point strategies for the block coordinate descent
+/// algorithm (paper §4.3 discusses all four).
+enum class InitStrategy {
+  /// Uniformly random bucket per element.
+  kRandom,
+  /// Sort elements by observed frequency and allocate consecutive chunks of
+  /// ceil(n/b) elements to consecutive buckets.
+  kSortedSplit,
+  /// The heavy-hitter heuristic: the b-1 most frequent elements each get a
+  /// private bucket; everything else shares the last bucket.
+  kHeavyHitter,
+  /// Warm start from the optimal lambda = 1 solution computed by the DP
+  /// (paper §4.4: "we propose to use it as a warm start for the general
+  /// lambda in [0,1) case").
+  kDpWarmStart,
+};
+
+const char* InitStrategyName(InitStrategy strategy);
+
+/// \brief Builds an initial assignment for `problem` with the requested
+/// strategy. `rng` is only consumed by kRandom.
+Assignment InitializeAssignment(const HashingProblem& problem,
+                                InitStrategy strategy, Rng& rng);
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_INITIALIZATION_H_

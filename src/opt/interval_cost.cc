@@ -1,0 +1,71 @@
+#include "opt/interval_cost.h"
+
+#include <algorithm>
+
+namespace opthash::opt {
+
+IntervalCost::IntervalCost(std::vector<double> sorted_values)
+    : values_(std::move(sorted_values)) {
+  OPTHASH_CHECK(std::is_sorted(values_.begin(), values_.end()));
+  prefix_.resize(values_.size() + 1, 0.0);
+  for (size_t k = 0; k < values_.size(); ++k) {
+    prefix_[k + 1] = prefix_[k] + values_[k];
+  }
+}
+
+double IntervalCost::Mean(size_t i, size_t j) const {
+  OPTHASH_CHECK_LE(i, j);
+  OPTHASH_CHECK_LT(j, values_.size());
+  return (prefix_[j + 1] - prefix_[i]) / static_cast<double>(j - i + 1);
+}
+
+double IntervalCost::Cost(size_t i, size_t j) const {
+  OPTHASH_CHECK_LE(i, j);
+  OPTHASH_CHECK_LT(j, values_.size());
+  const double total = prefix_[j + 1] - prefix_[i];
+  const auto len = static_cast<double>(j - i + 1);
+  const double mean = total / len;
+  // First index in [i, j] with value >= mean.
+  const auto split = std::lower_bound(values_.begin() + static_cast<long>(i),
+                                      values_.begin() + static_cast<long>(j + 1),
+                                      mean);
+  const auto below = static_cast<size_t>(split - (values_.begin() + static_cast<long>(i)));
+  const double below_sum = prefix_[i + below] - prefix_[i];
+  const double above_sum = total - below_sum;
+  const auto above = static_cast<double>(j - i + 1 - below);
+  const double cost = (mean * static_cast<double>(below) - below_sum) +
+                      (above_sum - mean * above);
+  return cost < 0.0 ? 0.0 : cost;
+}
+
+MedianIntervalCost::MedianIntervalCost(std::vector<double> sorted_values)
+    : values_(std::move(sorted_values)) {
+  OPTHASH_CHECK(std::is_sorted(values_.begin(), values_.end()));
+  prefix_.resize(values_.size() + 1, 0.0);
+  for (size_t k = 0; k < values_.size(); ++k) {
+    prefix_[k + 1] = prefix_[k] + values_[k];
+  }
+}
+
+double MedianIntervalCost::Median(size_t i, size_t j) const {
+  OPTHASH_CHECK_LE(i, j);
+  OPTHASH_CHECK_LT(j, values_.size());
+  return values_[i + (j - i) / 2];
+}
+
+double MedianIntervalCost::Cost(size_t i, size_t j) const {
+  OPTHASH_CHECK_LE(i, j);
+  OPTHASH_CHECK_LT(j, values_.size());
+  const size_t mid = i + (j - i) / 2;
+  const double median = values_[mid];
+  // v[i..mid] <= median <= v[mid..j] on sorted input.
+  const double below_sum = prefix_[mid + 1] - prefix_[i];
+  const double above_sum = prefix_[j + 1] - prefix_[mid + 1];
+  const auto below_count = static_cast<double>(mid - i + 1);
+  const auto above_count = static_cast<double>(j - mid);
+  const double cost = (median * below_count - below_sum) +
+                      (above_sum - median * above_count);
+  return cost < 0.0 ? 0.0 : cost;
+}
+
+}  // namespace opthash::opt

@@ -1,0 +1,119 @@
+#include "opt/milp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opthash::opt {
+
+MilpModel::MilpModel(const HashingProblem& problem) : problem_(problem) {
+  OPTHASH_CHECK_MSG(problem.Validate().ok(), "invalid problem");
+  big_m_ = 0.0;
+  for (double f : problem.frequencies) big_m_ = std::max(big_m_, f);
+  if (big_m_ <= 0.0) big_m_ = 1.0;
+}
+
+MilpModelStats MilpModel::Stats() const {
+  const size_t n = problem_.NumElements();
+  const size_t b = problem_.num_buckets;
+  MilpModelStats stats;
+  stats.num_binary_vars = n * b;
+  stats.num_error_vars = n * b;
+  stats.num_theta_vars = n * n * b;
+  stats.num_delta_vars = n * n * b;
+  stats.num_assignment_constraints = n;
+  stats.num_error_constraints = 2 * n * b;
+  stats.num_theta_constraints = 3 * n * n * b;
+  stats.num_delta_constraints = 3 * n * n * b;
+  stats.big_m = big_m_;
+  return stats;
+}
+
+MilpEvaluation MilpModel::EvaluateAt(const Assignment& assignment) const {
+  OPTHASH_CHECK_MSG(IsValidAssignment(problem_, assignment),
+                    "invalid assignment");
+  const size_t n = problem_.NumElements();
+  const size_t b = problem_.num_buckets;
+  const double lambda = problem_.lambda;
+  const bool use_features = lambda < 1.0 && problem_.FeatureDim() > 0;
+
+  // Bucket aggregates.
+  std::vector<double> freq_sum(b, 0.0);
+  std::vector<double> counts(b, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<size_t>(assignment[i]);
+    freq_sum[j] += problem_.frequencies[i];
+    counts[j] += 1.0;
+  }
+
+  MilpEvaluation eval;
+  eval.feasible = true;
+  double max_violation = 0.0;
+  auto check_ge = [&max_violation](double lhs, double rhs) {
+    const double violation = rhs - lhs;
+    if (violation > max_violation) max_violation = violation;
+  };
+
+  // Minimal completion: e_ij = |f_i - mu_j| for non-empty buckets (0 for
+  // empty ones), theta_ikj = e_ij * z_kj, delta_ikj = z_ij * z_kj.
+  // The loop both accumulates the linearized objective and re-checks every
+  // constraint family of Problem (2) at this point.
+  double objective = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto assigned = static_cast<size_t>(assignment[i]);
+    for (size_t j = 0; j < b; ++j) {
+      const double z_sum = counts[j];
+      const double mu = z_sum > 0.0 ? freq_sum[j] / z_sum : 0.0;
+      const double e_ij =
+          z_sum > 0.0 ? std::abs(problem_.frequencies[i] - mu) : 0.0;
+      if (e_ij > big_m_ + 1e-9) {
+        // Theorem 1 requires M >= max_i f0_i to dominate every e_ij.
+        eval.feasible = false;
+      }
+
+      // Aggregated error constraints:
+      //   sum_k theta_ikj >= +/- (f_i * sum_k z_kj - sum_k f_k z_kj).
+      const double theta_sum = e_ij * z_sum;  // theta_ikj = e_ij for members.
+      check_ge(theta_sum, problem_.frequencies[i] * z_sum - freq_sum[j]);
+      check_ge(theta_sum, freq_sum[j] - problem_.frequencies[i] * z_sum);
+
+      // theta linearization constraints, per k:
+      //   theta >= e - M(1-z), theta <= e, theta <= M z.
+      for (size_t k = 0; k < n; ++k) {
+        const double z_kj = static_cast<size_t>(assignment[k]) == j ? 1.0 : 0.0;
+        const double theta = e_ij * z_kj;
+        check_ge(theta, e_ij - big_m_ * (1.0 - z_kj));
+        check_ge(e_ij, theta);
+        check_ge(big_m_ * z_kj, theta);
+      }
+
+      // Objective contribution lambda * theta_iij.
+      const double z_ij = assigned == j ? 1.0 : 0.0;
+      objective += lambda * e_ij * z_ij;
+
+      // delta linearization and similarity contribution.
+      if (use_features) {
+        for (size_t k = 0; k < n; ++k) {
+          const double z_kj = static_cast<size_t>(assignment[k]) == j ? 1.0 : 0.0;
+          const double delta = z_ij * z_kj;
+          check_ge(delta, z_ij + z_kj - 1.0);
+          check_ge(z_ij, delta);
+          check_ge(z_kj, delta);
+          if (delta > 0.0) {
+            objective += (1.0 - lambda) *
+                         SquaredDistance(problem_.features[i],
+                                         problem_.features[k]);
+          }
+        }
+      }
+    }
+  }
+
+  eval.max_violation = std::max(0.0, max_violation);
+  if (eval.max_violation > 1e-9) eval.feasible = false;
+  eval.linearized_objective = objective;
+  return eval;
+}
+
+}  // namespace opthash::opt

@@ -1,0 +1,87 @@
+#include "opt/objective.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opthash::opt {
+
+ObjectiveValue EvaluateObjective(const HashingProblem& problem,
+                                 const Assignment& assignment) {
+  OPTHASH_CHECK_MSG(IsValidAssignment(problem, assignment),
+                    "invalid assignment");
+  const size_t n = problem.NumElements();
+  const size_t b = problem.num_buckets;
+  const size_t p = problem.FeatureDim();
+  const bool use_features = problem.lambda < 1.0 && p > 0;
+
+  // Bucket aggregates in one pass.
+  std::vector<double> freq_sum(b, 0.0);
+  std::vector<size_t> counts(b, 0);
+  std::vector<double> feature_sq_sum(b, 0.0);      // Σ||x||² per bucket
+  std::vector<std::vector<double>> feature_sum;    // Σx per bucket
+  if (use_features) {
+    feature_sum.assign(b, std::vector<double>(p, 0.0));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<size_t>(assignment[i]);
+    freq_sum[j] += problem.frequencies[i];
+    ++counts[j];
+    if (use_features) {
+      const auto& x = problem.features[i];
+      double sq = 0.0;
+      for (size_t d = 0; d < p; ++d) {
+        feature_sum[j][d] += x[d];
+        sq += x[d] * x[d];
+      }
+      feature_sq_sum[j] += sq;
+    }
+  }
+
+  ObjectiveValue value;
+  for (size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<size_t>(assignment[i]);
+    const double mean = freq_sum[j] / static_cast<double>(counts[j]);
+    value.estimation_error += std::abs(problem.frequencies[i] - mean);
+  }
+  if (use_features) {
+    // Σ_{(i,k)∈I_j×I_j} ||x_i - x_k||² = 2 c_j Σ||x||² - 2 ||Σx||².
+    for (size_t j = 0; j < b; ++j) {
+      if (counts[j] == 0) continue;
+      double sum_norm_sq = 0.0;
+      for (size_t d = 0; d < p; ++d) {
+        sum_norm_sq += feature_sum[j][d] * feature_sum[j][d];
+      }
+      const double bucket_similarity =
+          2.0 * static_cast<double>(counts[j]) * feature_sq_sum[j] -
+          2.0 * sum_norm_sq;
+      value.similarity_error += bucket_similarity < 0.0 ? 0.0 : bucket_similarity;
+    }
+  }
+  value.overall = problem.lambda * value.estimation_error +
+                  (1.0 - problem.lambda) * value.similarity_error;
+  return value;
+}
+
+NormalizedObjective NormalizeObjective(const HashingProblem& problem,
+                                       const Assignment& assignment) {
+  const ObjectiveValue raw = EvaluateObjective(problem, assignment);
+  const auto n = static_cast<double>(problem.NumElements());
+
+  // Count ordered pairs that share a bucket (the similarity term's support).
+  std::vector<double> counts(problem.num_buckets, 0.0);
+  for (int32_t j : assignment) counts[static_cast<size_t>(j)] += 1.0;
+  double pairs = 0.0;
+  for (double c : counts) pairs += c * c;
+
+  NormalizedObjective normalized;
+  normalized.estimation_error_per_element = raw.estimation_error / n;
+  normalized.similarity_error_per_pair =
+      pairs > 0.0 ? raw.similarity_error / pairs : 0.0;
+  normalized.overall =
+      problem.lambda * normalized.estimation_error_per_element +
+      (1.0 - problem.lambda) * normalized.similarity_error_per_pair;
+  return normalized;
+}
+
+}  // namespace opthash::opt

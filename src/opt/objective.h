@@ -1,0 +1,37 @@
+#ifndef OPTHASH_OPT_OBJECTIVE_H_
+#define OPTHASH_OPT_OBJECTIVE_H_
+
+#include "opt/problem.h"
+
+namespace opthash::opt {
+
+/// \brief Decomposed objective value of an assignment.
+struct ObjectiveValue {
+  /// Σ_i |f0_i - mu_{j(i)}|  — the estimation error term of Problem (1).
+  double estimation_error = 0.0;
+  /// Σ_i Σ_{k: j(k)=j(i)} ||x_i - x_k||²  — the similarity error term.
+  double similarity_error = 0.0;
+  /// lambda·estimation + (1-lambda)·similarity.
+  double overall = 0.0;
+};
+
+/// \brief Evaluates Problem (1)'s objective from scratch in
+/// O(n·p + n log n). Authoritative reference used to validate the
+/// incremental bookkeeping of every solver.
+ObjectiveValue EvaluateObjective(const HashingProblem& problem,
+                                 const Assignment& assignment);
+
+/// \brief Per-scale normalizations used by the paper's Experiments 2-5
+/// ("we convert the errors in a per element / per pair of elements scale").
+struct NormalizedObjective {
+  double estimation_error_per_element = 0.0;
+  double similarity_error_per_pair = 0.0;
+  double overall = 0.0;  // lambda·est/element + (1-lambda)·sim/pair
+};
+
+NormalizedObjective NormalizeObjective(const HashingProblem& problem,
+                                       const Assignment& assignment);
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_OBJECTIVE_H_

@@ -1,0 +1,60 @@
+#include "opt/problem.h"
+
+#include "common/check.h"
+
+namespace opthash::opt {
+
+Status HashingProblem::Validate() const {
+  if (frequencies.empty()) {
+    return Status::InvalidArgument("problem has no elements");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("num_buckets must be >= 1");
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  for (double f : frequencies) {
+    if (f < 0.0) return Status::InvalidArgument("negative frequency");
+  }
+  if (lambda < 1.0) {
+    if (features.size() != frequencies.size()) {
+      return Status::InvalidArgument(
+          "features must be provided for every element when lambda < 1");
+    }
+    const size_t dim = features.front().size();
+    for (const auto& x : features) {
+      if (x.size() != dim) {
+        return Status::InvalidArgument("inconsistent feature dimensions");
+      }
+    }
+  } else if (!features.empty() && features.size() != frequencies.size()) {
+    return Status::InvalidArgument(
+        "features, when provided, must match the number of elements");
+  }
+  return Status::OK();
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  OPTHASH_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+bool IsValidAssignment(const HashingProblem& problem,
+                       const Assignment& assignment) {
+  if (assignment.size() != problem.NumElements()) return false;
+  for (int32_t bucket : assignment) {
+    if (bucket < 0 || static_cast<size_t>(bucket) >= problem.num_buckets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace opthash::opt

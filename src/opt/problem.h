@@ -1,0 +1,58 @@
+#ifndef OPTHASH_OPT_PROBLEM_H_
+#define OPTHASH_OPT_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opthash::opt {
+
+/// \brief Bucket index per element: assignment[i] = j means z_ij = 1.
+/// This is the dense encoding of the one-hot matrix Z of Problem (1).
+using Assignment = std::vector<int32_t>;
+
+/// \brief An instance of the optimal-hashing problem (paper Problem (1)).
+///
+/// Given n elements observed in the stream prefix — each with an empirical
+/// frequency f0_i and a feature vector x_i — and b available buckets, find
+/// the one-hot assignment Z minimizing
+///
+///   sum_i sum_j z_ij [ lambda * |f0_i - mu_j| +
+///                      (1 - lambda) * sum_k z_kj ||x_i - x_k||^2 ],
+///
+/// where mu_j is the mean frequency of the elements mapped to bucket j.
+/// lambda = 1 weighs only the estimation error; lambda = 0 only the
+/// feature-similarity error.
+struct HashingProblem {
+  /// Empirical prefix frequencies f0 (length n, non-negative).
+  std::vector<double> frequencies;
+  /// Feature vectors x_i (length n, equal dimension p; may be empty vectors
+  /// when lambda == 1, in which case features are ignored).
+  std::vector<std::vector<double>> features;
+  /// Number of available buckets b (>= 1).
+  size_t num_buckets = 0;
+  /// Trade-off hyperparameter lambda in [0, 1].
+  double lambda = 1.0;
+
+  size_t NumElements() const { return frequencies.size(); }
+  size_t FeatureDim() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Structural validation (sizes, ranges). Every solver calls this first.
+  Status Validate() const;
+};
+
+/// \brief Squared Euclidean distance ||a - b||^2.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// \brief True if `assignment` is structurally valid for `problem`
+/// (right length, every bucket index in [0, b)).
+bool IsValidAssignment(const HashingProblem& problem,
+                       const Assignment& assignment);
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_PROBLEM_H_

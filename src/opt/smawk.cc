@@ -1,0 +1,78 @@
+#include "opt/smawk.h"
+
+#include "common/check.h"
+
+namespace opthash::opt {
+
+namespace {
+
+// Recursive SMAWK on the submatrix induced by `rows` (ascending original row
+// indices) and `cols` (ascending original column indices). Writes the
+// leftmost-argmin column of each listed row into `out`.
+void SmawkRecurse(const std::vector<size_t>& rows,
+                  const std::vector<size_t>& cols,
+                  const std::function<double(size_t, size_t)>& value,
+                  std::vector<size_t>& out) {
+  if (rows.empty()) return;
+
+  // REDUCE: prune columns that cannot hold any row minimum, keeping at most
+  // |rows| candidates. The classic stack construction.
+  std::vector<size_t> surviving;
+  surviving.reserve(rows.size());
+  for (size_t col : cols) {
+    while (!surviving.empty()) {
+      const size_t row = rows[surviving.size() - 1];
+      if (value(row, surviving.back()) > value(row, col)) {
+        surviving.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (surviving.size() < rows.size()) surviving.push_back(col);
+  }
+
+  // INTERPOLATE: solve odd rows recursively, then fill even rows by scanning
+  // between the argmins of their odd neighbours.
+  std::vector<size_t> odd_rows;
+  for (size_t r = 1; r < rows.size(); r += 2) odd_rows.push_back(rows[r]);
+  SmawkRecurse(odd_rows, surviving, value, out);
+
+  size_t col_cursor = 0;
+  for (size_t r = 0; r < rows.size(); r += 2) {
+    const size_t row = rows[r];
+    // The argmin of this even row lies between the argmin of the previous
+    // odd row and that of the next odd row (inclusive).
+    const size_t upper_col =
+        (r + 1 < rows.size()) ? out[rows[r + 1]] : surviving.back();
+    size_t best_col = surviving[col_cursor];
+    double best_value = value(row, best_col);
+    while (surviving[col_cursor] != upper_col) {
+      ++col_cursor;
+      OPTHASH_CHECK_LT(col_cursor, surviving.size());
+      const double candidate = value(row, surviving[col_cursor]);
+      if (candidate < best_value) {
+        best_value = candidate;
+        best_col = surviving[col_cursor];
+      }
+    }
+    out[row] = best_col;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> SmawkRowMinima(
+    size_t num_rows, size_t num_cols,
+    const std::function<double(size_t, size_t)>& value) {
+  OPTHASH_CHECK_GT(num_rows, 0u);
+  OPTHASH_CHECK_GT(num_cols, 0u);
+  std::vector<size_t> rows(num_rows);
+  std::vector<size_t> cols(num_cols);
+  for (size_t r = 0; r < num_rows; ++r) rows[r] = r;
+  for (size_t c = 0; c < num_cols; ++c) cols[c] = c;
+  std::vector<size_t> out(num_rows, 0);
+  SmawkRecurse(rows, cols, value, out);
+  return out;
+}
+
+}  // namespace opthash::opt

@@ -1,0 +1,27 @@
+#ifndef OPTHASH_OPT_SMAWK_H_
+#define OPTHASH_OPT_SMAWK_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace opthash::opt {
+
+/// \brief Row-minima of an implicitly defined totally monotone matrix
+/// (SMAWK algorithm; Aggarwal, Klawe, Moran, Shor, Wilber 1987).
+///
+/// `value(row, col)` must be a totally monotone num_rows x num_cols matrix:
+/// for every 2x2 submatrix, if the upper-left entry is strictly greater
+/// than the upper-right, the lower-left must be strictly greater than the
+/// lower-right. The 1-D clustering DP layers satisfy this via the
+/// quadrangle inequality of the interval cost (Wu 1991, paper ref [40]).
+///
+/// Returns, for each row, the column index of its leftmost minimum.
+/// Runs in O(num_rows + num_cols) evaluations.
+std::vector<size_t> SmawkRowMinima(
+    size_t num_rows, size_t num_cols,
+    const std::function<double(size_t, size_t)>& value);
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_SMAWK_H_

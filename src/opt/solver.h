@@ -1,0 +1,28 @@
+#ifndef OPTHASH_OPT_SOLVER_H_
+#define OPTHASH_OPT_SOLVER_H_
+
+#include "opt/objective.h"
+#include "opt/problem.h"
+
+namespace opthash::opt {
+
+/// \brief Output of any hashing-scheme solver.
+struct SolveResult {
+  Assignment assignment;
+  ObjectiveValue objective;
+  /// Sweeps for BCD; explored nodes for branch-and-bound; 0 for DP.
+  size_t iterations = 0;
+  /// True when the solver certifies global optimality (DP with lambda = 1,
+  /// or branch-and-bound that exhausted its tree within budget).
+  bool proven_optimal = false;
+  /// Best lower bound established (equals objective.overall when optimal).
+  double lower_bound = 0.0;
+  double elapsed_seconds = 0.0;
+  /// Objective value after each BCD sweep (empty for other solvers); used
+  /// to study convergence ("converges after a few tens of iterations").
+  std::vector<double> sweep_objectives;
+};
+
+}  // namespace opthash::opt
+
+#endif  // OPTHASH_OPT_SOLVER_H_

@@ -1,0 +1,46 @@
+#include "sketch/ams_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+AmsSketch::AmsSketch(size_t groups, size_t estimators_per_group, uint64_t seed)
+    : groups_(groups), per_group_(estimators_per_group) {
+  OPTHASH_CHECK_GE(groups, 1u);
+  OPTHASH_CHECK_GE(estimators_per_group, 1u);
+  Rng rng(seed);
+  const size_t total = groups * estimators_per_group;
+  sign_sources_.reserve(total);
+  for (size_t a = 0; a < total; ++a) sign_sources_.emplace_back(rng);
+  atoms_.assign(total, 0);
+}
+
+int AmsSketch::Sign(size_t atom, uint64_t key) const {
+  return (sign_sources_[atom](key) & 1) == 0 ? -1 : 1;
+}
+
+void AmsSketch::Update(uint64_t key, int64_t count) {
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    atoms_[a] += Sign(a, key) * count;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> group_means(groups_);
+  for (size_t g = 0; g < groups_; ++g) {
+    double mean = 0.0;
+    for (size_t e = 0; e < per_group_; ++e) {
+      const double z = static_cast<double>(atoms_[g * per_group_ + e]);
+      mean += z * z;
+    }
+    group_means[g] = mean / static_cast<double>(per_group_);
+  }
+  std::sort(group_means.begin(), group_means.end());
+  const size_t mid = groups_ / 2;
+  if (groups_ % 2 == 1) return group_means[mid];
+  return 0.5 * (group_means[mid - 1] + group_means[mid]);
+}
+
+}  // namespace opthash::sketch

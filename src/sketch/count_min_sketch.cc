@@ -1,0 +1,76 @@
+#include "sketch/count_min_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed,
+                               bool conservative_update)
+    : width_(width), depth_(depth), conservative_update_(conservative_update) {
+  OPTHASH_CHECK_GE(width, 1u);
+  OPTHASH_CHECK_GE(depth, 1u);
+  Rng rng(seed);
+  hashes_.reserve(depth);
+  for (size_t level = 0; level < depth; ++level) {
+    hashes_.emplace_back(width, rng);
+  }
+  counters_.assign(width * depth, 0);
+}
+
+Result<CountMinSketch> CountMinSketch::FromErrorBounds(double epsilon,
+                                                       double delta,
+                                                       uint64_t seed) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  const auto width =
+      static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  const auto depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<size_t>(depth, 1), seed);
+}
+
+void CountMinSketch::Update(uint64_t key, uint64_t count) {
+  total_count_ += count;
+  if (!conservative_update_) {
+    for (size_t level = 0; level < depth_; ++level) {
+      counters_[level * width_ + hashes_[level](key)] += count;
+    }
+    return;
+  }
+  // Conservative update: new value for every level is
+  // max(counter, current_estimate + count).
+  uint64_t current = std::numeric_limits<uint64_t>::max();
+  for (size_t level = 0; level < depth_; ++level) {
+    current = std::min(current, counters_[level * width_ + hashes_[level](key)]);
+  }
+  const uint64_t target = current + count;
+  for (size_t level = 0; level < depth_; ++level) {
+    uint64_t& counter = counters_[level * width_ + hashes_[level](key)];
+    counter = std::max(counter, target);
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (size_t level = 0; level < depth_; ++level) {
+    best = std::min(best, counters_[level * width_ + hashes_[level](key)]);
+  }
+  return best;
+}
+
+double CountMinSketch::Epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+double CountMinSketch::Delta() const {
+  return std::exp(-static_cast<double>(depth_));
+}
+
+}  // namespace opthash::sketch

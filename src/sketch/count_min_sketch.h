@@ -1,0 +1,72 @@
+#ifndef OPTHASH_SKETCH_COUNT_MIN_SKETCH_H_
+#define OPTHASH_SKETCH_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "hashing/hash_functions.h"
+
+namespace opthash::sketch {
+
+/// \brief The Count-Min Sketch (Cormode & Muthukrishnan 2005, ref [11]).
+///
+/// Maintains d arrays ("levels") of w counters each. Every update increments
+/// one counter per level through an independent 2-universal hash; a point
+/// query returns the minimum over levels, which always overestimates the
+/// true count. With w = ceil(e/eps) and d = ceil(ln(1/delta)),
+/// |estimate - f_u| <= eps * ||f||_1 with probability at least 1 - delta.
+///
+/// This is the paper's `count-min` baseline (§2.1 / §7.2).
+class CountMinSketch {
+ public:
+  /// \param width   counters per level (w >= 1)
+  /// \param depth   number of levels (d >= 1)
+  /// \param seed    seed for the level hash functions
+  /// \param conservative_update if true, an update only raises the counters
+  ///        that equal the current minimum (Estan-Varghese conservative
+  ///        update), which never increases estimates and is an upper bound
+  ///        preserving optimization.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed,
+                 bool conservative_update = false);
+
+  /// Sizes the sketch from accuracy targets: w = ceil(e/eps),
+  /// d = ceil(ln(1/delta)).
+  static Result<CountMinSketch> FromErrorBounds(double epsilon, double delta,
+                                                uint64_t seed);
+
+  /// Adds `count` occurrences of `key`.
+  void Update(uint64_t key, uint64_t count = 1);
+
+  /// Point query: min over levels, never below the true count.
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Total updates seen (= ||f||_1 for unit increments).
+  uint64_t total_count() const { return total_count_; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  bool conservative_update() const { return conservative_update_; }
+
+  /// Number of buckets (w*d); each bucket costs 4 bytes in the paper's
+  /// memory accounting.
+  size_t TotalBuckets() const { return width_ * depth_; }
+  size_t MemoryBytes() const { return TotalBuckets() * sizeof(uint32_t); }
+
+  /// Guarantee parameters implied by the current geometry.
+  double Epsilon() const;
+  double Delta() const;
+
+ private:
+  size_t width_;
+  size_t depth_;
+  bool conservative_update_;
+  std::vector<hashing::LinearHash> hashes_;
+  std::vector<uint64_t> counters_;  // depth_ x width_, row-major.
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace opthash::sketch
+
+#endif  // OPTHASH_SKETCH_COUNT_MIN_SKETCH_H_

@@ -1,0 +1,49 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+CountSketch::CountSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width), depth_(depth) {
+  OPTHASH_CHECK_GE(width, 1u);
+  OPTHASH_CHECK_GE(depth, 1u);
+  Rng rng(seed);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (size_t level = 0; level < depth; ++level) {
+    bucket_hashes_.emplace_back(width, rng);
+    sign_hashes_.emplace_back(rng);
+  }
+  counters_.assign(width * depth, 0);
+}
+
+void CountSketch::Update(uint64_t key, int64_t count) {
+  for (size_t level = 0; level < depth_; ++level) {
+    const int sign = sign_hashes_[level](key);
+    counters_[level * width_ + bucket_hashes_[level](key)] += sign * count;
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t key) const {
+  std::vector<int64_t> level_estimates(depth_);
+  for (size_t level = 0; level < depth_; ++level) {
+    const int sign = sign_hashes_[level](key);
+    level_estimates[level] =
+        sign * counters_[level * width_ + bucket_hashes_[level](key)];
+  }
+  std::sort(level_estimates.begin(), level_estimates.end());
+  const size_t mid = depth_ / 2;
+  if (depth_ % 2 == 1) return level_estimates[mid];
+  // Even depth: average of the two central values, rounded toward zero.
+  return (level_estimates[mid - 1] + level_estimates[mid]) / 2;
+}
+
+uint64_t CountSketch::EstimateNonNegative(uint64_t key) const {
+  const int64_t estimate = Estimate(key);
+  return estimate < 0 ? 0 : static_cast<uint64_t>(estimate);
+}
+
+}  // namespace opthash::sketch

@@ -1,0 +1,47 @@
+#ifndef OPTHASH_SKETCH_COUNT_SKETCH_H_
+#define OPTHASH_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "hashing/hash_functions.h"
+
+namespace opthash::sketch {
+
+/// \brief The Count Sketch (Charikar, Chen, Farach-Colton 2002, ref [12]).
+///
+/// Like the Count-Min Sketch but every update is multiplied by a
+/// pairwise-independent ±1 sign, and a point query returns the *median*
+/// over levels. The estimator is unbiased (can under- or over-estimate),
+/// trading the CMS one-sided guarantee for tighter errors on skewed data.
+/// Included as the second conventional baseline discussed in §1.1/§2.
+class CountSketch {
+ public:
+  CountSketch(size_t width, size_t depth, uint64_t seed);
+
+  void Update(uint64_t key, int64_t count = 1);
+
+  /// Median-of-levels estimate; may be negative on adversarial collisions,
+  /// in which case callers typically clamp at zero.
+  int64_t Estimate(uint64_t key) const;
+
+  /// Estimate clamped to be non-negative (frequencies are counts).
+  uint64_t EstimateNonNegative(uint64_t key) const;
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  size_t TotalBuckets() const { return width_ * depth_; }
+  size_t MemoryBytes() const { return TotalBuckets() * sizeof(uint32_t); }
+
+ private:
+  size_t width_;
+  size_t depth_;
+  std::vector<hashing::LinearHash> bucket_hashes_;
+  std::vector<hashing::SignHash> sign_hashes_;
+  std::vector<int64_t> counters_;  // depth_ x width_, row-major.
+};
+
+}  // namespace opthash::sketch
+
+#endif  // OPTHASH_SKETCH_COUNT_SKETCH_H_

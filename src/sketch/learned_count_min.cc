@@ -1,0 +1,66 @@
+#include "sketch/learned_count_min.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+LearnedCountMinSketch::LearnedCountMinSketch(
+    size_t total_buckets, CountMinSketch remainder,
+    std::unordered_map<uint64_t, uint64_t> heavy_counts)
+    : total_buckets_(total_buckets),
+      remainder_(std::move(remainder)),
+      heavy_counts_(std::move(heavy_counts)) {}
+
+Result<LearnedCountMinSketch> LearnedCountMinSketch::Create(
+    size_t total_buckets, size_t depth, const std::vector<uint64_t>& heavy_keys,
+    uint64_t seed) {
+  if (depth == 0) return Status::InvalidArgument("depth must be >= 1");
+  if (2 * heavy_keys.size() >= total_buckets) {
+    return Status::InvalidArgument(
+        "heavy buckets (2 units each) must leave room for the CMS "
+        "remainder: need 2*|heavy| < total_buckets");
+  }
+  const size_t remainder_buckets = total_buckets - 2 * heavy_keys.size();
+  const size_t width = std::max<size_t>(1, remainder_buckets / depth);
+  CountMinSketch remainder(width, depth, seed);
+  std::unordered_map<uint64_t, uint64_t> heavy_counts;
+  heavy_counts.reserve(heavy_keys.size());
+  for (uint64_t key : heavy_keys) heavy_counts.emplace(key, 0);
+  return LearnedCountMinSketch(total_buckets, std::move(remainder),
+                               std::move(heavy_counts));
+}
+
+void LearnedCountMinSketch::Update(uint64_t key, uint64_t count) {
+  auto it = heavy_counts_.find(key);
+  if (it != heavy_counts_.end()) {
+    it->second += count;
+    return;
+  }
+  remainder_.Update(key, count);
+}
+
+uint64_t LearnedCountMinSketch::Estimate(uint64_t key) const {
+  auto it = heavy_counts_.find(key);
+  if (it != heavy_counts_.end()) return it->second;
+  return remainder_.Estimate(key);
+}
+
+std::vector<uint64_t> SelectTopKeys(
+    const std::unordered_map<uint64_t, uint64_t>& true_frequencies,
+    size_t count) {
+  std::vector<std::pair<uint64_t, uint64_t>> items(true_frequencies.begin(),
+                                                   true_frequencies.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (items.size() > count) items.resize(count);
+  std::vector<uint64_t> keys;
+  keys.reserve(items.size());
+  for (const auto& [key, freq] : items) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace opthash::sketch

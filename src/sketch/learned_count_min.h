@@ -1,0 +1,64 @@
+#ifndef OPTHASH_SKETCH_LEARNED_COUNT_MIN_H_
+#define OPTHASH_SKETCH_LEARNED_COUNT_MIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sketch/count_min_sketch.h"
+
+namespace opthash::sketch {
+
+/// \brief The Learned Count-Min Sketch / "heavy-hitter" baseline
+/// (Hsu, Indyk, Katabi, Vakilian, ICLR 2019 — ref [8]; paper §2.2).
+///
+/// A heavy-hitter oracle flags a subset of keys; each flagged key gets a
+/// *unique* bucket that counts it exactly, and everything else goes to a
+/// standard Count-Min Sketch. Following the paper's memory accounting, a
+/// unique bucket stores both the counter and the (open-addressed) ID and
+/// therefore costs twice the space of a normal bucket:
+///
+///     b_random = b_total - 2 * b_heavy.
+///
+/// The paper evaluates the *ideal* oracle (true top-frequency IDs known in
+/// hindsight), which upper-bounds every realizable learned oracle; we do the
+/// same by passing the true heavy keys to the constructor.
+class LearnedCountMinSketch {
+ public:
+  /// \param total_buckets  overall budget b_total (4 bytes per bucket)
+  /// \param depth          CMS depth for the non-heavy remainder
+  /// \param heavy_keys     keys flagged by the oracle; must satisfy
+  ///                       2*|heavy_keys| < total_buckets so that at least
+  ///                       one bucket remains for the CMS
+  static Result<LearnedCountMinSketch> Create(
+      size_t total_buckets, size_t depth,
+      const std::vector<uint64_t>& heavy_keys, uint64_t seed);
+
+  void Update(uint64_t key, uint64_t count = 1);
+
+  uint64_t Estimate(uint64_t key) const;
+
+  size_t heavy_bucket_count() const { return heavy_counts_.size(); }
+  size_t TotalBuckets() const { return total_buckets_; }
+  size_t MemoryBytes() const { return total_buckets_ * sizeof(uint32_t); }
+  const CountMinSketch& remainder_sketch() const { return remainder_; }
+
+ private:
+  LearnedCountMinSketch(size_t total_buckets, CountMinSketch remainder,
+                        std::unordered_map<uint64_t, uint64_t> heavy_counts);
+
+  size_t total_buckets_;
+  CountMinSketch remainder_;
+  std::unordered_map<uint64_t, uint64_t> heavy_counts_;
+};
+
+/// \brief Selects the ideal heavy-hitter set: the `count` keys with the
+/// highest true frequencies. Ties are broken by key for determinism.
+std::vector<uint64_t> SelectTopKeys(
+    const std::unordered_map<uint64_t, uint64_t>& true_frequencies,
+    size_t count);
+
+}  // namespace opthash::sketch
+
+#endif  // OPTHASH_SKETCH_LEARNED_COUNT_MIN_H_

@@ -1,0 +1,71 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+MisraGries::MisraGries(size_t capacity) : capacity_(capacity) {
+  OPTHASH_CHECK_GE(capacity, 1u);
+  counters_.reserve(capacity);
+}
+
+void MisraGries::Update(uint64_t key, uint64_t count) {
+  total_count_ += count;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second += count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, count);
+    return;
+  }
+  // Decrement phase: subtract the largest amount that keeps every counter
+  // (and the incoming count) non-negative, evicting exhausted entries. A
+  // batched version of the classic decrement-all step.
+  uint64_t min_counter = count;
+  for (const auto& [tracked, counter] : counters_) {
+    min_counter = std::min(min_counter, counter);
+  }
+  for (auto entry = counters_.begin(); entry != counters_.end();) {
+    entry->second -= min_counter;
+    if (entry->second == 0) {
+      entry = counters_.erase(entry);
+    } else {
+      ++entry;
+    }
+  }
+  const uint64_t remaining = count - min_counter;
+  if (remaining > 0 && counters_.size() < capacity_) {
+    counters_.emplace(key, remaining);
+  }
+}
+
+uint64_t MisraGries::Estimate(uint64_t key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> MisraGries::HeavyEntries(
+    uint64_t threshold) const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (const auto& [key, counter] : counters_) {
+    if (counter >= threshold) entries.push_back({key, counter});
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return entries;
+}
+
+std::vector<uint64_t> MisraGries::TrackedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace opthash::sketch

@@ -1,0 +1,67 @@
+#ifndef OPTHASH_SKETCH_MISRA_GRIES_H_
+#define OPTHASH_SKETCH_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace opthash::sketch {
+
+/// \brief The Misra-Gries frequent-elements summary (Misra & Gries 1982,
+/// "Finding repeated elements" — the paper's ref [6], one of the first
+/// streaming algorithms).
+///
+/// Maintains at most `capacity` (key, counter) pairs. On an arrival of a
+/// tracked key its counter grows; an untracked key either claims a free
+/// slot or decrements every counter (evicting zeros). The resulting
+/// counter is a *lower* bound on the true count with
+///
+///     f_key - Estimate(key) <= total / (capacity + 1),
+///
+/// so every element with frequency above total/(capacity+1) is guaranteed
+/// to be tracked — the deterministic heavy-hitter guarantee. Used here as
+/// a realizable (non-ideal) heavy-hitter oracle for the Learned Count-Min
+/// Sketch baseline.
+class MisraGries {
+ public:
+  explicit MisraGries(size_t capacity);
+
+  void Update(uint64_t key, uint64_t count = 1);
+
+  /// Lower-bound estimate: the tracked counter, or 0 if untracked.
+  uint64_t Estimate(uint64_t key) const;
+
+  /// True iff the key currently owns a counter.
+  bool IsTracked(uint64_t key) const { return counters_.count(key) > 0; }
+
+  /// Keys whose counter is at least `threshold`, heaviest first.
+  std::vector<std::pair<uint64_t, uint64_t>> HeavyEntries(
+      uint64_t threshold = 1) const;
+
+  /// All currently tracked keys (unordered).
+  std::vector<uint64_t> TrackedKeys() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return counters_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+  /// Deterministic error bound: total / (capacity + 1).
+  double ErrorBound() const {
+    return static_cast<double>(total_count_) /
+           static_cast<double>(capacity_ + 1);
+  }
+
+  /// Memory in the paper's 4-byte-bucket unit: each tracked entry stores a
+  /// key and a counter (2 buckets), mirroring the LCMS unique-bucket cost.
+  size_t MemoryBuckets() const { return 2 * capacity_; }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint64_t, uint64_t> counters_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace opthash::sketch
+
+#endif  // OPTHASH_SKETCH_MISRA_GRIES_H_

@@ -1,0 +1,84 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace opthash::sketch {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  OPTHASH_CHECK_GE(capacity, 1u);
+  counters_.reserve(capacity);
+}
+
+void SpaceSaving::EraseFromOrder(uint64_t key, uint64_t count) {
+  auto it = by_count_.find(count);
+  OPTHASH_CHECK(it != by_count_.end());
+  auto& keys = it->second;
+  auto pos = std::find(keys.begin(), keys.end(), key);
+  OPTHASH_CHECK(pos != keys.end());
+  keys.erase(pos);
+  if (keys.empty()) by_count_.erase(it);
+}
+
+void SpaceSaving::Update(uint64_t key, uint64_t count) {
+  total_count_ += count;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    EraseFromOrder(key, it->second.count);
+    it->second.count += count;
+    by_count_[it->second.count].push_back(key);
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Entry{count, 0});
+    by_count_[count].push_back(key);
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its counter as
+  // the overestimation error.
+  auto min_it = by_count_.begin();
+  const uint64_t min_count = min_it->first;
+  const uint64_t victim = min_it->second.back();
+  min_it->second.pop_back();
+  if (min_it->second.empty()) by_count_.erase(min_it);
+  counters_.erase(victim);
+
+  Entry entry;
+  entry.count = min_count + count;
+  entry.error = min_count;
+  counters_.emplace(key, entry);
+  by_count_[entry.count].push_back(key);
+}
+
+uint64_t SpaceSaving::Estimate(uint64_t key) const {
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return it->second.count;
+  // Untracked key: while the table has free slots every arrival is
+  // tracked, so an untracked key has never arrived; once warm, its true
+  // count cannot exceed the minimum counter.
+  if (counters_.size() < capacity_) return 0;
+  return by_count_.begin()->first;
+}
+
+uint64_t SpaceSaving::ErrorOf(uint64_t key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second.error;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::GuaranteedHeavy(
+    uint64_t threshold) const {
+  std::vector<std::pair<uint64_t, uint64_t>> heavy;
+  for (const auto& [key, entry] : counters_) {
+    if (entry.count - entry.error >= threshold) {
+      heavy.push_back({key, entry.count});
+    }
+  }
+  std::sort(heavy.begin(), heavy.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return heavy;
+}
+
+}  // namespace opthash::sketch

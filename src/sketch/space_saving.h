@@ -1,0 +1,76 @@
+#ifndef OPTHASH_SKETCH_SPACE_SAVING_H_
+#define OPTHASH_SKETCH_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace opthash::sketch {
+
+/// \brief The Space-Saving summary (Metwally, Agrawal, El Abbadi 2005) —
+/// the other classic deterministic heavy-hitters structure, complementary
+/// to Misra-Gries: its per-key estimate *over*estimates (like the CMS) and
+/// it additionally tracks a per-key error bound.
+///
+/// Maintains exactly `capacity` counters once warm. An untracked arrival
+/// evicts the key with the smallest counter and inherits that counter as
+/// its initial (over)estimate; the inherited amount is remembered as the
+/// key's maximum overestimation. Guarantees:
+///
+///   Estimate(k) - error(k) <= f_k <= Estimate(k),
+///   Estimate(k) - f_k      <= total / capacity,
+///
+/// and any key with f_k > total/capacity is guaranteed tracked.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity);
+
+  void Update(uint64_t key, uint64_t count = 1);
+
+  /// Upper-bound estimate: the tracked counter, or the current minimum
+  /// counter (the tightest valid upper bound) if untracked.
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Maximum possible overestimation of a tracked key (0 if it never
+  /// inherited a counter); 0 for untracked keys.
+  uint64_t ErrorOf(uint64_t key) const;
+
+  bool IsTracked(uint64_t key) const { return counters_.count(key) > 0; }
+
+  /// Tracked keys with guaranteed count (counter - error) >= threshold,
+  /// heaviest first.
+  std::vector<std::pair<uint64_t, uint64_t>> GuaranteedHeavy(
+      uint64_t threshold) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return counters_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+  /// Deterministic bound total / capacity.
+  double ErrorBound() const {
+    return static_cast<double>(total_count_) / static_cast<double>(capacity_);
+  }
+
+  /// 2 units per entry (key + counter), plus 1 for the error field.
+  size_t MemoryBuckets() const { return 3 * capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  void EraseFromOrder(uint64_t key, uint64_t count);
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, Entry> counters_;
+  // count -> keys at that count; supports O(log) min-eviction.
+  std::map<uint64_t, std::vector<uint64_t>> by_count_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace opthash::sketch
+
+#endif  // OPTHASH_SKETCH_SPACE_SAVING_H_

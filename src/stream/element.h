@@ -1,0 +1,45 @@
+#ifndef OPTHASH_STREAM_ELEMENT_H_
+#define OPTHASH_STREAM_ELEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace opthash::stream {
+
+/// \brief One stream arrival: the element's unique key plus (optionally) a
+/// pointer to its feature vector. Matches the paper's u = (k, x) model.
+struct StreamItem {
+  uint64_t id = 0;
+  const std::vector<double>* features = nullptr;
+};
+
+/// \brief Exact ground-truth frequency oracle (the "trivial" counter the
+/// paper contrasts against). Used to score every estimator.
+class ExactCounter {
+ public:
+  void Add(uint64_t id, uint64_t count = 1) {
+    counts_[id] += count;
+    total_ += count;
+  }
+
+  uint64_t Count(uint64_t id) const {
+    auto it = counts_.find(id);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  uint64_t total() const { return total_; }
+  size_t NumDistinct() const { return counts_.size(); }
+  const std::unordered_map<uint64_t, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_ELEMENT_H_

@@ -1,0 +1,153 @@
+#include "stream/features.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace opthash::stream {
+
+BagOfWordsFeaturizer::BagOfWordsFeaturizer(size_t vocabulary_size)
+    : vocabulary_size_(vocabulary_size) {}
+
+std::vector<std::string> BagOfWordsFeaturizer::Tokenize(
+    const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void BagOfWordsFeaturizer::Fit(
+    const std::vector<std::pair<std::string, double>>& weighted_texts) {
+  std::unordered_map<std::string, double> token_weight;
+  for (const auto& [text, weight] : weighted_texts) {
+    for (const std::string& token : Tokenize(text)) {
+      token_weight[token] += weight;
+    }
+  }
+  std::vector<std::pair<std::string, double>> ranked(token_weight.begin(),
+                                                     token_weight.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // Deterministic tie-break.
+  });
+  if (ranked.size() > vocabulary_size_) ranked.resize(vocabulary_size_);
+
+  vocabulary_.clear();
+  token_index_.clear();
+  vocabulary_.reserve(ranked.size());
+  for (const auto& [token, weight] : ranked) {
+    token_index_.emplace(token, vocabulary_.size());
+    vocabulary_.push_back(token);
+  }
+  fitted_ = true;
+}
+
+std::vector<double> BagOfWordsFeaturizer::Featurize(
+    const std::string& text) const {
+  OPTHASH_CHECK_MSG(fitted_, "Featurize before Fit");
+  std::vector<double> features(FeatureDim(), 0.0);
+  for (const std::string& token : Tokenize(text)) {
+    auto it = token_index_.find(token);
+    if (it != token_index_.end()) features[it->second] += 1.0;
+  }
+  // The four §7.3 count features.
+  double chars = 0.0;
+  double punctuation = 0.0;
+  double dots = 0.0;
+  double spaces = 0.0;
+  for (char ch : text) {
+    const auto uch = static_cast<unsigned char>(ch);
+    if (uch < 128) chars += 1.0;
+    if (std::ispunct(uch)) punctuation += 1.0;
+    if (ch == '.') dots += 1.0;
+    if (std::isspace(uch)) spaces += 1.0;
+  }
+  const size_t base = vocabulary_.size();
+  features[base + 0] = chars;
+  features[base + 1] = punctuation;
+  features[base + 2] = dots;
+  features[base + 3] = spaces;
+  return features;
+}
+
+namespace {
+constexpr const char* kFeaturizerMagic = "opthash.bow.v1";
+}  // namespace
+
+void BagOfWordsFeaturizer::SerializeTo(std::ostream& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "Serialize before Fit");
+  out << kFeaturizerMagic << ' ' << vocabulary_size_ << ' '
+      << vocabulary_.size() << '\n';
+  // Tokens are lowercased alphanumerics (Tokenize output), so plain
+  // whitespace separation is unambiguous.
+  for (const std::string& token : vocabulary_) out << token << '\n';
+}
+
+std::string BagOfWordsFeaturizer::Serialize() const {
+  std::ostringstream out;
+  SerializeTo(out);
+  return out.str();
+}
+
+Result<BagOfWordsFeaturizer> BagOfWordsFeaturizer::DeserializeFrom(
+    std::istream& in) {
+  std::string magic;
+  size_t cap = 0;
+  size_t count = 0;
+  if (!(in >> magic >> cap >> count)) {
+    return Status::InvalidArgument("truncated featurizer header");
+  }
+  if (magic != kFeaturizerMagic) {
+    return Status::InvalidArgument("bad featurizer magic: " + magic);
+  }
+  if (count > cap) {
+    return Status::InvalidArgument("featurizer vocabulary exceeds its cap");
+  }
+  BagOfWordsFeaturizer featurizer(cap);
+  featurizer.vocabulary_.reserve(count);
+  for (size_t t = 0; t < count; ++t) {
+    std::string token;
+    if (!(in >> token)) {
+      return Status::InvalidArgument("truncated featurizer vocabulary");
+    }
+    featurizer.token_index_.emplace(token, featurizer.vocabulary_.size());
+    featurizer.vocabulary_.push_back(std::move(token));
+  }
+  featurizer.fitted_ = true;
+  return featurizer;
+}
+
+Result<BagOfWordsFeaturizer> BagOfWordsFeaturizer::Deserialize(
+    const std::string& blob) {
+  std::istringstream in(blob);
+  return DeserializeFrom(in);
+}
+
+std::string BagOfWordsFeaturizer::FeatureName(size_t index) const {
+  OPTHASH_CHECK_LT(index, FeatureDim());
+  if (index < vocabulary_.size()) return "word:" + vocabulary_[index];
+  switch (index - vocabulary_.size()) {
+    case 0:
+      return "num_ascii_chars";
+    case 1:
+      return "num_punctuation";
+    case 2:
+      return "num_dots";
+    default:
+      return "num_whitespaces";
+  }
+}
+
+}  // namespace opthash::stream

@@ -1,0 +1,57 @@
+#ifndef OPTHASH_STREAM_FEATURES_H_
+#define OPTHASH_STREAM_FEATURES_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opthash::stream {
+
+/// \brief The paper's §7.3 query featurization: "a simple bag-of-words
+/// approach [keeping] the 500 most common words in the training queries",
+/// plus four counts — ASCII characters, punctuation marks, dots, and
+/// whitespaces.
+class BagOfWordsFeaturizer {
+ public:
+  /// \param vocabulary_size number of most-common tokens to keep.
+  explicit BagOfWordsFeaturizer(size_t vocabulary_size = 500);
+
+  /// Learns the vocabulary from weighted training texts (weight = observed
+  /// query frequency, so "most common words" is frequency-weighted).
+  void Fit(const std::vector<std::pair<std::string, double>>& weighted_texts);
+
+  /// vocabulary token counts followed by the four count features.
+  std::vector<double> Featurize(const std::string& text) const;
+
+  /// Feature dimension = |vocabulary| + 4.
+  size_t FeatureDim() const { return vocabulary_.size() + 4; }
+
+  /// Human-readable name of feature `index` ("word:<token>" or a count).
+  std::string FeatureName(size_t index) const;
+
+  bool fitted() const { return fitted_; }
+  size_t VocabularySize() const { return vocabulary_.size(); }
+
+  /// Lowercased alphanumeric tokens of a text.
+  static std::vector<std::string> Tokenize(const std::string& text);
+
+  /// Portable text serialization of the fitted vocabulary, so a deployed
+  /// estimator can featurize queries identically to training time.
+  std::string Serialize() const;
+  void SerializeTo(std::ostream& out) const;
+  static Result<BagOfWordsFeaturizer> Deserialize(const std::string& blob);
+  static Result<BagOfWordsFeaturizer> DeserializeFrom(std::istream& in);
+
+ private:
+  size_t vocabulary_size_;
+  std::vector<std::string> vocabulary_;               // Index -> token.
+  std::unordered_map<std::string, size_t> token_index_;
+  bool fitted_ = false;
+};
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_FEATURES_H_

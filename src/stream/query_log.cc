@@ -1,0 +1,124 @@
+#include "stream/query_log.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace opthash::stream {
+
+namespace {
+
+// Navigational destinations: over-represented among head queries, exactly
+// as in the AOL log ("google" is rank 1, "www.yahoo.com" rank 10, ...).
+constexpr std::array<const char*, 24> kNavDomains = {
+    "google",   "yahoo",    "myspace",  "ebay",     "mapquest", "msn",
+    "aol",      "amazon",   "hotmail",  "craigslist", "bankofamerica",
+    "weather",  "ask",      "walmart",  "target",   "expedia",  "irs",
+    "monster",  "netflix",  "verizon",  "espn",     "cnn",      "imdb",
+    "webmd"};
+
+// Common query keywords for mid-frequency queries.
+constexpr std::array<const char*, 48> kCommonWords = {
+    "free",     "new",     "home",     "county",   "pictures", "lyrics",
+    "games",    "music",   "school",   "city",     "hotel",    "sale",
+    "real",     "estate",  "jobs",     "car",      "insurance", "phone",
+    "number",   "recipes", "dog",      "baby",     "wedding",  "online",
+    "casino",   "stone",   "sharon",   "high",     "best",     "cheap",
+    "movie",    "video",   "photo",    "news",     "sports",   "health",
+    "travel",   "bank",    "credit",   "card",     "college",  "university",
+    "florida",  "texas",   "york",     "beach",    "park",     "store"};
+
+constexpr std::array<const char*, 4> kTlds = {"com", "net", "org", "com"};
+
+}  // namespace
+
+Status QueryLogConfig::Validate() const {
+  if (num_queries == 0) return Status::InvalidArgument("num_queries >= 1");
+  if (arrivals_per_day == 0) {
+    return Status::InvalidArgument("arrivals_per_day >= 1");
+  }
+  if (num_days == 0) return Status::InvalidArgument("num_days >= 1");
+  if (zipf_s < 0.0) return Status::InvalidArgument("zipf_s >= 0");
+  return Status::OK();
+}
+
+QueryLog::QueryLog(const QueryLogConfig& config)
+    : config_(config), sampler_(config.num_queries, config.zipf_s) {
+  OPTHASH_CHECK_MSG(config.Validate().ok(), "invalid query log config");
+  texts_.resize(config_.num_queries);
+  for (size_t rank = 1; rank <= config_.num_queries; ++rank) {
+    // Per-rank RNG: the text of a rank is independent of the universe size.
+    Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * rank));
+    texts_[rank - 1] = GenerateText(rank, rng);
+  }
+}
+
+std::string QueryLog::GenerateText(size_t rank, Rng& rng) const {
+  auto tail_word = [&rng]() {
+    // Synthetic long-tail vocabulary ("w" + number) — stands in for the
+    // unbounded vocabulary of real queries.
+    return "w" + std::to_string(rng.NextBounded(4000));
+  };
+  auto common_word = [&rng]() {
+    return std::string(kCommonWords[rng.NextBounded(kCommonWords.size())]);
+  };
+
+  if (rank <= 2 * kNavDomains.size()) {
+    // Head: navigational. Even sub-ranks get the bare brand, odd get the
+    // full www.<domain>.<tld> form.
+    const char* domain = kNavDomains[(rank - 1) / 2];
+    if (rank % 2 == 1) return domain;
+    return "www." + std::string(domain) + "." +
+           kTlds[rng.NextBounded(kTlds.size())];
+  }
+  if (rank <= 600) {
+    // Upper-mid: either a domain query or one/two common keywords.
+    if (rng.NextBernoulli(0.4)) {
+      return "www." + common_word() + "." + kTlds[rng.NextBounded(kTlds.size())];
+    }
+    std::string text = common_word();
+    if (rng.NextBernoulli(0.5)) text += " " + common_word();
+    return text;
+  }
+  if (rank <= 6000) {
+    // Mid: two-to-three keyword queries.
+    std::string text = common_word();
+    const size_t extra = 1 + rng.NextBounded(2);
+    for (size_t w = 0; w < extra; ++w) {
+      text += " " + (rng.NextBernoulli(0.7) ? common_word() : tail_word());
+    }
+    return text;
+  }
+  // Tail: long multi-word phrases, occasionally with punctuation.
+  const size_t words = 3 + rng.NextBounded(4);
+  std::string text;
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) text += " ";
+    text += rng.NextBernoulli(0.35) ? common_word() : tail_word();
+  }
+  if (rng.NextBernoulli(0.15)) text += "?";
+  if (rng.NextBernoulli(0.1)) text += ".";
+  return text;
+}
+
+const std::string& QueryLog::QueryText(size_t rank) const {
+  OPTHASH_CHECK_GE(rank, 1u);
+  OPTHASH_CHECK_LE(rank, config_.num_queries);
+  return texts_[rank - 1];
+}
+
+double QueryLog::Probability(size_t rank) const {
+  return sampler_.Probability(rank);
+}
+
+std::vector<size_t> QueryLog::GenerateDay(size_t day) const {
+  OPTHASH_CHECK_LT(day, config_.num_days);
+  Rng rng(config_.seed + 0x517CC1B727220A95ULL * (day + 1));
+  std::vector<size_t> arrivals(config_.arrivals_per_day);
+  for (size_t t = 0; t < arrivals.size(); ++t) {
+    arrivals[t] = sampler_.Sample(rng);
+  }
+  return arrivals;
+}
+
+}  // namespace opthash::stream

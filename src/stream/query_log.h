@@ -1,0 +1,76 @@
+#ifndef OPTHASH_STREAM_QUERY_LOG_H_
+#define OPTHASH_STREAM_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace opthash::stream {
+
+/// \brief Parameters of the synthetic search-query log.
+struct QueryLogConfig {
+  /// Universe of unique queries (the AOL log has 3.8M; we default to a
+  /// 50k-query scale-down that keeps every code path hot in CI time).
+  size_t num_queries = 50000;
+  /// Arrivals per simulated day (AOL: ~230k/day).
+  size_t arrivals_per_day = 4000;
+  /// Days in the log (AOL: 90).
+  size_t num_days = 90;
+  /// Zipf exponent. Calibrated from the paper's reported rank/frequency
+  /// anchors (rank 1 = 251,463; 10 = 37,436; 100 = 5,237; 1,000 = 926;
+  /// 10,000 = 146), which fit f(r) ∝ r^-s with s ≈ 0.82.
+  double zipf_s = 0.82;
+  uint64_t seed = 2006;
+
+  Status Validate() const;
+};
+
+/// \brief AOL-query-log substitute (see DESIGN.md §1 for the substitution
+/// rationale).
+///
+/// Queries are identified by rank (1 = most frequent); arrivals are i.i.d.
+/// Zipf(s) draws, which automatically makes head queries persist across
+/// days — the temporal property §7 relies on ("popular search queries tend
+/// to appear consistently across multiple days"). Query *text* is generated
+/// deterministically per rank with a shape that correlates with frequency:
+/// head ranks are navigational ("google", "www.ebay.com"), mid ranks are
+/// 1-3 keyword queries, tail ranks are long multi-word phrases. This
+/// reproduces the feature/frequency association the paper's classifier
+/// exploits (its top importances: char/dot/punct/space counts and the
+/// tokens "com", "www", "google", "yahoo").
+class QueryLog {
+ public:
+  explicit QueryLog(const QueryLogConfig& config);
+
+  size_t NumQueries() const { return config_.num_queries; }
+  size_t NumDays() const { return config_.num_days; }
+
+  /// Query text for a rank in [1, NumQueries()].
+  const std::string& QueryText(size_t rank) const;
+
+  /// Stable unique ID of a query (its rank).
+  uint64_t QueryId(size_t rank) const { return rank; }
+
+  /// Arrival probability of a rank under the Zipf law.
+  double Probability(size_t rank) const;
+
+  /// The arrivals (query ranks) of one day; deterministic given the seed
+  /// and the day index. Day 0 is the observed prefix in §7.
+  std::vector<size_t> GenerateDay(size_t day) const;
+
+  const QueryLogConfig& config() const { return config_; }
+
+ private:
+  std::string GenerateText(size_t rank, Rng& rng) const;
+
+  QueryLogConfig config_;
+  ZipfSampler sampler_;
+  std::vector<std::string> texts_;  // texts_[rank - 1]
+};
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_QUERY_LOG_H_

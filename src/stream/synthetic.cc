@@ -1,0 +1,101 @@
+#include "stream/synthetic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace opthash::stream {
+
+Status SyntheticConfig::Validate() const {
+  if (num_groups == 0) return Status::InvalidArgument("num_groups must be >= 1");
+  if (feature_dim == 0) return Status::InvalidArgument("feature_dim must be >= 1");
+  if (fraction_seen <= 0.0 || fraction_seen > 1.0) {
+    return Status::InvalidArgument("fraction_seen must lie in (0, 1]");
+  }
+  if (coord_range <= 0.0) {
+    return Status::InvalidArgument("coord_range must be positive");
+  }
+  return Status::OK();
+}
+
+SyntheticWorld::SyntheticWorld(const SyntheticConfig& config)
+    : config_(config) {
+  OPTHASH_CHECK_MSG(config.Validate().ok(), "invalid synthetic config");
+  Rng rng(config_.seed);
+
+  const size_t g_count = config_.num_groups;
+  group_size_.resize(g_count);
+  group_start_.resize(g_count);
+  eligible_size_.resize(g_count);
+  group_weights_.resize(g_count);
+
+  size_t total = 0;
+  double weight_sum = 0.0;
+  for (size_t g = 1; g <= g_count; ++g) {
+    group_start_[g - 1] = total;
+    group_size_[g - 1] = size_t{1} << (config_.min_group_exponent + g);
+    total += group_size_[g - 1];
+    group_weights_[g - 1] = 1.0 / static_cast<double>(g);
+    weight_sum += group_weights_[g - 1];
+    // At least one eligible element per group.
+    eligible_size_[g - 1] = static_cast<size_t>(std::max(
+        1.0, std::floor(config_.fraction_seen *
+                        static_cast<double>(group_size_[g - 1]))));
+  }
+  for (double& w : group_weights_) w /= weight_sum;
+
+  group_of_.resize(total);
+  features_.resize(total);
+  prefix_eligible_.assign(total, false);
+
+  for (size_t g = 1; g <= g_count; ++g) {
+    // Group mean drawn uniformly from the coordinate box.
+    std::vector<double> mean(config_.feature_dim);
+    for (double& m : mean) {
+      m = rng.NextDouble(-config_.coord_range, config_.coord_range);
+    }
+    const size_t start = group_start_[g - 1];
+    for (size_t offset = 0; offset < group_size_[g - 1]; ++offset) {
+      const size_t element = start + offset;
+      group_of_[element] = g;
+      features_[element].resize(config_.feature_dim);
+      for (size_t d = 0; d < config_.feature_dim; ++d) {
+        features_[element][d] = mean[d] + rng.NextGaussian();
+      }
+      prefix_eligible_[element] = offset < eligible_size_[g - 1];
+    }
+  }
+}
+
+size_t SyntheticWorld::SampleElement(Rng& rng, bool prefix_only) const {
+  const size_t g = rng.SampleDiscrete(group_weights_);  // 0-indexed group.
+  const size_t pool =
+      prefix_only ? eligible_size_[g] : group_size_[g];
+  return group_start_[g] + rng.NextBounded(pool);
+}
+
+std::vector<size_t> SyntheticWorld::GenerateStream(size_t length,
+                                                   Rng& rng) const {
+  std::vector<size_t> arrivals(length);
+  for (size_t t = 0; t < length; ++t) {
+    arrivals[t] = SampleElement(rng, /*prefix_only=*/false);
+  }
+  return arrivals;
+}
+
+std::vector<size_t> SyntheticWorld::GeneratePrefix(size_t length,
+                                                   Rng& rng) const {
+  std::vector<size_t> arrivals(length);
+  for (size_t t = 0; t < length; ++t) {
+    arrivals[t] = SampleElement(rng, /*prefix_only=*/true);
+  }
+  return arrivals;
+}
+
+double SyntheticWorld::ArrivalProbability(size_t element) const {
+  OPTHASH_CHECK_LT(element, NumElements());
+  const size_t g = group_of_[element];  // 1-indexed.
+  return group_weights_[g - 1] / static_cast<double>(group_size_[g - 1]);
+}
+
+}  // namespace opthash::stream

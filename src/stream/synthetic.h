@@ -1,0 +1,89 @@
+#ifndef OPTHASH_STREAM_SYNTHETIC_H_
+#define OPTHASH_STREAM_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace opthash::stream {
+
+/// \brief Parameters of the paper's synthetic generator (§6.1).
+struct SyntheticConfig {
+  /// G: number of element groups; group g has 2^(G0+g) elements.
+  size_t num_groups = 6;
+  /// G0: exponent offset of the smallest group (the paper uses 2).
+  size_t min_group_exponent = 2;
+  /// p: feature dimension (the paper uses 2 to enable visualization).
+  size_t feature_dim = 2;
+  /// g0: fraction of each group's elements eligible to appear in the prefix.
+  double fraction_seen = 0.5;
+  /// Group means are drawn uniformly from [-coord_range, coord_range]^p.
+  double coord_range = 10.0;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief The synthetic universe + stream process of §6.1.
+///
+/// Elements are partitioned into G groups of exponentially increasing sizes
+/// 2^(G0+1), ..., 2^(G0+G). Each group g carries a p-dimensional Gaussian
+/// N(mu_g, I); element features are i.i.d. draws from their group's
+/// Gaussian. Arrivals first pick a group with probability proportional to
+/// 1/g, then an element uniformly within the group — so small groups hold
+/// the heavy hitters. Prefix arrivals are restricted to the first
+/// g0-fraction of each group (chosen uniformly within the group with
+/// probability 1/(g0 |G_g|)), modelling elements that only start appearing
+/// later in the stream.
+class SyntheticWorld {
+ public:
+  explicit SyntheticWorld(const SyntheticConfig& config);
+
+  /// Total universe size sum_g 2^(G0+g).
+  size_t NumElements() const { return group_of_.size(); }
+  size_t NumGroups() const { return config_.num_groups; }
+
+  /// Paper's default prefix length |S0| = 10 * 2^G.
+  size_t DefaultPrefixLength() const {
+    return 10 * (size_t{1} << config_.num_groups);
+  }
+
+  /// 1-indexed group of an element.
+  size_t GroupOf(size_t element) const { return group_of_[element]; }
+  const std::vector<double>& FeaturesOf(size_t element) const {
+    return features_[element];
+  }
+  /// True if the element may appear in the prefix.
+  bool PrefixEligible(size_t element) const {
+    return prefix_eligible_[element];
+  }
+
+  /// Draws `length` arrivals from the full stream distribution.
+  std::vector<size_t> GenerateStream(size_t length, Rng& rng) const;
+
+  /// Draws `length` arrivals restricted to prefix-eligible elements.
+  std::vector<size_t> GeneratePrefix(size_t length, Rng& rng) const;
+
+  /// True arrival probability of an element under the full distribution.
+  double ArrivalProbability(size_t element) const;
+
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  size_t SampleElement(Rng& rng, bool prefix_only) const;
+
+  SyntheticConfig config_;
+  std::vector<size_t> group_of_;               // 1-indexed group per element.
+  std::vector<std::vector<double>> features_;  // Per element.
+  std::vector<bool> prefix_eligible_;
+  std::vector<size_t> group_start_;   // First element index of each group.
+  std::vector<size_t> group_size_;    // |G_g| per group (index 0 = group 1).
+  std::vector<size_t> eligible_size_; // Eligible count per group.
+  std::vector<double> group_weights_; // Arrival weight 1/g, normalized.
+};
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_SYNTHETIC_H_

@@ -1,0 +1,53 @@
+#include "stream/trace_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/csv_reader.h"
+#include "common/csv_writer.h"
+
+namespace opthash::stream {
+
+Result<std::vector<TraceRecord>> ReadTraceCsv(const std::string& path) {
+  auto parsed = ReadCsvFile(path);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("trace file is empty: " + path);
+  }
+  const auto& header = rows.front();
+  if (header.empty() || header[0] != "id") {
+    return Status::InvalidArgument(
+        "trace header must start with an 'id' column");
+  }
+  const bool has_text = header.size() >= 2 && header[1] == "text";
+
+  std::vector<TraceRecord> records;
+  records.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
+    TraceRecord record;
+    errno = 0;
+    char* end = nullptr;
+    record.id = std::strtoull(row[0].c_str(), &end, 10);
+    if (errno != 0 || end == row[0].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad id at trace row " +
+                                     std::to_string(r) + ": '" + row[0] + "'");
+    }
+    if (has_text && row.size() >= 2) record.text = row[1];
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<TraceRecord>& records) {
+  CsvWriter csv({"id", "text"});
+  for (const TraceRecord& record : records) {
+    csv.AddRow({std::to_string(record.id), record.text});
+  }
+  return csv.WriteFile(path);
+}
+
+}  // namespace opthash::stream

@@ -1,0 +1,35 @@
+#ifndef OPTHASH_STREAM_TRACE_IO_H_
+#define OPTHASH_STREAM_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opthash::stream {
+
+/// \brief One arrival in an on-disk stream trace: an element key and the
+/// free-text payload its features are derived from (e.g. the query text).
+/// An empty text is allowed for key-only workloads.
+struct TraceRecord {
+  uint64_t id = 0;
+  std::string text;
+
+  bool operator==(const TraceRecord& other) const {
+    return id == other.id && text == other.text;
+  }
+};
+
+/// \brief Reads a trace from a CSV file with header `id,text` (the text
+/// column may be omitted for key-only traces). Lets users run the
+/// estimators and the CLI on their own data.
+Result<std::vector<TraceRecord>> ReadTraceCsv(const std::string& path);
+
+/// \brief Writes a trace as CSV (`id,text` header).
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<TraceRecord>& records);
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_TRACE_IO_H_

@@ -1,0 +1,169 @@
+#include "core/adaptive_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::core {
+namespace {
+
+std::vector<PrefixElement> TwoTierPrefix(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PrefixElement> prefix;
+  for (size_t i = 0; i < 10; ++i) {
+    prefix.push_back({.id = 100 + i,
+                      .frequency = 50.0,
+                      .features = {4.0 + rng.NextGaussian() * 0.1}});
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    prefix.push_back({.id = 200 + i,
+                      .frequency = 2.0,
+                      .features = {-4.0 + rng.NextGaussian() * 0.1}});
+  }
+  return prefix;
+}
+
+OptHashEstimator TrainBase(uint64_t seed) {
+  OptHashConfig config;
+  config.total_buckets = 30;
+  config.id_ratio = 0.5;
+  config.solver = SolverKind::kDp;
+  config.classifier = ClassifierKind::kCart;
+  auto result = OptHashEstimator::Train(config, TwoTierPrefix(seed));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<uint64_t> PrefixIds() {
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < 10; ++i) ids.push_back(100 + i);
+  for (size_t i = 0; i < 10; ++i) ids.push_back(200 + i);
+  return ids;
+}
+
+AdaptiveConfig SmallAdaptiveConfig() {
+  AdaptiveConfig config;
+  config.bloom_fpr = 0.01;
+  config.expected_distinct = 1000;
+  return config;
+}
+
+TEST(AdaptiveEstimatorTest, NeverSeenElementEstimatesZero) {
+  AdaptiveOptHashEstimator adaptive(TrainBase(1), SmallAdaptiveConfig(),
+                                    PrefixIds());
+  const std::vector<double> features = {4.0};
+  const stream::StreamItem never_seen{987654, &features};
+  EXPECT_DOUBLE_EQ(adaptive.Estimate(never_seen), 0.0);
+}
+
+TEST(AdaptiveEstimatorTest, PrefixElementsStartSeen) {
+  AdaptiveOptHashEstimator adaptive(TrainBase(2), SmallAdaptiveConfig(),
+                                    PrefixIds());
+  const stream::StreamItem heavy{100, nullptr};
+  EXPECT_GT(adaptive.Estimate(heavy), 10.0);
+}
+
+TEST(AdaptiveEstimatorTest, TracksNewElementsUnlikeStaticMode) {
+  // A brand-new element arrives repeatedly: the static estimator ignores
+  // it, the adaptive one tracks it through the classifier + Bloom filter.
+  // Training is deterministic, so two identically configured estimators
+  // share the same learned scheme.
+  OptHashEstimator static_estimator = TrainBase(3);
+  AdaptiveOptHashEstimator adaptive(TrainBase(3), SmallAdaptiveConfig(),
+                                    PrefixIds());
+
+  const std::vector<double> light_features = {-4.0};
+  const stream::StreamItem newcomer{555555, &light_features};
+  for (int rep = 0; rep < 30; ++rep) {
+    static_estimator.Update(newcomer);
+    adaptive.Update(newcomer);
+  }
+  // Static: still not in the table, estimate unchanged by updates.
+  // Adaptive: the newcomer was counted into its (light) bucket.
+  EXPECT_GT(adaptive.Estimate(newcomer), 0.0);
+  // The light bucket average rose above the static one because 30 arrivals
+  // were added against one extra distinct element.
+  EXPECT_GT(adaptive.Estimate(newcomer),
+            0.9 * static_estimator.Estimate(newcomer));
+}
+
+TEST(AdaptiveEstimatorTest, SeenArrivalDoesNotIncreaseDistinctCount) {
+  AdaptiveOptHashEstimator adaptive(TrainBase(4), SmallAdaptiveConfig(),
+                                    PrefixIds());
+  const stream::StreamItem tracked{100, nullptr};
+  const double before = adaptive.Estimate(tracked);
+  // 10 arrivals of an already-seen element raise phi_j but not c_j, so the
+  // estimate strictly increases.
+  for (int rep = 0; rep < 10; ++rep) adaptive.Update(tracked);
+  EXPECT_GT(adaptive.Estimate(tracked), before);
+}
+
+TEST(AdaptiveEstimatorTest, OverestimationBiasUnderBloomFalsePositives) {
+  // Force a tiny Bloom filter so false positives are common; the estimator
+  // must then *over*estimate on average (paper §5.3's bias analysis).
+  OptHashEstimator base = TrainBase(5);
+  AdaptiveConfig config;
+  config.bloom_fpr = 0.5;  // Deliberately poor filter.
+  config.expected_distinct = 10;
+  AdaptiveOptHashEstimator adaptive(std::move(base), config, PrefixIds());
+
+  // Stream: 300 distinct fresh elements, each arriving exactly 4 times.
+  Rng rng(6);
+  const std::vector<double> light_features = {-4.0};
+  std::vector<stream::StreamItem> fresh;
+  for (uint64_t i = 0; i < 300; ++i) {
+    fresh.push_back({10000 + i, &light_features});
+  }
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& item : fresh) adaptive.Update(item);
+  }
+  double signed_error = 0.0;
+  for (const auto& item : fresh) {
+    signed_error += adaptive.Estimate(item) - 4.0;
+  }
+  EXPECT_GT(signed_error / 300.0, 0.0);
+}
+
+TEST(AdaptiveEstimatorTest, AccurateOnFreshElementsWithGoodBloom) {
+  OptHashEstimator base = TrainBase(7);
+  AdaptiveConfig config;
+  config.bloom_fpr = 0.001;
+  config.expected_distinct = 5000;
+  AdaptiveOptHashEstimator adaptive(std::move(base), config, PrefixIds());
+
+  const std::vector<double> light_features = {-4.0};
+  std::vector<stream::StreamItem> fresh;
+  for (uint64_t i = 0; i < 200; ++i) {
+    fresh.push_back({20000 + i, &light_features});
+  }
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const auto& item : fresh) adaptive.Update(item);
+  }
+  // All fresh elements landed in light buckets with 5 arrivals each; the
+  // initial 10 light prefix elements (freq 2, count 10) dilute the average
+  // only mildly. Estimates should be in the right ballpark of 5.
+  double total = 0.0;
+  for (const auto& item : fresh) total += adaptive.Estimate(item);
+  const double mean_estimate = total / 200.0;
+  EXPECT_GT(mean_estimate, 2.0);
+  EXPECT_LT(mean_estimate, 9.0);
+}
+
+TEST(AdaptiveEstimatorTest, MemoryIncludesBloomFilter) {
+  OptHashEstimator base = TrainBase(8);
+  const size_t base_memory = base.MemoryBuckets();
+  AdaptiveOptHashEstimator adaptive(std::move(base), SmallAdaptiveConfig(),
+                                    PrefixIds());
+  EXPECT_GT(adaptive.MemoryBuckets(), base_memory);
+  EXPECT_EQ(adaptive.MemoryBuckets(),
+            base_memory + (adaptive.bloom().MemoryBytes() + 3) / 4);
+}
+
+TEST(AdaptiveEstimatorTest, NameDistinguishesMode) {
+  AdaptiveOptHashEstimator adaptive(TrainBase(9), SmallAdaptiveConfig(),
+                                    PrefixIds());
+  EXPECT_STREQ(adaptive.Name(), "opt-hash-adaptive");
+}
+
+}  // namespace
+}  // namespace opthash::core

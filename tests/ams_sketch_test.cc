@@ -1,0 +1,102 @@
+#include "sketch/ams_sketch.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+double TrueF2(const std::unordered_map<uint64_t, int64_t>& freqs) {
+  double f2 = 0.0;
+  for (const auto& [key, f] : freqs) {
+    f2 += static_cast<double>(f) * static_cast<double>(f);
+  }
+  return f2;
+}
+
+TEST(AmsSketchTest, SingleKeyExact) {
+  AmsSketch sketch(5, 8, 1);
+  for (int rep = 0; rep < 10; ++rep) sketch.Update(42);
+  // Only one key: every atom holds ±10, so Z² = 100 exactly.
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 100.0);
+}
+
+TEST(AmsSketchTest, EstimatesF2WithinTolerance) {
+  Rng rng(2);
+  ZipfSampler zipf(1000, 1.0);
+  std::unordered_map<uint64_t, int64_t> truth;
+  AmsSketch sketch(9, 32, 3);
+  for (int t = 0; t < 50000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  const double f2 = TrueF2(truth);
+  EXPECT_NEAR(sketch.EstimateF2(), f2, 0.35 * f2);
+}
+
+TEST(AmsSketchTest, MedianOfMeansTightensWithMoreEstimators) {
+  // Average relative error over several streams must shrink as the
+  // per-group estimator count grows.
+  auto mean_relative_error = [](size_t per_group) {
+    double total = 0.0;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Rng rng(100 + seed);
+      std::unordered_map<uint64_t, int64_t> truth;
+      AmsSketch sketch(5, per_group, 200 + seed);
+      for (int t = 0; t < 20000; ++t) {
+        const uint64_t key = rng.NextBounded(500);
+        sketch.Update(key);
+        ++truth[key];
+      }
+      const double f2 = TrueF2(truth);
+      total += std::abs(sketch.EstimateF2() - f2) / f2;
+    }
+    return total / 8.0;
+  };
+  EXPECT_LT(mean_relative_error(64), mean_relative_error(2) + 0.02);
+}
+
+TEST(AmsSketchTest, SupportsDeletions) {
+  // The tug-of-war sketch is a linear sketch: deletions (negative counts)
+  // cancel exactly.
+  AmsSketch sketch(5, 8, 4);
+  for (uint64_t key = 0; key < 50; ++key) sketch.Update(key, 3);
+  for (uint64_t key = 0; key < 50; ++key) sketch.Update(key, -3);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+}
+
+TEST(AmsSketchTest, GeometryAccessors) {
+  AmsSketch sketch(7, 16, 5);
+  EXPECT_EQ(sketch.groups(), 7u);
+  EXPECT_EQ(sketch.estimators_per_group(), 16u);
+  EXPECT_EQ(sketch.TotalCounters(), 112u);
+  EXPECT_EQ(sketch.MemoryBuckets(), 224u);
+}
+
+TEST(AmsSketchTest, UnbiasedOverSketchRandomness) {
+  // Mean estimate over many independent sketches approaches the true F2.
+  Rng rng(6);
+  std::unordered_map<uint64_t, int64_t> truth;
+  std::vector<uint64_t> stream(5000);
+  for (auto& key : stream) {
+    key = rng.NextBounded(100);
+    ++truth[key];
+  }
+  const double f2 = TrueF2(truth);
+  double total = 0.0;
+  constexpr int kSketches = 60;
+  for (int s = 0; s < kSketches; ++s) {
+    AmsSketch sketch(1, 4, 1000 + static_cast<uint64_t>(s));
+    for (uint64_t key : stream) sketch.Update(key);
+    total += sketch.EstimateF2();
+  }
+  EXPECT_NEAR(total / kSketches, f2, 0.25 * f2);
+}
+
+}  // namespace
+}  // namespace opthash::sketch

@@ -1,0 +1,95 @@
+#include "core/baseline_estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/element.h"
+
+namespace opthash::core {
+namespace {
+
+TEST(CountMinEstimatorTest, WidthSplitsBudgetAcrossDepth) {
+  CountMinEstimator estimator(120, 4, 1);
+  EXPECT_EQ(estimator.sketch().depth(), 4u);
+  EXPECT_EQ(estimator.sketch().width(), 30u);
+  EXPECT_EQ(estimator.MemoryBuckets(), 120u);
+}
+
+TEST(CountMinEstimatorTest, UpdateEstimateRoundTrip) {
+  CountMinEstimator estimator(4096, 2, 2);
+  const stream::StreamItem item{42, nullptr};
+  for (int rep = 0; rep < 7; ++rep) estimator.Update(item);
+  EXPECT_GE(estimator.Estimate(item), 7.0);
+}
+
+TEST(CountMinEstimatorTest, NeverUnderestimates) {
+  CountMinEstimator estimator(64, 2, 3);
+  stream::ExactCounter truth;
+  Rng rng(4);
+  for (int t = 0; t < 10000; ++t) {
+    const uint64_t id = rng.NextBounded(400);
+    estimator.Update({id, nullptr});
+    truth.Add(id);
+  }
+  for (const auto& [id, count] : truth.counts()) {
+    EXPECT_GE(estimator.Estimate({id, nullptr}),
+              static_cast<double>(count));
+  }
+}
+
+TEST(CountSketchEstimatorTest, NonNegativeEstimates) {
+  CountSketchEstimator estimator(64, 3, 5);
+  Rng rng(6);
+  for (int t = 0; t < 5000; ++t) {
+    estimator.Update({rng.NextBounded(300), nullptr});
+  }
+  for (uint64_t id = 0; id < 300; ++id) {
+    EXPECT_GE(estimator.Estimate({id, nullptr}), 0.0);
+  }
+  EXPECT_EQ(estimator.MemoryBuckets(), 63u);  // 3 * (64/3 = 21).
+}
+
+TEST(LearnedCmsEstimatorTest, HeavyKeysExact) {
+  auto result = LearnedCmsEstimator::Create(100, 2, {7, 8}, 7);
+  ASSERT_TRUE(result.ok());
+  LearnedCmsEstimator& estimator = result.value();
+  for (int rep = 0; rep < 25; ++rep) estimator.Update({7, nullptr});
+  EXPECT_DOUBLE_EQ(estimator.Estimate({7, nullptr}), 25.0);
+  EXPECT_DOUBLE_EQ(estimator.Estimate({8, nullptr}), 0.0);
+  EXPECT_EQ(estimator.MemoryBuckets(), 100u);
+}
+
+TEST(LearnedCmsEstimatorTest, CreateRejectsOversizedHeavySet) {
+  std::vector<uint64_t> heavy(60);
+  for (size_t i = 0; i < heavy.size(); ++i) heavy[i] = i;
+  EXPECT_FALSE(LearnedCmsEstimator::Create(100, 2, heavy, 8).ok());
+}
+
+TEST(BaselineNamesTest, MatchPaperLabels) {
+  CountMinEstimator cms(64, 2, 1);
+  CountSketchEstimator cs(64, 2, 1);
+  auto lcms = LearnedCmsEstimator::Create(64, 2, {1}, 1);
+  ASSERT_TRUE(lcms.ok());
+  EXPECT_STREQ(cms.Name(), "count-min");
+  EXPECT_STREQ(cs.Name(), "count-sketch");
+  EXPECT_STREQ(lcms.value().Name(), "heavy-hitter");
+}
+
+TEST(BaselinePolymorphismTest, UsableThroughInterface) {
+  std::vector<std::unique_ptr<FrequencyEstimator>> estimators;
+  estimators.push_back(std::make_unique<CountMinEstimator>(128, 2, 1));
+  estimators.push_back(std::make_unique<CountSketchEstimator>(128, 3, 2));
+  for (auto& estimator : estimators) {
+    for (int rep = 0; rep < 10; ++rep) estimator->Update({5, nullptr});
+    EXPECT_GE(estimator->Estimate({5, nullptr}), 5.0) << estimator->Name();
+    EXPECT_GT(estimator->MemoryKb(), 0.0);
+  }
+}
+
+TEST(MemoryKbTest, FourBytesPerBucket) {
+  CountMinEstimator estimator(1000, 1, 1);
+  EXPECT_DOUBLE_EQ(estimator.MemoryKb(), 4.0);
+}
+
+}  // namespace
+}  // namespace opthash::core

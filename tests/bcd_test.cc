@@ -1,0 +1,198 @@
+#include "opt/bcd.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/dp.h"
+#include "opt_test_util.h"
+
+namespace opthash::opt {
+namespace {
+
+TEST(BcdTest, ObjectiveMatchesSweepBookkeeping) {
+  // The incremental objective recorded after the last sweep must agree with
+  // the authoritative from-scratch evaluation.
+  const HashingProblem problem = testutil::RandomProblem(60, 5, 0.5, 2, 1);
+  BcdSolver solver;
+  const SolveResult result = solver.Solve(problem);
+  ASSERT_FALSE(result.sweep_objectives.empty());
+  EXPECT_NEAR(result.sweep_objectives.back(), result.objective.overall, 1e-6);
+}
+
+TEST(BcdTest, SweepObjectivesNonIncreasing) {
+  // Every accepted move minimizes the total error, so sweeps can only
+  // improve — the key convergence property of Algorithm 1.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(80, 6, 0.3, 2, seed);
+    BcdConfig config;
+    config.seed = seed;
+    BcdSolver solver(config);
+    const SolveResult result = solver.Solve(problem);
+    for (size_t t = 1; t < result.sweep_objectives.size(); ++t) {
+      EXPECT_LE(result.sweep_objectives[t],
+                result.sweep_objectives[t - 1] + 1e-9);
+    }
+  }
+}
+
+TEST(BcdTest, ImprovesOverRandomInitialization) {
+  const HashingProblem problem = testutil::RandomProblem(100, 8, 1.0, 0, 2);
+  Rng rng(7);
+  Assignment initial = InitializeAssignment(problem, InitStrategy::kRandom, rng);
+  const double initial_value = EvaluateObjective(problem, initial).overall;
+  BcdSolver solver;
+  const SolveResult result = solver.SolveFrom(problem, initial);
+  EXPECT_LT(result.objective.overall, initial_value);
+}
+
+TEST(BcdTest, NearOptimalOnTinyInstancesLambdaOne) {
+  // Against brute force, BCD with restarts should land within a small
+  // factor of the optimum on tiny instances.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const HashingProblem problem = testutil::RandomProblem(8, 3, 1.0, 0, seed);
+    const double brute = testutil::BruteForceOptimum(problem);
+    BcdConfig config;
+    config.num_restarts = 5;
+    config.seed = seed;
+    BcdSolver solver(config);
+    const SolveResult result = solver.Solve(problem);
+    EXPECT_LE(result.objective.overall, brute * 1.2 + 1e-6) << "seed " << seed;
+    EXPECT_GE(result.objective.overall, brute - 1e-9);
+  }
+}
+
+TEST(BcdTest, NearOptimalOnTinyInstancesMixedLambda) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const HashingProblem problem = testutil::RandomProblem(7, 3, 0.5, 2, seed);
+    const double brute = testutil::BruteForceOptimum(problem);
+    BcdConfig config;
+    config.num_restarts = 8;
+    config.seed = seed;
+    BcdSolver solver(config);
+    const SolveResult result = solver.Solve(problem);
+    EXPECT_LE(result.objective.overall, brute * 1.25 + 1e-6)
+        << "seed " << seed;
+    EXPECT_GE(result.objective.overall, brute - 1e-9);
+  }
+}
+
+TEST(BcdTest, LocalOptimumIsStableUnderReSolve) {
+  // Running BCD again from its own solution must not change the objective
+  // (a local optimum has no improving single-element move).
+  const HashingProblem problem = testutil::RandomProblem(50, 4, 0.6, 2, 3);
+  BcdSolver solver;
+  const SolveResult first = solver.Solve(problem);
+  const SolveResult second = solver.SolveFrom(problem, first.assignment);
+  EXPECT_NEAR(second.objective.overall, first.objective.overall, 1e-9);
+}
+
+TEST(BcdTest, RestartsNeverHurt) {
+  const HashingProblem problem = testutil::RandomProblem(40, 5, 0.5, 2, 4);
+  BcdConfig one;
+  one.num_restarts = 1;
+  one.seed = 11;
+  BcdConfig many = one;
+  many.num_restarts = 6;
+  const SolveResult single = BcdSolver(one).Solve(problem);
+  const SolveResult multi = BcdSolver(many).Solve(problem);
+  EXPECT_LE(multi.objective.overall, single.objective.overall + 1e-9);
+}
+
+TEST(BcdTest, DeterministicGivenSeed) {
+  const HashingProblem problem = testutil::RandomProblem(30, 4, 0.5, 2, 5);
+  BcdConfig config;
+  config.seed = 21;
+  const SolveResult a = BcdSolver(config).Solve(problem);
+  const SolveResult b = BcdSolver(config).Solve(problem);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective.overall, b.objective.overall);
+}
+
+TEST(BcdTest, RespectsMaxSweeps) {
+  const HashingProblem problem = testutil::RandomProblem(60, 6, 0.5, 2, 6);
+  BcdConfig config;
+  config.max_sweeps = 2;
+  const SolveResult result = BcdSolver(config).Solve(problem);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(BcdTest, ConvergesWithinFewTensOfSweeps) {
+  // The paper: "Algorithm 1 converges to a local optimum after a few tens
+  // of iterations".
+  const HashingProblem problem = testutil::RandomProblem(200, 10, 0.5, 2, 7);
+  BcdConfig config;
+  config.max_sweeps = 100;
+  const SolveResult result = BcdSolver(config).Solve(problem);
+  EXPECT_LT(result.iterations, 60u);
+}
+
+TEST(BcdTest, LambdaZeroClustersByFeatures) {
+  // Two well-separated feature blobs, frequencies chosen adversarially so
+  // that lambda = 0 must split by geometry, not frequency.
+  HashingProblem problem;
+  problem.num_buckets = 2;
+  problem.lambda = 0.0;
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const bool left = i % 2 == 0;
+    problem.frequencies.push_back(static_cast<double>(i));
+    problem.features.push_back({left ? -10.0 + rng.NextGaussian() * 0.1
+                                     : 10.0 + rng.NextGaussian() * 0.1});
+  }
+  BcdConfig config;
+  config.num_restarts = 4;
+  const SolveResult result = BcdSolver(config).Solve(problem);
+  // All left-blob elements together, all right-blob together.
+  for (int i = 2; i < 20; i += 2) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)], result.assignment[0]);
+  }
+  for (int i = 3; i < 20; i += 2) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)], result.assignment[1]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(BcdTest, LambdaOneWithoutFeaturesWorks) {
+  HashingProblem problem;
+  problem.frequencies = {1.0, 1.0, 50.0, 50.0};
+  problem.num_buckets = 2;
+  problem.lambda = 1.0;
+  const SolveResult result = BcdSolver().Solve(problem);
+  EXPECT_NEAR(result.objective.overall, 0.0, 1e-9);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+  EXPECT_NE(result.assignment[0], result.assignment[2]);
+}
+
+TEST(BcdTest, SingleBucketIsFixedPoint) {
+  const HashingProblem problem = testutil::RandomProblem(20, 1, 1.0, 0, 9);
+  const SolveResult result = BcdSolver().Solve(problem);
+  for (int32_t bucket : result.assignment) EXPECT_EQ(bucket, 0);
+  // Exactly the single-bucket objective.
+  EXPECT_NEAR(result.objective.overall,
+              EvaluateObjective(problem, result.assignment).overall, 1e-12);
+}
+
+class BcdInitSweep : public ::testing::TestWithParam<InitStrategy> {};
+
+TEST_P(BcdInitSweep, AllInitializationsReachComparableQuality) {
+  const HashingProblem problem = testutil::RandomProblem(60, 5, 1.0, 0, 10);
+  BcdConfig config;
+  config.init = GetParam();
+  const SolveResult result = BcdSolver(config).Solve(problem);
+  // DP warm start is optimal for lambda = 1; others should be within 2x.
+  DpSolver dp;
+  const double optimal = dp.Solve(problem).objective.overall;
+  EXPECT_LE(result.objective.overall, 2.0 * optimal + 1e-6)
+      << InitStrategyName(GetParam());
+  EXPECT_GE(result.objective.overall, optimal - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inits, BcdInitSweep,
+                         ::testing::Values(InitStrategy::kRandom,
+                                           InitStrategy::kSortedSplit,
+                                           InitStrategy::kHeavyHitter,
+                                           InitStrategy::kDpWarmStart));
+
+}  // namespace
+}  // namespace opthash::opt

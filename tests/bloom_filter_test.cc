@@ -1,0 +1,94 @@
+#include "hashing/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::hashing {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(4096, 3, /*seed=*/1);
+  for (uint64_t key = 0; key < 300; ++key) filter.Add(key);
+  for (uint64_t key = 0; key < 300; ++key) {
+    EXPECT_TRUE(filter.MayContain(key)) << "false negative for " << key;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1024, 3, 2);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_FALSE(filter.MayContain(key));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  constexpr size_t kInsertions = 5000;
+  constexpr double kTargetFpr = 0.02;
+  BloomFilter filter =
+      BloomFilter::ForExpectedInsertions(kInsertions, kTargetFpr, 3);
+  for (uint64_t key = 0; key < kInsertions; ++key) filter.Add(key);
+
+  size_t false_positives = 0;
+  constexpr uint64_t kProbes = 50000;
+  for (uint64_t key = 1000000; key < 1000000 + kProbes; ++key) {
+    if (filter.MayContain(key)) ++false_positives;
+  }
+  const double fpr = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(fpr, 2.5 * kTargetFpr);
+  // The estimated FPR from the fill ratio should be in the same ballpark.
+  EXPECT_NEAR(filter.EstimatedFpr(), fpr, 0.02);
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInsertions) {
+  BloomFilter filter(4096, 3, 4);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+  for (uint64_t key = 0; key < 100; ++key) filter.Add(key);
+  const double after_100 = filter.FillRatio();
+  EXPECT_GT(after_100, 0.0);
+  for (uint64_t key = 100; key < 1000; ++key) filter.Add(key);
+  EXPECT_GT(filter.FillRatio(), after_100);
+}
+
+TEST(BloomFilterTest, DoubleAddIsIdempotentOnBits) {
+  BloomFilter filter(512, 4, 5);
+  filter.Add(77);
+  const double fill = filter.FillRatio();
+  filter.Add(77);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), fill);
+}
+
+TEST(BloomFilterTest, SizingFormulaReasonable) {
+  // m = -n ln(p) / ln(2)^2: for n = 1000, p = 0.01 -> ~9585 bits, k ~ 7.
+  BloomFilter filter = BloomFilter::ForExpectedInsertions(1000, 0.01, 6);
+  EXPECT_NEAR(static_cast<double>(filter.num_bits()), 9585.0, 10.0);
+  EXPECT_EQ(filter.num_hashes(), 7u);
+}
+
+TEST(BloomFilterTest, MemoryBytesCoversBitArray) {
+  BloomFilter filter(1024, 3, 7);
+  EXPECT_EQ(filter.MemoryBytes(), 1024 / 8);
+}
+
+class BloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprSweep, ObservedFprWithinThreeXOfTarget) {
+  const double target = GetParam();
+  constexpr size_t kInsertions = 2000;
+  BloomFilter filter =
+      BloomFilter::ForExpectedInsertions(kInsertions, target, 8);
+  for (uint64_t key = 0; key < kInsertions; ++key) filter.Add(key * 7 + 1);
+  size_t false_positives = 0;
+  constexpr uint64_t kProbes = 30000;
+  for (uint64_t key = 0; key < kProbes; ++key) {
+    if (filter.MayContain(0xABCDEF0000ULL + key)) ++false_positives;
+  }
+  const double fpr = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(fpr, 3.0 * target + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BloomFprSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1));
+
+}  // namespace
+}  // namespace opthash::hashing

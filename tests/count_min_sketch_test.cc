@@ -1,0 +1,161 @@
+#include "sketch/count_min_sketch.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+TEST(CountMinSketchTest, ExactWhenNoCollisions) {
+  // Width much larger than the key set: estimates should be exact with high
+  // probability; we verify against exact counts.
+  CountMinSketch sketch(1 << 14, 4, /*seed=*/1);
+  for (uint64_t key = 0; key < 10; ++key) {
+    for (uint64_t rep = 0; rep <= key; ++rep) sketch.Update(key);
+  }
+  for (uint64_t key = 0; key < 10; ++key) {
+    EXPECT_EQ(sketch.Estimate(key), key + 1);
+  }
+}
+
+TEST(CountMinSketchTest, NeverUnderestimates) {
+  CountMinSketch sketch(64, 3, 2);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(3);
+  for (int t = 0; t < 20000; ++t) {
+    const uint64_t key = rng.NextBounded(500);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+}
+
+TEST(CountMinSketchTest, ConservativeUpdateNeverUnderestimates) {
+  CountMinSketch sketch(64, 3, 2, /*conservative_update=*/true);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(4);
+  for (int t = 0; t < 20000; ++t) {
+    const uint64_t key = rng.NextBounded(500);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+}
+
+TEST(CountMinSketchTest, ConservativeUpdateDominatesStandard) {
+  // Same hash seeds => conservative estimates are <= standard estimates.
+  CountMinSketch standard(128, 3, 7, false);
+  CountMinSketch conservative(128, 3, 7, true);
+  Rng rng(5);
+  std::vector<uint64_t> keys(30000);
+  for (auto& key : keys) key = rng.NextBounded(2000);
+  for (uint64_t key : keys) {
+    standard.Update(key);
+    conservative.Update(key);
+  }
+  for (uint64_t key = 0; key < 2000; ++key) {
+    EXPECT_LE(conservative.Estimate(key), standard.Estimate(key));
+  }
+}
+
+TEST(CountMinSketchTest, ErrorBoundHoldsWithHighProbability) {
+  // |estimate - f| <= eps * ||f||_1 with probability >= 1 - delta, where
+  // eps = e / w and delta = e^-d.
+  constexpr size_t kWidth = 272;  // eps ~= 0.01
+  constexpr size_t kDepth = 4;    // delta ~= 0.018
+  CountMinSketch sketch(kWidth, kDepth, 11);
+  Rng rng(6);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  constexpr uint64_t kTotal = 100000;
+  ZipfSampler zipf(5000, 1.1);
+  for (uint64_t t = 0; t < kTotal; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  const double bound = sketch.Epsilon() * static_cast<double>(kTotal);
+  size_t violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(sketch.Estimate(key) - count) > bound) {
+      ++violations;
+    }
+  }
+  const double violation_rate =
+      static_cast<double>(violations) / static_cast<double>(truth.size());
+  EXPECT_LT(violation_rate, 3.0 * sketch.Delta());
+}
+
+TEST(CountMinSketchTest, FromErrorBoundsGeometry) {
+  auto result = CountMinSketch::FromErrorBounds(0.01, 0.01, 1);
+  ASSERT_TRUE(result.ok());
+  const CountMinSketch& sketch = result.value();
+  EXPECT_GE(sketch.width(), 271u);
+  EXPECT_GE(sketch.depth(), 5u);
+  EXPECT_LE(sketch.Epsilon(), 0.0101);
+  EXPECT_LE(sketch.Delta(), 0.0101);
+}
+
+TEST(CountMinSketchTest, FromErrorBoundsRejectsBadArgs) {
+  EXPECT_FALSE(CountMinSketch::FromErrorBounds(0.0, 0.1, 1).ok());
+  EXPECT_FALSE(CountMinSketch::FromErrorBounds(0.1, 1.5, 1).ok());
+  EXPECT_FALSE(CountMinSketch::FromErrorBounds(-0.1, 0.5, 1).ok());
+}
+
+TEST(CountMinSketchTest, UpdateWithCount) {
+  CountMinSketch sketch(1024, 2, 13);
+  sketch.Update(5, 100);
+  sketch.Update(5, 23);
+  EXPECT_GE(sketch.Estimate(5), 123u);
+  EXPECT_EQ(sketch.total_count(), 123u);
+}
+
+TEST(CountMinSketchTest, UnseenKeysUsuallySmall) {
+  CountMinSketch sketch(4096, 4, 17);
+  for (uint64_t key = 0; key < 100; ++key) sketch.Update(key);
+  // A fresh key collides with every level only with tiny probability.
+  size_t nonzero = 0;
+  for (uint64_t key = 10000; key < 11000; ++key) {
+    if (sketch.Estimate(key) != 0) ++nonzero;
+  }
+  EXPECT_LT(nonzero, 20u);
+}
+
+TEST(CountMinSketchTest, MemoryAccounting) {
+  CountMinSketch sketch(100, 4, 19);
+  EXPECT_EQ(sketch.TotalBuckets(), 400u);
+  EXPECT_EQ(sketch.MemoryBytes(), 1600u);
+}
+
+class CmsDepthSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CmsDepthSweep, DeeperSketchesNoWorseOnAverage) {
+  // For a fixed total budget, error behaviour varies with depth, but the
+  // one-sided guarantee must hold at every depth.
+  const size_t depth = GetParam();
+  const size_t width = 512 / depth;
+  CountMinSketch sketch(width, depth, 23);
+  Rng rng(7);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 30000; ++t) {
+    const uint64_t key = rng.NextBounded(3000);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CmsDepthSweep,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+}  // namespace
+}  // namespace opthash::sketch

@@ -1,0 +1,124 @@
+#include "sketch/count_sketch.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+TEST(CountSketchTest, ExactWhenNoCollisions) {
+  CountSketch sketch(1 << 14, 5, 1);
+  for (uint64_t key = 0; key < 10; ++key) {
+    sketch.Update(key, static_cast<int64_t>(key) + 1);
+  }
+  for (uint64_t key = 0; key < 10; ++key) {
+    EXPECT_EQ(sketch.Estimate(key), static_cast<int64_t>(key) + 1);
+  }
+}
+
+TEST(CountSketchTest, ApproximatelyUnbiased) {
+  // The Count Sketch estimator is unbiased over the *sketch* randomness:
+  // for a fixed stream, the estimate of a key averaged over independent
+  // sketches converges to the true count. (Contrast with the CMS, whose
+  // error is strictly one-sided.)
+  Rng rng(3);
+  std::vector<uint64_t> stream(20000);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (auto& key : stream) {
+    key = rng.NextBounded(500);
+    ++truth[key];
+  }
+  const std::vector<uint64_t> probes = {0, 1, 2, 10, 100, 499};
+  std::vector<double> mean_estimates(probes.size(), 0.0);
+  constexpr int kSketches = 400;
+  for (int s = 0; s < kSketches; ++s) {
+    CountSketch sketch(64, 1, 1000 + static_cast<uint64_t>(s));
+    for (uint64_t key : stream) sketch.Update(key);
+    for (size_t p = 0; p < probes.size(); ++p) {
+      mean_estimates[p] += static_cast<double>(sketch.Estimate(probes[p]));
+    }
+  }
+  for (size_t p = 0; p < probes.size(); ++p) {
+    mean_estimates[p] /= kSketches;
+    const double true_count = static_cast<double>(truth[probes[p]]);
+    // Standard error of the mean ~ ||f||_2 / sqrt(width * kSketches) ~ 12.
+    EXPECT_NEAR(mean_estimates[p], true_count, 40.0)
+        << "probe key " << probes[p];
+  }
+}
+
+TEST(CountSketchTest, CanUnderAndOverEstimate) {
+  CountSketch sketch(16, 1, 5);
+  Rng rng(6);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 5000; ++t) {
+    const uint64_t key = rng.NextBounded(300);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  bool under = false;
+  bool over = false;
+  for (const auto& [key, count] : truth) {
+    const int64_t estimate = sketch.Estimate(key);
+    if (estimate < static_cast<int64_t>(count)) under = true;
+    if (estimate > static_cast<int64_t>(count)) over = true;
+  }
+  EXPECT_TRUE(under);
+  EXPECT_TRUE(over);
+}
+
+TEST(CountSketchTest, NonNegativeClamp) {
+  CountSketch sketch(4, 1, 7);
+  // Force likely-negative estimates for unseen keys by inserting heavy
+  // negatively-correlated traffic.
+  for (uint64_t key = 0; key < 100; ++key) sketch.Update(key, 50);
+  for (uint64_t probe = 1000; probe < 1100; ++probe) {
+    EXPECT_GE(sketch.EstimateNonNegative(probe), 0u);
+  }
+}
+
+TEST(CountSketchTest, MedianBeatsSingleLevelOnSkewedData) {
+  // Error of a depth-5 sketch should typically be below a depth-1 sketch of
+  // the same width (the whole point of median-of-levels).
+  Rng rng(8);
+  ZipfSampler zipf(2000, 1.2);
+  std::vector<uint64_t> stream(60000);
+  for (auto& key : stream) key = zipf.Sample(rng);
+
+  CountSketch deep(128, 5, 9);
+  CountSketch shallow(128, 1, 9);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t key : stream) {
+    deep.Update(key);
+    shallow.Update(key);
+    ++truth[key];
+  }
+  double deep_error = 0.0;
+  double shallow_error = 0.0;
+  for (const auto& [key, count] : truth) {
+    deep_error += std::abs(static_cast<double>(deep.Estimate(key)) -
+                           static_cast<double>(count));
+    shallow_error += std::abs(static_cast<double>(shallow.Estimate(key)) -
+                              static_cast<double>(count));
+  }
+  EXPECT_LT(deep_error, shallow_error);
+}
+
+TEST(CountSketchTest, MemoryAccounting) {
+  CountSketch sketch(64, 3, 10);
+  EXPECT_EQ(sketch.TotalBuckets(), 192u);
+}
+
+TEST(CountSketchTest, NegativeUpdatesSupported) {
+  CountSketch sketch(1 << 12, 5, 11);
+  sketch.Update(42, 10);
+  sketch.Update(42, -4);
+  EXPECT_EQ(sketch.Estimate(42), 6);
+}
+
+}  // namespace
+}  // namespace opthash::sketch

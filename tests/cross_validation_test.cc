@@ -1,0 +1,141 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+
+namespace opthash::ml {
+namespace {
+
+Dataset TwoBlobs(size_t per_class, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < per_class; ++i) {
+    data.Add({-3.0 + rng.NextGaussian(), rng.NextGaussian()}, 0);
+    data.Add({3.0 + rng.NextGaussian(), rng.NextGaussian()}, 1);
+  }
+  return data;
+}
+
+TEST(StratifiedKFoldTest, FoldsPartitionTheDataset) {
+  const Dataset data = TwoBlobs(25, 1);
+  const std::vector<Fold> folds = StratifiedKFold(data, 5, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> all_validation;
+  for (const Fold& fold : folds) {
+    for (size_t index : fold.validation_indices) {
+      EXPECT_TRUE(all_validation.insert(index).second)
+          << "index " << index << " in two validation folds";
+    }
+    // Train and validation are disjoint and cover everything.
+    std::set<size_t> train(fold.train_indices.begin(),
+                           fold.train_indices.end());
+    for (size_t index : fold.validation_indices) {
+      EXPECT_EQ(train.count(index), 0u);
+    }
+    EXPECT_EQ(train.size() + fold.validation_indices.size(),
+              data.NumExamples());
+  }
+  EXPECT_EQ(all_validation.size(), data.NumExamples());
+}
+
+TEST(StratifiedKFoldTest, PreservesClassBalance) {
+  const Dataset data = TwoBlobs(50, 2);
+  const std::vector<Fold> folds = StratifiedKFold(data, 5, 8);
+  for (const Fold& fold : folds) {
+    size_t class0 = 0;
+    size_t class1 = 0;
+    for (size_t index : fold.validation_indices) {
+      if (data.Label(index) == 0) {
+        ++class0;
+      } else {
+        ++class1;
+      }
+    }
+    EXPECT_EQ(class0, 10u);
+    EXPECT_EQ(class1, 10u);
+  }
+}
+
+TEST(StratifiedKFoldTest, RareClassStillCovered) {
+  Dataset data(1);
+  for (int i = 0; i < 30; ++i) data.Add({static_cast<double>(i)}, 0);
+  data.Add({100.0}, 1);  // Single example of class 1.
+  const std::vector<Fold> folds = StratifiedKFold(data, 5, 9);
+  size_t appearances = 0;
+  for (const Fold& fold : folds) {
+    appearances += std::count_if(
+        fold.validation_indices.begin(), fold.validation_indices.end(),
+        [&](size_t index) { return data.Label(index) == 1; });
+  }
+  EXPECT_EQ(appearances, 1u);
+}
+
+TEST(CrossValAccuracyTest, HighOnSeparableData) {
+  const Dataset data = TwoBlobs(40, 3);
+  const double accuracy = CrossValAccuracy(
+      [] { return std::make_unique<LogisticRegression>(); }, data, 5, 10);
+  EXPECT_GE(accuracy, 0.95);
+}
+
+TEST(CrossValAccuracyTest, NearChanceOnRandomLabels) {
+  Rng rng(4);
+  Dataset data(2);
+  for (int i = 0; i < 200; ++i) {
+    data.Add({rng.NextGaussian(), rng.NextGaussian()},
+             static_cast<int>(rng.NextBounded(2)));
+  }
+  const double accuracy = CrossValAccuracy(
+      [] {
+        DecisionTreeConfig config;
+        config.max_depth = 2;
+        return std::make_unique<DecisionTree>(config);
+      },
+      data, 5, 11);
+  EXPECT_LT(accuracy, 0.65);
+  EXPECT_GT(accuracy, 0.35);
+}
+
+TEST(GridSearchCvTest, PicksTheBetterHyperparameter) {
+  // Depth-0 trees cannot express the blobs' boundary; depth-4 trees can.
+  const Dataset data = TwoBlobs(40, 5);
+  std::vector<GridCandidate> candidates;
+  candidates.push_back({"depth0", [] {
+                          DecisionTreeConfig config;
+                          config.max_depth = 0;
+                          return std::make_unique<DecisionTree>(config);
+                        }});
+  candidates.push_back({"depth4", [] {
+                          DecisionTreeConfig config;
+                          config.max_depth = 4;
+                          return std::make_unique<DecisionTree>(config);
+                        }});
+  const GridSearchResult result = GridSearchCV(candidates, data, 5, 12);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_GT(result.best_accuracy, 0.9);
+  ASSERT_EQ(result.accuracies.size(), 2u);
+  EXPECT_LT(result.accuracies[0], result.accuracies[1]);
+}
+
+TEST(GridSearchCvTest, AccuraciesAlignWithCandidates) {
+  const Dataset data = TwoBlobs(30, 6);
+  std::vector<GridCandidate> candidates;
+  for (int i = 0; i < 3; ++i) {
+    candidates.push_back({"lr", [] {
+                            return std::make_unique<LogisticRegression>();
+                          }});
+  }
+  const GridSearchResult result = GridSearchCV(candidates, data, 4, 13);
+  ASSERT_EQ(result.accuracies.size(), 3u);
+  // Identical candidates must score identically (deterministic folds).
+  EXPECT_DOUBLE_EQ(result.accuracies[0], result.accuracies[1]);
+  EXPECT_DOUBLE_EQ(result.accuracies[1], result.accuracies[2]);
+}
+
+}  // namespace
+}  // namespace opthash::ml

@@ -1,0 +1,112 @@
+#include "common/csv_reader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv_writer.h"
+#include "stream/trace_io.h"
+
+namespace opthash {
+namespace {
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows.value()[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ParseCsvTest, QuotedCells) {
+  auto rows = ParseCsv("text\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 4u);
+  EXPECT_EQ(rows.value()[1][0], "a,b");
+  EXPECT_EQ(rows.value()[2][0], "say \"hi\"");
+  EXPECT_EQ(rows.value()[3][0], "line\nbreak");
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("x,y\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][1], "2");
+}
+
+TEST(ParseCsvTest, CrlfTolerated) {
+  auto rows = ParseCsv("x\r\n1\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "1");
+}
+
+TEST(ParseCsvTest, EmptyCells) {
+  auto rows = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("\"oops\n").ok());
+}
+
+TEST(ParseCsvTest, RoundTripsWithCsvWriter) {
+  CsvWriter writer({"id", "text"});
+  writer.AddRow({"1", "plain"});
+  writer.AddRow({"2", "with,comma"});
+  writer.AddRow({"3", "with \"quotes\""});
+  writer.AddRow({"4", "multi\nline"});
+  auto rows = ParseCsv(writer.ToString());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 5u);
+  EXPECT_EQ(rows.value()[2][1], "with,comma");
+  EXPECT_EQ(rows.value()[3][1], "with \"quotes\"");
+  EXPECT_EQ(rows.value()[4][1], "multi\nline");
+}
+
+TEST(ReadCsvFileTest, MissingFile) {
+  EXPECT_EQ(ReadCsvFile("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  const std::vector<stream::TraceRecord> records = {
+      {1, "google"}, {2, "sharon stone"}, {3, "a,b \"quoted\""}, {4, ""}};
+  ASSERT_TRUE(stream::WriteTraceCsv(path, records).ok());
+  auto restored = stream::ReadTraceCsv(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), records);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsMissingIdHeader) {
+  const std::string path = ::testing::TempDir() + "/trace_bad_header.csv";
+  std::ofstream(path) << "key,text\n1,x\n";
+  EXPECT_FALSE(stream::ReadTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsNonNumericId) {
+  const std::string path = ::testing::TempDir() + "/trace_bad_id.csv";
+  std::ofstream(path) << "id,text\nabc,x\n";
+  EXPECT_FALSE(stream::ReadTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, IdOnlyTraces) {
+  const std::string path = ::testing::TempDir() + "/trace_id_only.csv";
+  std::ofstream(path) << "id\n5\n6\n";
+  auto records = stream::ReadTraceCsv(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].id, 5u);
+  EXPECT_TRUE(records.value()[0].text.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,51 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace opthash {
+namespace {
+
+TEST(CsvWriterTest, BasicSerialization) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.AddRow({"a,b"});
+  csv.AddRow({"say \"hi\""});
+  csv.AddRow({"line\nbreak"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrips) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"10", "20"});
+  const std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n10,20\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  const Status status = csv.WriteFile("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,99 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/matrix.h"
+
+namespace opthash::ml {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data(2);
+  data.Add({1.0, 2.0}, 0);
+  data.Add({3.0, 4.0}, 1);
+  EXPECT_EQ(data.NumExamples(), 2u);
+  EXPECT_EQ(data.NumFeatures(), 2u);
+  EXPECT_EQ(data.NumClasses(), 2u);
+  EXPECT_EQ(data.Label(0), 0);
+  EXPECT_EQ(data.Features(1)[0], 3.0);
+}
+
+TEST(DatasetTest, FirstExampleFixesWidth) {
+  Dataset data;
+  data.Add({1.0, 2.0, 3.0}, 0);
+  EXPECT_EQ(data.NumFeatures(), 3u);
+}
+
+TEST(DatasetTest, NumClassesIsMaxLabelPlusOne) {
+  Dataset data(1);
+  data.Add({0.0}, 5);
+  data.Add({0.0}, 2);
+  EXPECT_EQ(data.NumClasses(), 6u);
+}
+
+TEST(DatasetTest, SubsetWithRepetition) {
+  Dataset data(1);
+  data.Add({1.0}, 0);
+  data.Add({2.0}, 1);
+  const Dataset subset = data.Subset({1, 1, 0});
+  EXPECT_EQ(subset.NumExamples(), 3u);
+  EXPECT_EQ(subset.Label(0), 1);
+  EXPECT_EQ(subset.Label(2), 0);
+  EXPECT_EQ(subset.Features(0)[0], 2.0);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset data(1);
+  data.Add({0.0}, 0);
+  data.Add({0.0}, 2);
+  data.Add({0.0}, 2);
+  const std::vector<size_t> counts = data.ClassCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(MatrixTest, AtReadWrite) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.5);
+  m.At(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m(2, 2);
+  m.At(1, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(MatrixTest, AxpyAccumulates) {
+  Matrix a(1, 2, 1.0);
+  Matrix b(1, 2, 2.0);
+  a.Axpy(3.0, b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix m(1, 3);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 2.0;
+  m.At(0, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 9.0);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 5.0);
+  m.Fill(1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace opthash::ml

@@ -1,0 +1,223 @@
+#include "opt/dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "opt/bcd.h"
+#include "opt_test_util.h"
+
+namespace opthash::opt {
+namespace {
+
+HashingProblem FreqProblem(std::vector<double> freqs, size_t buckets) {
+  HashingProblem problem;
+  problem.frequencies = std::move(freqs);
+  problem.num_buckets = buckets;
+  problem.lambda = 1.0;
+  return problem;
+}
+
+TEST(DpTest, TrivialOneBucket) {
+  const HashingProblem problem = FreqProblem({1.0, 5.0, 9.0}, 1);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_TRUE(result.proven_optimal);
+  // Mean 5: 4 + 0 + 4.
+  EXPECT_DOUBLE_EQ(result.objective.overall, 8.0);
+}
+
+TEST(DpTest, MoreBucketsThanElementsIsFree) {
+  const HashingProblem problem = FreqProblem({3.0, 1.0, 7.0}, 5);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(result.objective.overall, 0.0);
+  // All elements in distinct buckets.
+  std::set<int32_t> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(DpTest, ObviousTwoClusterSplit) {
+  const HashingProblem problem =
+      FreqProblem({1.0, 2.0, 1.5, 100.0, 101.0, 99.0}, 2);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[1], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_EQ(result.assignment[4], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(DpTest, MatchesBruteForceOverAllPartitionsIncludingNonContiguous) {
+  // Validates both optimality of the DP *and* the contiguity argument: the
+  // brute force enumerates every assignment, contiguous or not.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const HashingProblem problem = testutil::RandomProblem(
+        7 + seed % 3, 2 + seed % 2, 1.0, 0, seed, /*max_freq=*/30.0);
+    const double brute = testutil::BruteForceOptimum(problem);
+    const SolveResult result = DpSolver().Solve(problem);
+    EXPECT_NEAR(result.objective.overall, brute, 1e-9) << "seed " << seed;
+    EXPECT_TRUE(result.proven_optimal);
+  }
+}
+
+TEST(DpTest, AllThreeAlgorithmsAgreeForMedianCenter) {
+  // The median-centred cost satisfies the quadrangle inequality, so the
+  // D&C and SMAWK layers must reproduce the quadratic reference exactly.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(60, 7, 1.0, 0, seed, 500.0);
+    DpConfig quadratic{DpAlgorithm::kQuadratic, DpCostCenter::kMedian};
+    DpConfig divide{DpAlgorithm::kDivideConquer, DpCostCenter::kMedian};
+    DpConfig smawk{DpAlgorithm::kSmawk, DpCostCenter::kMedian};
+    const double q = DpSolver(quadratic).Solve(problem).objective.overall;
+    const double d = DpSolver(divide).Solve(problem).objective.overall;
+    const double s = DpSolver(smawk).Solve(problem).objective.overall;
+    EXPECT_NEAR(q, d, 1e-7) << "seed " << seed;
+    EXPECT_NEAR(q, s, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(DpTest, FastAlgorithmsNearOptimalForMeanCenter) {
+  // The mean-centred cost is not Monge, so D&C/SMAWK only approximate the
+  // quadratic reference — but the observed gap stays small (< 3%).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(120, 8, 1.0, 0, seed, 500.0);
+    const double q = DpSolver(DpConfig{DpAlgorithm::kQuadratic,
+                                       DpCostCenter::kMean})
+                         .Solve(problem)
+                         .objective.overall;
+    const double d = DpSolver(DpConfig{DpAlgorithm::kDivideConquer,
+                                       DpCostCenter::kMean})
+                         .Solve(problem)
+                         .objective.overall;
+    const double s = DpSolver(DpConfig{DpAlgorithm::kSmawk,
+                                       DpCostCenter::kMean})
+                         .Solve(problem)
+                         .objective.overall;
+    EXPECT_GE(d, q - 1e-9) << "seed " << seed;  // q is the exact optimum.
+    EXPECT_GE(s, q - 1e-9) << "seed " << seed;
+    EXPECT_LE(d, 1.03 * q + 1e-9) << "seed " << seed;
+    EXPECT_LE(s, 1.03 * q + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(DpTest, MedianCenterNearOptimalForProblem3) {
+  // The k-median partition, evaluated under Problem (3)'s mean-based
+  // objective, stays close to the certified optimum — the justification
+  // for using the fast path on large instances.
+  for (uint64_t seed = 60; seed <= 65; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(100, 8, 1.0, 0, seed, 300.0);
+    const double exact = DpSolver(DpConfig{DpAlgorithm::kQuadratic,
+                                           DpCostCenter::kMean})
+                             .Solve(problem)
+                             .objective.overall;
+    const double median_based =
+        DpSolver(DpConfig{DpAlgorithm::kSmawk, DpCostCenter::kMedian})
+            .Solve(problem)
+            .objective.overall;
+    EXPECT_GE(median_based, exact - 1e-9);
+    EXPECT_LE(median_based, 1.1 * exact + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(DpTest, DuplicatedFrequenciesShareBuckets) {
+  const HashingProblem problem =
+      FreqProblem({4.0, 4.0, 4.0, 4.0, 9.0, 9.0}, 2);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(result.objective.overall, 0.0);
+}
+
+TEST(DpTest, BucketsAreContiguousInSortedOrder) {
+  const HashingProblem problem = testutil::RandomProblem(50, 6, 1.0, 0, 42);
+  const SolveResult result = DpSolver().Solve(problem);
+  // Sort elements by frequency; the bucket sequence must be non-decreasing.
+  std::vector<size_t> order(problem.NumElements());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return problem.frequencies[a] < problem.frequencies[b];
+  });
+  for (size_t t = 1; t < order.size(); ++t) {
+    EXPECT_GE(result.assignment[order[t]], result.assignment[order[t - 1]]);
+  }
+}
+
+TEST(DpTest, MoreBucketsNeverIncreaseCost) {
+  const HashingProblem base = testutil::RandomProblem(40, 1, 1.0, 0, 43);
+  double previous = std::numeric_limits<double>::infinity();
+  for (size_t b = 1; b <= 12; ++b) {
+    HashingProblem problem = base;
+    problem.num_buckets = b;
+    const double cost = DpSolver().Solve(problem).objective.overall;
+    EXPECT_LE(cost, previous + 1e-9) << "b = " << b;
+    previous = cost;
+  }
+}
+
+TEST(DpTest, LambdaBelowOneEvaluatedButNotCertified) {
+  HashingProblem problem = testutil::RandomProblem(20, 3, 0.5, 2, 44);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_FALSE(result.proven_optimal);
+  // Objective evaluated at the problem's lambda includes similarity.
+  const ObjectiveValue check = EvaluateObjective(problem, result.assignment);
+  EXPECT_NEAR(result.objective.overall, check.overall, 1e-9);
+}
+
+TEST(DpTest, DpEstimationErrorLowerBoundsBcdForLambdaOne) {
+  // On lambda = 1 problems, DP is optimal, so no other solver can beat it.
+  for (uint64_t seed = 50; seed < 55; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(80, 8, 1.0, 0, seed);
+    const double dp_cost = DpSolver().Solve(problem).objective.overall;
+    BcdSolver bcd;
+    const double bcd_cost = bcd.Solve(problem).objective.overall;
+    EXPECT_LE(dp_cost, bcd_cost + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(DpTest, AlgorithmNames) {
+  EXPECT_STREQ(DpAlgorithmName(DpAlgorithm::kQuadratic), "quadratic");
+  EXPECT_STREQ(DpAlgorithmName(DpAlgorithm::kDivideConquer),
+               "divide_and_conquer");
+  EXPECT_STREQ(DpAlgorithmName(DpAlgorithm::kSmawk), "smawk");
+}
+
+TEST(DpTest, SingleElement) {
+  const HashingProblem problem = FreqProblem({7.0}, 3);
+  const SolveResult result = DpSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(result.objective.overall, 0.0);
+  EXPECT_TRUE(IsValidAssignment(problem, result.assignment));
+}
+
+class DpSizeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(DpSizeSweep, VariantsAgreeAcrossSizes) {
+  const auto [n, b] = GetParam();
+  const HashingProblem problem = testutil::RandomProblem(n, b, 1.0, 0, n + b);
+  const double q = DpSolver(DpConfig{DpAlgorithm::kQuadratic,
+                                     DpCostCenter::kMedian})
+                       .Solve(problem)
+                       .objective.overall;
+  const double d = DpSolver(DpConfig{DpAlgorithm::kDivideConquer,
+                                     DpCostCenter::kMedian})
+                       .Solve(problem)
+                       .objective.overall;
+  const double s =
+      DpSolver(DpConfig{DpAlgorithm::kSmawk, DpCostCenter::kMedian})
+          .Solve(problem)
+          .objective.overall;
+  EXPECT_NEAR(q, d, 1e-7);
+  EXPECT_NEAR(q, s, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DpSizeSweep,
+    ::testing::Values(std::make_tuple(5, 2), std::make_tuple(12, 4),
+                      std::make_tuple(30, 3), std::make_tuple(100, 10),
+                      std::make_tuple(200, 16), std::make_tuple(64, 64)));
+
+}  // namespace
+}  // namespace opthash::opt

@@ -1,0 +1,157 @@
+// Degenerate-input coverage across modules: minimum sizes, empty inputs
+// and boundary budgets must behave sensibly rather than crash.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/opt_hash_estimator.h"
+#include "opt/bcd.h"
+#include "opt/dp.h"
+#include "sketch/count_min_sketch.h"
+#include "stream/features.h"
+#include "stream/query_log.h"
+#include "stream/synthetic.h"
+
+namespace opthash {
+namespace {
+
+TEST(EdgeCasesTest, SingleElementSingleBucketSolvers) {
+  opt::HashingProblem problem;
+  problem.frequencies = {5.0};
+  problem.num_buckets = 1;
+  problem.lambda = 1.0;
+  EXPECT_DOUBLE_EQ(opt::BcdSolver().Solve(problem).objective.overall, 0.0);
+  EXPECT_DOUBLE_EQ(opt::DpSolver().Solve(problem).objective.overall, 0.0);
+}
+
+TEST(EdgeCasesTest, AllEqualFrequencies) {
+  opt::HashingProblem problem;
+  problem.frequencies.assign(50, 7.0);
+  problem.num_buckets = 5;
+  problem.lambda = 1.0;
+  const opt::SolveResult dp = opt::DpSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(dp.objective.overall, 0.0);
+  const opt::SolveResult bcd = opt::BcdSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(bcd.objective.overall, 0.0);
+}
+
+TEST(EdgeCasesTest, ZeroFrequenciesAreValid) {
+  opt::HashingProblem problem;
+  problem.frequencies = {0.0, 0.0, 3.0};
+  problem.num_buckets = 2;
+  problem.lambda = 1.0;
+  ASSERT_TRUE(problem.Validate().ok());
+  const opt::SolveResult result = opt::DpSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(result.objective.overall, 0.0);  // {0,0} and {3}.
+}
+
+TEST(EdgeCasesTest, MinimalEstimatorBudget) {
+  // total_buckets = 2 with c = 1 gives exactly one stored ID and one bucket.
+  core::OptHashConfig config;
+  config.total_buckets = 2;
+  config.id_ratio = 1.0;
+  config.solver = core::SolverKind::kDp;
+  config.classifier = core::ClassifierKind::kNone;
+  std::vector<core::PrefixElement> prefix = {{.id = 9, .frequency = 4.0,
+                                              .features = {}}};
+  auto estimator = core::OptHashEstimator::Train(config, prefix);
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ(estimator.value().num_buckets(), 1u);
+  EXPECT_EQ(estimator.value().num_stored_ids(), 1u);
+  EXPECT_DOUBLE_EQ(estimator.value().Estimate({9, nullptr}), 4.0);
+}
+
+TEST(EdgeCasesTest, EstimatorSingleElementPrefixWithClassifier) {
+  core::OptHashConfig config;
+  config.total_buckets = 10;
+  config.solver = core::SolverKind::kDp;
+  config.classifier = core::ClassifierKind::kCart;
+  std::vector<core::PrefixElement> prefix = {
+      {.id = 1, .frequency = 2.0, .features = {1.0, 2.0}}};
+  auto estimator = core::OptHashEstimator::Train(config, prefix);
+  ASSERT_TRUE(estimator.ok());
+  const std::vector<double> features = {0.0, 0.0};
+  // The one-class classifier routes everything to the only bucket.
+  EXPECT_DOUBLE_EQ(estimator.value().Estimate({12345, &features}), 2.0);
+}
+
+TEST(EdgeCasesTest, FeaturizerEmptyCorpus) {
+  stream::BagOfWordsFeaturizer featurizer(100);
+  featurizer.Fit({});
+  EXPECT_EQ(featurizer.VocabularySize(), 0u);
+  EXPECT_EQ(featurizer.FeatureDim(), 4u);
+  const std::vector<double> features = featurizer.Featurize("some text.");
+  ASSERT_EQ(features.size(), 4u);
+  EXPECT_DOUBLE_EQ(features[0], 10.0);  // ASCII chars.
+  EXPECT_DOUBLE_EQ(features[2], 1.0);   // Dots.
+}
+
+TEST(EdgeCasesTest, FeaturizerZeroCapacity) {
+  stream::BagOfWordsFeaturizer featurizer(0);
+  featurizer.Fit({{"google maps", 5.0}});
+  EXPECT_EQ(featurizer.VocabularySize(), 0u);
+  EXPECT_EQ(featurizer.FeatureDim(), 4u);
+}
+
+TEST(EdgeCasesTest, SingleGroupWorld) {
+  stream::SyntheticConfig config;
+  config.num_groups = 1;
+  config.fraction_seen = 1.0;
+  stream::SyntheticWorld world(config);
+  EXPECT_EQ(world.NumElements(), 8u);  // 2^(2+1).
+  Rng rng(1);
+  const auto stream = world.GenerateStream(100, rng);
+  for (size_t e : stream) EXPECT_LT(e, 8u);
+}
+
+TEST(EdgeCasesTest, SingleQueryLog) {
+  stream::QueryLogConfig config;
+  config.num_queries = 1;
+  config.arrivals_per_day = 10;
+  config.num_days = 2;
+  stream::QueryLog log(config);
+  const auto day = log.GenerateDay(0);
+  ASSERT_EQ(day.size(), 10u);
+  for (size_t rank : day) EXPECT_EQ(rank, 1u);
+  EXPECT_DOUBLE_EQ(log.Probability(1), 1.0);
+}
+
+TEST(EdgeCasesTest, OneByOneCountMin) {
+  sketch::CountMinSketch sketch(1, 1, 1);
+  sketch.Update(5);
+  sketch.Update(6);
+  // A single counter aggregates everything: still an upper bound.
+  EXPECT_EQ(sketch.Estimate(5), 2u);
+  EXPECT_EQ(sketch.Estimate(7), 2u);
+}
+
+TEST(EdgeCasesTest, WeightedSampleZeroK) {
+  Rng rng(2);
+  EXPECT_TRUE(WeightedSampleWithoutReplacement({1.0, 2.0}, 0, rng).empty());
+}
+
+TEST(EdgeCasesTest, BcdMoreBucketsThanElements) {
+  const opt::HashingProblem problem = [] {
+    opt::HashingProblem p;
+    p.frequencies = {1.0, 9.0};
+    p.num_buckets = 10;
+    p.lambda = 1.0;
+    return p;
+  }();
+  const opt::SolveResult result = opt::BcdSolver().Solve(problem);
+  EXPECT_DOUBLE_EQ(result.objective.overall, 0.0);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(EdgeCasesTest, EstimatorRejectsDegenerateRatios) {
+  core::OptHashConfig config;
+  config.total_buckets = 10;
+  config.id_ratio = 1000.0;  // floor(10/1001) = 0 stored IDs.
+  std::vector<core::PrefixElement> prefix = {{.id = 1, .frequency = 1.0,
+                                              .features = {}}};
+  config.classifier = core::ClassifierKind::kNone;
+  EXPECT_FALSE(core::OptHashEstimator::Train(config, prefix).ok());
+}
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,210 @@
+// Property-based tests over the estimator pipeline: conservation laws,
+// order-invariance, monotonicity and serialization fixed points that must
+// hold for any stream.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/adaptive_estimator.h"
+#include "core/baseline_estimators.h"
+#include "core/opt_hash_estimator.h"
+
+namespace opthash::core {
+namespace {
+
+std::vector<PrefixElement> RandomPrefix(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PrefixElement> prefix;
+  prefix.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const bool heavy = rng.NextBernoulli(0.2);
+    prefix.push_back({.id = 1000 + i,
+                      .frequency = heavy ? 40.0 + rng.NextDouble(0, 20)
+                                         : 1.0 + rng.NextDouble(0, 4),
+                      .features = {heavy ? 3.0 + rng.NextGaussian() * 0.3
+                                         : -3.0 + rng.NextGaussian() * 0.3}});
+  }
+  return prefix;
+}
+
+OptHashEstimator TrainedEstimator(const std::vector<PrefixElement>& prefix,
+                                  uint64_t seed) {
+  OptHashConfig config;
+  config.total_buckets = 60;
+  config.id_ratio = 0.5;
+  config.solver = SolverKind::kDp;
+  config.classifier = ClassifierKind::kCart;
+  config.seed = seed;
+  auto result = OptHashEstimator::Train(config, prefix);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(EstimatorPropertyTest, BucketMassConservation) {
+  // Sum of phi_j equals the sampled prefix mass at training time, and
+  // grows by exactly one per tracked update.
+  const auto prefix = RandomPrefix(40, 1);
+  OptHashEstimator estimator = TrainedEstimator(prefix, 1);
+
+  double sampled_mass = 0.0;
+  for (const auto& [id, bucket] : estimator.table()) {
+    for (const auto& element : prefix) {
+      if (element.id == id) sampled_mass += element.frequency;
+    }
+  }
+  auto total_phi = [&] {
+    double total = 0.0;
+    for (size_t j = 0; j < estimator.num_buckets(); ++j) {
+      total += estimator.BucketFrequency(j);
+    }
+    return total;
+  };
+  EXPECT_NEAR(total_phi(), sampled_mass, 1e-9);
+
+  Rng rng(2);
+  size_t tracked_updates = 0;
+  for (int t = 0; t < 500; ++t) {
+    const uint64_t id = 1000 + rng.NextBounded(60);  // Some ids unknown.
+    if (estimator.table().count(id) > 0) ++tracked_updates;
+    estimator.Update({id, nullptr});
+  }
+  EXPECT_NEAR(total_phi(), sampled_mass + static_cast<double>(tracked_updates),
+              1e-9);
+}
+
+TEST(EstimatorPropertyTest, UpdateOrderIrrelevance) {
+  // phi_j is a sum, so any permutation of the same multiset of arrivals
+  // yields identical estimates.
+  const auto prefix = RandomPrefix(30, 3);
+  OptHashEstimator a = TrainedEstimator(prefix, 3);
+  OptHashEstimator b = TrainedEstimator(prefix, 3);
+
+  Rng rng(4);
+  std::vector<uint64_t> arrivals(400);
+  for (auto& id : arrivals) id = 1000 + rng.NextBounded(40);
+  for (uint64_t id : arrivals) a.Update({id, nullptr});
+  rng.Shuffle(arrivals);
+  for (uint64_t id : arrivals) b.Update({id, nullptr});
+
+  for (uint64_t id = 1000; id < 1040; ++id) {
+    EXPECT_DOUBLE_EQ(a.Estimate({id, nullptr}), b.Estimate({id, nullptr}));
+  }
+}
+
+TEST(EstimatorPropertyTest, UnknownUpdatesAreNoOpsInStaticMode) {
+  const auto prefix = RandomPrefix(20, 5);
+  OptHashEstimator estimator = TrainedEstimator(prefix, 5);
+  std::vector<double> estimates_before;
+  for (uint64_t id = 1000; id < 1020; ++id) {
+    estimates_before.push_back(estimator.Estimate({id, nullptr}));
+  }
+  for (uint64_t id = 500000; id < 500100; ++id) {
+    estimator.Update({id, nullptr});
+  }
+  for (uint64_t id = 1000; id < 1020; ++id) {
+    EXPECT_DOUBLE_EQ(estimator.Estimate({id, nullptr}),
+                     estimates_before[id - 1000]);
+  }
+}
+
+TEST(EstimatorPropertyTest, EstimatesAlwaysNonNegative) {
+  const auto prefix = RandomPrefix(25, 6);
+  OptHashEstimator static_estimator = TrainedEstimator(prefix, 6);
+  std::vector<uint64_t> prefix_ids;
+  for (const auto& element : prefix) prefix_ids.push_back(element.id);
+  AdaptiveConfig adaptive_config;
+  adaptive_config.expected_distinct = 500;
+  AdaptiveOptHashEstimator adaptive(TrainedEstimator(prefix, 6),
+                                    adaptive_config, prefix_ids);
+  Rng rng(7);
+  const std::vector<double> features = {rng.NextGaussian()};
+  for (int t = 0; t < 2000; ++t) {
+    const uint64_t id = rng.NextBounded(3000);
+    const stream::StreamItem item{id, &features};
+    static_estimator.Update(item);
+    adaptive.Update(item);
+    EXPECT_GE(static_estimator.Estimate(item), 0.0);
+    EXPECT_GE(adaptive.Estimate(item), 0.0);
+  }
+}
+
+TEST(EstimatorPropertyTest, CmsEstimateMonotoneOverTime) {
+  CountMinEstimator estimator(256, 4, 8);
+  Rng rng(9);
+  double previous = estimator.Estimate({42, nullptr});
+  for (int t = 0; t < 3000; ++t) {
+    estimator.Update({rng.NextBounded(300), nullptr});
+    const double current = estimator.Estimate({42, nullptr});
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(EstimatorPropertyTest, BloomMembershipIsMonotone) {
+  const auto prefix = RandomPrefix(15, 10);
+  std::vector<uint64_t> prefix_ids;
+  for (const auto& element : prefix) prefix_ids.push_back(element.id);
+  AdaptiveConfig config;
+  config.expected_distinct = 1000;
+  AdaptiveOptHashEstimator adaptive(TrainedEstimator(prefix, 10), config,
+                                    prefix_ids);
+  Rng rng(11);
+  const std::vector<double> features = {0.0};
+  std::vector<uint64_t> seen_ids;
+  for (int t = 0; t < 500; ++t) {
+    const uint64_t id = 7000 + rng.NextBounded(400);
+    adaptive.Update({id, &features});
+    seen_ids.push_back(id);
+    // Every previously seen id must still test positive.
+    for (size_t probe = 0; probe < seen_ids.size(); probe += 37) {
+      EXPECT_TRUE(adaptive.bloom().MayContain(seen_ids[probe]));
+    }
+  }
+}
+
+TEST(EstimatorPropertyTest, SerializationIsAFixedPoint) {
+  // serialize(deserialize(blob)) == blob — no information decays through a
+  // round trip, even after live updates.
+  const auto prefix = RandomPrefix(30, 12);
+  OptHashEstimator estimator = TrainedEstimator(prefix, 12);
+  Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    estimator.Update({1000 + rng.NextBounded(40), nullptr});
+  }
+  const std::string blob = estimator.Serialize();
+  auto restored = OptHashEstimator::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), blob);
+}
+
+TEST(EstimatorPropertyTest, MemoryBucketsStableUnderUpdates) {
+  // Stream processing must not allocate per-element state in static mode.
+  const auto prefix = RandomPrefix(20, 14);
+  OptHashEstimator estimator = TrainedEstimator(prefix, 14);
+  const size_t before = estimator.MemoryBuckets();
+  Rng rng(15);
+  for (int t = 0; t < 5000; ++t) {
+    estimator.Update({rng.NextBounded(100000), nullptr});
+  }
+  EXPECT_EQ(estimator.MemoryBuckets(), before);
+}
+
+class EstimatorBudgetSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EstimatorBudgetSweep, MemoryNeverExceedsBudget) {
+  const auto prefix = RandomPrefix(200, 16);
+  OptHashConfig config;
+  config.total_buckets = GetParam();
+  config.id_ratio = 0.3;
+  config.solver = SolverKind::kDp;
+  config.classifier = ClassifierKind::kNone;
+  auto estimator = OptHashEstimator::Train(config, prefix);
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_LE(estimator.value().MemoryBuckets(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, EstimatorBudgetSweep,
+                         ::testing::Values(10, 50, 100, 300, 1000));
+
+}  // namespace
+}  // namespace opthash::core

@@ -1,0 +1,85 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace opthash::core {
+namespace {
+
+// An estimator with scripted answers for testing the metric arithmetic.
+class FakeEstimator : public FrequencyEstimator {
+ public:
+  explicit FakeEstimator(std::unordered_map<uint64_t, double> estimates)
+      : estimates_(std::move(estimates)) {}
+
+  void Update(const stream::StreamItem&) override {}
+  double Estimate(const stream::StreamItem& item) const override {
+    auto it = estimates_.find(item.id);
+    return it == estimates_.end() ? 0.0 : it->second;
+  }
+  size_t MemoryBuckets() const override { return 0; }
+  const char* Name() const override { return "fake"; }
+
+ private:
+  std::unordered_map<uint64_t, double> estimates_;
+};
+
+TEST(EvaluationTest, EmptyQuerySet) {
+  FakeEstimator estimator({});
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, {});
+  EXPECT_EQ(metrics.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(metrics.average_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.expected_magnitude_error, 0.0);
+}
+
+TEST(EvaluationTest, PerfectEstimatorZeroError) {
+  FakeEstimator estimator({{1, 10.0}, {2, 5.0}});
+  const std::vector<EvalQuery> queries = {{{1, nullptr}, 10.0},
+                                          {{2, nullptr}, 5.0}};
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, queries);
+  EXPECT_DOUBLE_EQ(metrics.average_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.expected_magnitude_error, 0.0);
+  EXPECT_EQ(metrics.num_queries, 2u);
+}
+
+TEST(EvaluationTest, AverageAbsoluteErrorUniformWeights) {
+  // Errors: |10-12| = 2 and |100-90| = 10 -> average 6.
+  FakeEstimator estimator({{1, 12.0}, {2, 90.0}});
+  const std::vector<EvalQuery> queries = {{{1, nullptr}, 10.0},
+                                          {{2, nullptr}, 100.0}};
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, queries);
+  EXPECT_DOUBLE_EQ(metrics.average_absolute_error, 6.0);
+}
+
+TEST(EvaluationTest, ExpectedMagnitudeWeighsByFrequency) {
+  // Weighted: (10*2 + 100*10) / 110 = 1020/110.
+  FakeEstimator estimator({{1, 12.0}, {2, 90.0}});
+  const std::vector<EvalQuery> queries = {{{1, nullptr}, 10.0},
+                                          {{2, nullptr}, 100.0}};
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, queries);
+  EXPECT_NEAR(metrics.expected_magnitude_error, 1020.0 / 110.0, 1e-12);
+}
+
+TEST(EvaluationTest, MetricsDivergeWhenRareElementsMispredicted) {
+  // Large error on a rare element inflates the average metric much more
+  // than the frequency-weighted one — the phenomenon behind the paper's
+  // Fig. 7 discussion (opt-hash wins most on the average metric).
+  FakeEstimator estimator({{1, 1000.0}, {2, 1000.0}});
+  const std::vector<EvalQuery> queries = {{{1, nullptr}, 1.0},
+                                          {{2, nullptr}, 1000.0}};
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, queries);
+  EXPECT_NEAR(metrics.average_absolute_error, 999.0 / 2.0, 1e-9);
+  EXPECT_NEAR(metrics.expected_magnitude_error, 999.0 / 1001.0, 1e-9);
+  EXPECT_GT(metrics.average_absolute_error,
+            100.0 * metrics.expected_magnitude_error);
+}
+
+TEST(EvaluationTest, ZeroTotalFrequencyHandled) {
+  FakeEstimator estimator({{1, 3.0}});
+  const std::vector<EvalQuery> queries = {{{1, nullptr}, 0.0}};
+  const ErrorMetrics metrics = EvaluateEstimator(estimator, queries);
+  EXPECT_DOUBLE_EQ(metrics.expected_magnitude_error, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.average_absolute_error, 3.0);
+}
+
+}  // namespace
+}  // namespace opthash::core

@@ -1,0 +1,138 @@
+#include "opt/exact.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/dp.h"
+#include "opt_test_util.h"
+
+namespace opthash::opt {
+namespace {
+
+TEST(ExactTest, MatchesBruteForceLambdaOne) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(8, 3, 1.0, 0, seed, 40.0);
+    const double brute = testutil::BruteForceOptimum(problem);
+    ExactSolver solver;
+    const SolveResult result = solver.Solve(problem);
+    EXPECT_TRUE(result.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(result.objective.overall, brute, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, MatchesBruteForceMixedLambda) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(7, 3, 0.5, 2, seed, 30.0);
+    const double brute = testutil::BruteForceOptimum(problem);
+    const SolveResult result = ExactSolver().Solve(problem);
+    EXPECT_TRUE(result.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(result.objective.overall, brute, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, MatchesBruteForceLambdaZero) {
+  for (uint64_t seed = 20; seed <= 24; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(7, 2, 0.0, 2, seed, 30.0);
+    const double brute = testutil::BruteForceOptimum(problem);
+    const SolveResult result = ExactSolver().Solve(problem);
+    EXPECT_TRUE(result.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(result.objective.overall, brute, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, AgreesWithDpOnLargerLambdaOneInstances) {
+  // DP certifies optimality for lambda = 1; branch-and-bound must match it.
+  for (uint64_t seed = 30; seed <= 33; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(16, 3, 1.0, 0, seed, 60.0);
+    const double dp_cost = DpSolver().Solve(problem).objective.overall;
+    ExactConfig config;
+    config.time_limit_seconds = 20.0;
+    const SolveResult result = ExactSolver(config).Solve(problem);
+    EXPECT_NEAR(result.objective.overall, dp_cost, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, NeverWorseThanBcdIncumbent) {
+  const HashingProblem problem = testutil::RandomProblem(14, 3, 0.7, 2, 40);
+  BcdConfig bcd_config;
+  bcd_config.num_restarts = 3;
+  const double bcd_cost = BcdSolver(bcd_config).Solve(problem).objective.overall;
+  ExactConfig config;
+  config.bcd = bcd_config;
+  config.time_limit_seconds = 10.0;
+  const SolveResult result = ExactSolver(config).Solve(problem);
+  EXPECT_LE(result.objective.overall, bcd_cost + 1e-9);
+}
+
+TEST(ExactTest, TimeLimitReturnsIncumbentUncertified) {
+  // A large instance with an absurdly small budget: must return the BCD
+  // incumbent and admit non-optimality.
+  const HashingProblem problem = testutil::RandomProblem(60, 6, 0.5, 2, 41);
+  ExactConfig config;
+  config.time_limit_seconds = 0.05;
+  config.node_limit = 10000;
+  const SolveResult result = ExactSolver(config).Solve(problem);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_TRUE(IsValidAssignment(problem, result.assignment));
+  // Still a sensible solution (BCD incumbent), not garbage.
+  const double sane_reference =
+      BcdSolver().Solve(problem).objective.overall * 3.0 + 1.0;
+  EXPECT_LT(result.objective.overall, sane_reference);
+}
+
+TEST(ExactTest, SingleBucketInstantlyOptimal) {
+  const HashingProblem problem = testutil::RandomProblem(10, 1, 1.0, 0, 42);
+  const SolveResult result = ExactSolver().Solve(problem);
+  EXPECT_TRUE(result.proven_optimal);
+  for (int32_t bucket : result.assignment) EXPECT_EQ(bucket, 0);
+}
+
+TEST(ExactTest, WithoutBcdIncumbentStillOptimal) {
+  const HashingProblem problem = testutil::RandomProblem(8, 2, 1.0, 0, 43);
+  const double brute = testutil::BruteForceOptimum(problem);
+  ExactConfig config;
+  config.use_bcd_incumbent = false;
+  const SolveResult result = ExactSolver(config).Solve(problem);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective.overall, brute, 1e-7);
+}
+
+TEST(ExactTest, LowerBoundMatchesObjectiveWhenOptimal) {
+  const HashingProblem problem = testutil::RandomProblem(8, 3, 1.0, 0, 44);
+  const SolveResult result = ExactSolver().Solve(problem);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.lower_bound, result.objective.overall);
+}
+
+TEST(ExactTest, ExploresFewerNodesThanBruteForceWouldNeed) {
+  // Symmetry breaking + bounds must beat b^n enumeration by a wide margin.
+  const HashingProblem problem =
+      testutil::RandomProblem(12, 3, 1.0, 0, 45, 50.0);
+  const SolveResult result = ExactSolver().Solve(problem);
+  ASSERT_TRUE(result.proven_optimal);
+  const double brute_nodes = std::pow(3.0, 12.0);
+  EXPECT_LT(static_cast<double>(result.iterations), brute_nodes / 4.0);
+}
+
+class ExactLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExactLambdaSweep, OptimalAcrossLambdas) {
+  const double lambda = GetParam();
+  const HashingProblem problem =
+      testutil::RandomProblem(7, 2, lambda, 2, 99, 25.0);
+  const double brute = testutil::BruteForceOptimum(problem);
+  const SolveResult result = ExactSolver().Solve(problem);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective.overall, brute, 1e-7) << "lambda " << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, ExactLambdaSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace opthash::opt

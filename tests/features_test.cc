@@ -1,0 +1,159 @@
+#include "stream/features.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/query_log.h"
+
+namespace opthash::stream {
+namespace {
+
+TEST(TokenizeTest, SplitsOnNonAlphanumeric) {
+  const auto tokens = BagOfWordsFeaturizer::Tokenize("www.google.com");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "www");
+  EXPECT_EQ(tokens[1], "google");
+  EXPECT_EQ(tokens[2], "com");
+}
+
+TEST(TokenizeTest, Lowercases) {
+  const auto tokens = BagOfWordsFeaturizer::Tokenize("Sharon STONE");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "sharon");
+  EXPECT_EQ(tokens[1], "stone");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(BagOfWordsFeaturizer::Tokenize("").empty());
+  EXPECT_TRUE(BagOfWordsFeaturizer::Tokenize("...!?").empty());
+}
+
+TEST(TokenizeTest, KeepsDigits) {
+  const auto tokens = BagOfWordsFeaturizer::Tokenize("area 51");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "51");
+}
+
+TEST(BagOfWordsTest, VocabularyIsTopKByWeight) {
+  BagOfWordsFeaturizer featurizer(2);
+  featurizer.Fit({{"google maps", 100.0},
+                  {"google", 50.0},
+                  {"rare words here", 1.0}});
+  EXPECT_EQ(featurizer.VocabularySize(), 2u);
+  // "google" (150) and "maps" (100) beat the weight-1 tokens.
+  EXPECT_EQ(featurizer.FeatureName(0), "word:google");
+  EXPECT_EQ(featurizer.FeatureName(1), "word:maps");
+}
+
+TEST(BagOfWordsTest, FeatureDimIsVocabPlusFour) {
+  BagOfWordsFeaturizer featurizer(10);
+  featurizer.Fit({{"a b c", 1.0}});
+  EXPECT_EQ(featurizer.VocabularySize(), 3u);  // Fewer tokens than cap.
+  EXPECT_EQ(featurizer.FeatureDim(), 7u);
+}
+
+TEST(BagOfWordsTest, CountFeaturesMatchPaperDefinition) {
+  BagOfWordsFeaturizer featurizer(5);
+  featurizer.Fit({{"x", 1.0}});
+  const std::string text = "www.google.com? hi";
+  const std::vector<double> f = featurizer.Featurize(text);
+  const size_t base = featurizer.VocabularySize();
+  EXPECT_DOUBLE_EQ(f[base + 0], 18.0);  // ASCII chars (all of them).
+  EXPECT_DOUBLE_EQ(f[base + 1], 3.0);   // Punctuation: two dots + '?'.
+  EXPECT_DOUBLE_EQ(f[base + 2], 2.0);   // Dots.
+  EXPECT_DOUBLE_EQ(f[base + 3], 1.0);   // Whitespaces.
+}
+
+TEST(BagOfWordsTest, WordCountsInFeatures) {
+  BagOfWordsFeaturizer featurizer(5);
+  featurizer.Fit({{"dog cat", 1.0}});
+  const std::vector<double> f = featurizer.Featurize("dog dog bird");
+  // "dog" appears twice; "cat" zero times; "bird" is out of vocabulary.
+  double dog = -1.0;
+  double cat = -1.0;
+  for (size_t i = 0; i < featurizer.VocabularySize(); ++i) {
+    if (featurizer.FeatureName(i) == "word:dog") dog = f[i];
+    if (featurizer.FeatureName(i) == "word:cat") cat = f[i];
+  }
+  EXPECT_DOUBLE_EQ(dog, 2.0);
+  EXPECT_DOUBLE_EQ(cat, 0.0);
+}
+
+TEST(BagOfWordsTest, DeterministicVocabularyOnTies) {
+  BagOfWordsFeaturizer a(2);
+  BagOfWordsFeaturizer b(2);
+  const std::vector<std::pair<std::string, double>> corpus = {
+      {"zebra apple mango", 1.0}};
+  a.Fit(corpus);
+  b.Fit(corpus);
+  EXPECT_EQ(a.FeatureName(0), b.FeatureName(0));
+  EXPECT_EQ(a.FeatureName(1), b.FeatureName(1));
+  // Alphabetical tie-break.
+  EXPECT_EQ(a.FeatureName(0), "word:apple");
+  EXPECT_EQ(a.FeatureName(1), "word:mango");
+}
+
+TEST(BagOfWordsTest, CountFeatureNames) {
+  BagOfWordsFeaturizer featurizer(1);
+  featurizer.Fit({{"x", 1.0}});
+  EXPECT_EQ(featurizer.FeatureName(1), "num_ascii_chars");
+  EXPECT_EQ(featurizer.FeatureName(2), "num_punctuation");
+  EXPECT_EQ(featurizer.FeatureName(3), "num_dots");
+  EXPECT_EQ(featurizer.FeatureName(4), "num_whitespaces");
+}
+
+TEST(BagOfWordsTest, SerializationRoundTrip) {
+  BagOfWordsFeaturizer featurizer(10);
+  featurizer.Fit({{"google maps free music", 10.0}, {"news weather", 3.0}});
+  auto restored = BagOfWordsFeaturizer::Deserialize(featurizer.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().VocabularySize(), featurizer.VocabularySize());
+  EXPECT_EQ(restored.value().FeatureDim(), featurizer.FeatureDim());
+  for (const std::string text :
+       {"google news", "maps.google.com?", "unknown words here"}) {
+    EXPECT_EQ(restored.value().Featurize(text), featurizer.Featurize(text));
+  }
+}
+
+TEST(BagOfWordsTest, DeserializeRejectsCorruptBlobs) {
+  EXPECT_FALSE(BagOfWordsFeaturizer::Deserialize("").ok());
+  EXPECT_FALSE(BagOfWordsFeaturizer::Deserialize("wrong.magic 5 2 a b").ok());
+  // Count exceeding the cap.
+  EXPECT_FALSE(BagOfWordsFeaturizer::Deserialize("opthash.bow.v1 2 5 a").ok());
+  // Truncated vocabulary.
+  EXPECT_FALSE(
+      BagOfWordsFeaturizer::Deserialize("opthash.bow.v1 5 3 a b").ok());
+}
+
+TEST(BagOfWordsTest, QueryLogIntegrationVocabularyContainsDomainTokens) {
+  // Fit on a day of generated queries weighted by occurrences — the §7.3
+  // pipeline. The navigational tokens must make the vocabulary.
+  QueryLogConfig config;
+  config.num_queries = 5000;
+  config.arrivals_per_day = 5000;
+  config.num_days = 2;
+  QueryLog log(config);
+  std::unordered_map<size_t, double> day_counts;
+  for (size_t rank : log.GenerateDay(0)) day_counts[rank] += 1.0;
+  std::vector<std::pair<std::string, double>> corpus;
+  corpus.reserve(day_counts.size());
+  for (const auto& [rank, weight] : day_counts) {
+    corpus.push_back({log.QueryText(rank), weight});
+  }
+  BagOfWordsFeaturizer featurizer(500);
+  featurizer.Fit(corpus);
+  bool has_google = false;
+  bool has_www = false;
+  bool has_com = false;
+  for (size_t i = 0; i < featurizer.VocabularySize(); ++i) {
+    const std::string name = featurizer.FeatureName(i);
+    has_google |= name == "word:google";
+    has_www |= name == "word:www";
+    has_com |= name == "word:com";
+  }
+  EXPECT_TRUE(has_google);
+  EXPECT_TRUE(has_www);
+  EXPECT_TRUE(has_com);
+}
+
+}  // namespace
+}  // namespace opthash::stream

@@ -1,0 +1,144 @@
+#include "hashing/hash_functions.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace opthash::hashing {
+namespace {
+
+TEST(Mix64Test, DeterministicAndInjectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t key = 0; key < 10000; ++key) {
+    outputs.insert(Mix64(key));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);  // Mix64 is a bijection.
+  EXPECT_EQ(Mix64(42), Mix64(42));
+}
+
+TEST(Mix64Test, AvalancheFlipsRoughlyHalfTheBits) {
+  size_t total_flips = 0;
+  constexpr int kTrials = 1000;
+  for (uint64_t key = 0; key < kTrials; ++key) {
+    const uint64_t base = Mix64(key);
+    const uint64_t flipped = Mix64(key ^ 1);
+    total_flips += static_cast<size_t>(__builtin_popcountll(base ^ flipped));
+  }
+  const double mean_flips = static_cast<double>(total_flips) / kTrials;
+  EXPECT_NEAR(mean_flips, 32.0, 2.0);
+}
+
+TEST(HashBytesTest, DependsOnContentAndSeed) {
+  const std::string a = "google";
+  const std::string b = "googlf";
+  EXPECT_NE(HashString(a), HashString(b));
+  EXPECT_NE(HashString(a, 1), HashString(a, 2));
+  EXPECT_EQ(HashString(a), HashString(a));
+}
+
+TEST(HashBytesTest, EmptyInputIsValid) {
+  EXPECT_EQ(HashBytes(nullptr, 0), HashBytes(nullptr, 0));
+  EXPECT_NE(HashBytes(nullptr, 0, 1), HashBytes(nullptr, 0, 2));
+}
+
+TEST(LinearHashTest, StaysInRange) {
+  Rng rng(3);
+  LinearHash hash(97, rng);
+  for (uint64_t key = 0; key < 50000; ++key) {
+    EXPECT_LT(hash(key), 97u);
+  }
+}
+
+TEST(LinearHashTest, DeterministicFromCoefficients) {
+  LinearHash h1(10, 12345, 678);
+  LinearHash h2(10, 12345, 678);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(h1(key), h2(key));
+  }
+}
+
+TEST(LinearHashTest, DistributesUniformly) {
+  Rng rng(4);
+  constexpr size_t kRange = 16;
+  LinearHash hash(kRange, rng);
+  std::vector<size_t> counts(kRange, 0);
+  constexpr size_t kKeys = 160000;
+  for (uint64_t key = 0; key < kKeys; ++key) ++counts[hash(key)];
+  const double expected = static_cast<double>(kKeys) / kRange;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(LinearHashTest, PairwiseCollisionRateNearUniform) {
+  // 2-universality: Pr[h(x) = h(y)] <= 1/range for x != y. Estimate the
+  // collision rate over random pairs and many independent hash draws.
+  Rng rng(5);
+  constexpr uint64_t kRange = 32;
+  size_t collisions = 0;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    LinearHash hash(kRange, rng);
+    const uint64_t x = rng.NextUint64();
+    uint64_t y = rng.NextUint64();
+    if (x == y) ++y;
+    if (hash(x) == hash(y)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / kTrials;
+  EXPECT_LT(rate, 1.3 / kRange);
+  EXPECT_GT(rate, 0.7 / kRange);
+}
+
+TEST(SignHashTest, ReturnsOnlyPlusMinusOne) {
+  Rng rng(6);
+  SignHash sign(rng);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    const int s = sign(key);
+    EXPECT_TRUE(s == 1 || s == -1);
+  }
+}
+
+TEST(SignHashTest, RoughlyBalanced) {
+  Rng rng(7);
+  SignHash sign(rng);
+  int total = 0;
+  constexpr int kKeys = 100000;
+  for (uint64_t key = 0; key < kKeys; ++key) total += sign(key);
+  EXPECT_LT(std::abs(total), 3000);
+}
+
+TEST(TabulationHashTest, DeterministicPerInstance) {
+  Rng rng(8);
+  TabulationHash hash(rng);
+  EXPECT_EQ(hash(123456789), hash(123456789));
+}
+
+TEST(TabulationHashTest, DistributesLowBits) {
+  Rng rng(9);
+  TabulationHash hash(rng);
+  std::vector<size_t> counts(8, 0);
+  constexpr size_t kKeys = 80000;
+  for (uint64_t key = 0; key < kKeys; ++key) ++counts[hash(key) & 7];
+  const double expected = static_cast<double>(kKeys) / 8;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 6 * std::sqrt(expected));
+  }
+}
+
+class LinearHashRangeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinearHashRangeSweep, NeverExceedsRange) {
+  Rng rng(GetParam());
+  LinearHash hash(GetParam(), rng);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    EXPECT_LT(hash(key * 0x9E3779B97F4A7C15ULL), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, LinearHashRangeSweep,
+                         ::testing::Values(1, 2, 3, 10, 64, 1000, 1 << 20));
+
+}  // namespace
+}  // namespace opthash::hashing

@@ -1,0 +1,109 @@
+#include "opt/initialization.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "opt/objective.h"
+#include "opt_test_util.h"
+
+namespace opthash::opt {
+namespace {
+
+TEST(InitializationTest, RandomAssignsEveryElementAValidBucket) {
+  const HashingProblem problem = testutil::RandomProblem(100, 7, 1.0, 0, 1);
+  Rng rng(9);
+  const Assignment assignment =
+      InitializeAssignment(problem, InitStrategy::kRandom, rng);
+  EXPECT_TRUE(IsValidAssignment(problem, assignment));
+  // With 100 elements and 7 buckets, all buckets should be hit w.h.p.
+  std::set<int32_t> used(assignment.begin(), assignment.end());
+  EXPECT_GE(used.size(), 5u);
+}
+
+TEST(InitializationTest, SortedSplitGroupsByFrequency) {
+  HashingProblem problem;
+  problem.frequencies = {10.0, 1.0, 5.0, 2.0, 20.0, 7.0};
+  problem.num_buckets = 3;
+  problem.lambda = 1.0;
+  Rng rng(1);
+  const Assignment assignment =
+      InitializeAssignment(problem, InitStrategy::kSortedSplit, rng);
+  EXPECT_TRUE(IsValidAssignment(problem, assignment));
+  // Chunks of 2 in ascending frequency: {1,2} -> 0, {5,7} -> 1, {10,20} -> 2.
+  EXPECT_EQ(assignment[1], assignment[3]);  // 1 and 2.
+  EXPECT_EQ(assignment[2], assignment[5]);  // 5 and 7.
+  EXPECT_EQ(assignment[0], assignment[4]);  // 10 and 20.
+  // Monotone: bucket of light elements < bucket of heavy elements.
+  EXPECT_LT(assignment[1], assignment[2]);
+  EXPECT_LT(assignment[2], assignment[0]);
+}
+
+TEST(InitializationTest, HeavyHitterGivesPrivateBucketsToTopElements) {
+  HashingProblem problem;
+  problem.frequencies = {3.0, 100.0, 50.0, 2.0, 1.0};
+  problem.num_buckets = 3;
+  problem.lambda = 1.0;
+  Rng rng(2);
+  const Assignment assignment =
+      InitializeAssignment(problem, InitStrategy::kHeavyHitter, rng);
+  EXPECT_TRUE(IsValidAssignment(problem, assignment));
+  // Top-2 elements (100 and 50) get buckets 1 and 2; the rest share 0.
+  EXPECT_EQ(assignment[1], 1);
+  EXPECT_EQ(assignment[2], 2);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[3], 0);
+  EXPECT_EQ(assignment[4], 0);
+}
+
+TEST(InitializationTest, DpWarmStartIsOptimalForLambdaOne) {
+  const HashingProblem problem = testutil::RandomProblem(9, 3, 1.0, 0, 3);
+  Rng rng(3);
+  const Assignment assignment =
+      InitializeAssignment(problem, InitStrategy::kDpWarmStart, rng);
+  EXPECT_TRUE(IsValidAssignment(problem, assignment));
+  const double brute = testutil::BruteForceOptimum(problem);
+  EXPECT_NEAR(EvaluateObjective(problem, assignment).overall, brute, 1e-9);
+}
+
+TEST(InitializationTest, AllStrategiesValidOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(30, 4, 0.5, 2, seed);
+    Rng rng(seed);
+    for (InitStrategy strategy :
+         {InitStrategy::kRandom, InitStrategy::kSortedSplit,
+          InitStrategy::kHeavyHitter, InitStrategy::kDpWarmStart}) {
+      const Assignment assignment =
+          InitializeAssignment(problem, strategy, rng);
+      EXPECT_TRUE(IsValidAssignment(problem, assignment))
+          << InitStrategyName(strategy);
+    }
+  }
+}
+
+TEST(InitializationTest, StrategyNames) {
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kRandom), "random");
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kSortedSplit), "sorted_split");
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kHeavyHitter), "heavy_hitter");
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kDpWarmStart), "dp_warm_start");
+}
+
+TEST(InitializationTest, MoreBucketsThanElements) {
+  HashingProblem problem;
+  problem.frequencies = {4.0, 2.0};
+  problem.num_buckets = 5;
+  problem.lambda = 1.0;
+  Rng rng(4);
+  for (InitStrategy strategy :
+       {InitStrategy::kRandom, InitStrategy::kSortedSplit,
+        InitStrategy::kHeavyHitter, InitStrategy::kDpWarmStart}) {
+    const Assignment assignment = InitializeAssignment(problem, strategy, rng);
+    EXPECT_TRUE(IsValidAssignment(problem, assignment))
+        << InitStrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace opthash::opt

@@ -1,0 +1,164 @@
+#include "opt/interval_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::opt {
+namespace {
+
+double NaiveCost(const std::vector<double>& values, size_t i, size_t j) {
+  double mean = 0.0;
+  for (size_t t = i; t <= j; ++t) mean += values[t];
+  mean /= static_cast<double>(j - i + 1);
+  double cost = 0.0;
+  for (size_t t = i; t <= j; ++t) cost += std::abs(values[t] - mean);
+  return cost;
+}
+
+TEST(IntervalCostTest, SingletonCostIsZero) {
+  IntervalCost cost({1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.Cost(2, 2), 0.0);
+}
+
+TEST(IntervalCostTest, KnownValues) {
+  IntervalCost cost({1.0, 3.0, 8.0});
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 1), 2.0);       // Mean 2.
+  EXPECT_DOUBLE_EQ(cost.Cost(1, 2), 5.0);       // Mean 5.5.
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 2), 8.0);       // Mean 4: 3+1+4.
+  EXPECT_DOUBLE_EQ(cost.Mean(0, 2), 4.0);
+}
+
+TEST(IntervalCostTest, ConstantIntervalIsFree) {
+  IntervalCost cost({4.0, 4.0, 4.0, 4.0});
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(cost.Cost(i, j), 0.0);
+    }
+  }
+}
+
+TEST(IntervalCostTest, MatchesNaiveOnRandomSortedData) {
+  Rng rng(1);
+  std::vector<double> values(120);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(1000));
+  std::sort(values.begin(), values.end());
+  IntervalCost cost(values);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t i = rng.NextBounded(values.size());
+    const size_t j = i + rng.NextBounded(values.size() - i);
+    EXPECT_NEAR(cost.Cost(i, j), NaiveCost(values, i, j), 1e-8)
+        << "interval [" << i << ", " << j << "]";
+  }
+}
+
+TEST(IntervalCostTest, CostGrowsWithIntervalExtension) {
+  // Extending an interval on sorted data cannot decrease its cost (shown in
+  // DESIGN.md; used implicitly by the DP's structure).
+  Rng rng(2);
+  std::vector<double> values(60);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(500));
+  std::sort(values.begin(), values.end());
+  IntervalCost cost(values);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    for (size_t j = i; j + 1 < values.size(); ++j) {
+      EXPECT_LE(cost.Cost(i, j), cost.Cost(i, j + 1) + 1e-9);
+    }
+  }
+}
+
+TEST(MedianIntervalCostTest, QuadrangleInequalityHolds) {
+  // w(i,j) + w(i',j') <= w(i',j) + w(i,j') for i <= i' <= j <= j' — the
+  // concave Monge condition behind the divide-and-conquer and SMAWK DP
+  // layers (Wu 1991; Grønlund et al. 2017). It holds for the *median*
+  // centred cost (classic k-median), which is why those layer algorithms
+  // are exact for DpCostCenter::kMedian.
+  Rng rng(3);
+  std::vector<double> values(40);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(300));
+  std::sort(values.begin(), values.end());
+  MedianIntervalCost cost(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t ip = i; ip < values.size(); ++ip) {
+      for (size_t j = ip; j < values.size(); ++j) {
+        for (size_t jp = j; jp < values.size(); ++jp) {
+          const double lhs = cost.Cost(i, j) + cost.Cost(ip, jp);
+          const double rhs = cost.Cost(ip, j) + cost.Cost(i, jp);
+          EXPECT_LE(lhs, rhs + 1e-7);
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalCostTest, MeanCostQuadrangleInequalityCanFail) {
+  // The *mean* centred cost of Problem (3) is NOT Monge: this documents
+  // why DpAlgorithm::kQuadratic is the certified-exact configuration for
+  // the faithful objective while D&C/SMAWK are exact only for kMedian.
+  Rng rng(3);
+  std::vector<double> values(40);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(300));
+  std::sort(values.begin(), values.end());
+  IntervalCost cost(values);
+  bool found_violation = false;
+  for (size_t i = 0; i < values.size() && !found_violation; ++i) {
+    for (size_t ip = i; ip < values.size() && !found_violation; ++ip) {
+      for (size_t j = ip; j < values.size() && !found_violation; ++j) {
+        for (size_t jp = j; jp < values.size(); ++jp) {
+          const double lhs = cost.Cost(i, j) + cost.Cost(ip, jp);
+          const double rhs = cost.Cost(ip, j) + cost.Cost(i, jp);
+          if (lhs > rhs + 1e-6) {
+            found_violation = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_violation);
+}
+
+TEST(MedianIntervalCostTest, MatchesNaiveMedianCost) {
+  Rng rng(4);
+  std::vector<double> values(80);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(500));
+  std::sort(values.begin(), values.end());
+  MedianIntervalCost cost(values);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const size_t i = rng.NextBounded(values.size());
+    const size_t j = i + rng.NextBounded(values.size() - i);
+    const double median = values[i + (j - i) / 2];
+    double naive = 0.0;
+    for (size_t t = i; t <= j; ++t) naive += std::abs(values[t] - median);
+    EXPECT_NEAR(cost.Cost(i, j), naive, 1e-8);
+  }
+}
+
+TEST(MedianIntervalCostTest, MedianCostLowerBoundsMeanCost) {
+  // The median minimizes the sum of absolute deviations, so for every
+  // interval: median cost <= mean cost.
+  Rng rng(5);
+  std::vector<double> values(60);
+  for (double& v : values) v = static_cast<double>(rng.NextBounded(400));
+  std::sort(values.begin(), values.end());
+  IntervalCost mean_cost(values);
+  MedianIntervalCost median_cost(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i; j < values.size(); ++j) {
+      EXPECT_LE(median_cost.Cost(i, j), mean_cost.Cost(i, j) + 1e-9);
+    }
+  }
+}
+
+TEST(IntervalCostTest, DuplicatesHandled) {
+  IntervalCost cost({2.0, 2.0, 2.0, 10.0});
+  // Mean of all four = 4: 2+2+2+6 = 12.
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 3), 12.0);
+}
+
+}  // namespace
+}  // namespace opthash::opt

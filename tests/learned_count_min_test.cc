@@ -1,0 +1,118 @@
+#include "sketch/learned_count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+TEST(LearnedCmsTest, HeavyKeysCountedExactly) {
+  const std::vector<uint64_t> heavy = {1, 2, 3};
+  auto result = LearnedCountMinSketch::Create(100, 2, heavy, 1);
+  ASSERT_TRUE(result.ok());
+  LearnedCountMinSketch& sketch = result.value();
+  for (int rep = 0; rep < 50; ++rep) sketch.Update(1);
+  for (int rep = 0; rep < 7; ++rep) sketch.Update(2);
+  sketch.Update(999);
+  EXPECT_EQ(sketch.Estimate(1), 50u);
+  EXPECT_EQ(sketch.Estimate(2), 7u);
+  EXPECT_EQ(sketch.Estimate(3), 0u);
+}
+
+TEST(LearnedCmsTest, NonHeavyKeysGoToRemainder) {
+  auto result = LearnedCountMinSketch::Create(64, 2, {5}, 2);
+  ASSERT_TRUE(result.ok());
+  LearnedCountMinSketch& sketch = result.value();
+  Rng rng(3);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 5000; ++t) {
+    const uint64_t key = 100 + rng.NextBounded(200);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  // Remainder behaves like a CMS: one-sided error.
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+}
+
+TEST(LearnedCmsTest, HeavyBucketsCostTwoUnits) {
+  // 100 total buckets, 10 heavy keys -> remainder has 100 - 20 = 80 buckets.
+  std::vector<uint64_t> heavy(10);
+  for (size_t i = 0; i < heavy.size(); ++i) heavy[i] = i;
+  auto result = LearnedCountMinSketch::Create(100, 2, heavy, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().remainder_sketch().TotalBuckets(), 80u);
+  EXPECT_EQ(result.value().TotalBuckets(), 100u);
+}
+
+TEST(LearnedCmsTest, RejectsOversizedHeavySet) {
+  std::vector<uint64_t> heavy(50);
+  for (size_t i = 0; i < heavy.size(); ++i) heavy[i] = i;
+  // 2 * 50 = 100 >= 100 leaves no CMS room.
+  EXPECT_FALSE(LearnedCountMinSketch::Create(100, 2, heavy, 5).ok());
+  EXPECT_FALSE(LearnedCountMinSketch::Create(90, 2, heavy, 5).ok());
+  EXPECT_TRUE(LearnedCountMinSketch::Create(101, 2, heavy, 5).ok());
+}
+
+TEST(LearnedCmsTest, RejectsZeroDepth) {
+  EXPECT_FALSE(LearnedCountMinSketch::Create(100, 0, {1}, 6).ok());
+}
+
+TEST(LearnedCmsTest, IdealOracleBeatsPlainCmsOnZipf) {
+  // The paper's core claim for LCMS: exact heavy-hitter counting reduces
+  // error on skewed streams at equal memory.
+  Rng rng(7);
+  ZipfSampler zipf(5000, 1.2);
+  std::vector<uint64_t> stream(100000);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (auto& key : stream) {
+    key = zipf.Sample(rng);
+    ++truth[key];
+  }
+  const std::vector<uint64_t> heavy = SelectTopKeys(truth, 50);
+
+  constexpr size_t kBudget = 400;
+  auto lcms_result = LearnedCountMinSketch::Create(kBudget, 2, heavy, 8);
+  ASSERT_TRUE(lcms_result.ok());
+  LearnedCountMinSketch& lcms = lcms_result.value();
+  CountMinSketch cms(kBudget / 2, 2, 8);
+
+  for (uint64_t key : stream) {
+    lcms.Update(key);
+    cms.Update(key);
+  }
+  double lcms_error = 0.0;
+  double cms_error = 0.0;
+  for (const auto& [key, count] : truth) {
+    lcms_error += static_cast<double>(lcms.Estimate(key) - count);
+    cms_error += static_cast<double>(cms.Estimate(key) - count);
+  }
+  EXPECT_LT(lcms_error, cms_error);
+}
+
+TEST(SelectTopKeysTest, PicksHighestFrequencies) {
+  std::unordered_map<uint64_t, uint64_t> freqs = {
+      {10, 5}, {20, 50}, {30, 7}, {40, 100}};
+  const std::vector<uint64_t> top = SelectTopKeys(freqs, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 40u);
+  EXPECT_EQ(top[1], 20u);
+}
+
+TEST(SelectTopKeysTest, DeterministicTieBreakByKey) {
+  std::unordered_map<uint64_t, uint64_t> freqs = {{3, 9}, {1, 9}, {2, 9}};
+  const std::vector<uint64_t> top = SelectTopKeys(freqs, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(SelectTopKeysTest, CountLargerThanMapReturnsAll) {
+  std::unordered_map<uint64_t, uint64_t> freqs = {{1, 2}, {2, 1}};
+  EXPECT_EQ(SelectTopKeys(freqs, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace opthash::sketch

@@ -1,0 +1,134 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+
+namespace opthash::ml {
+namespace {
+
+Dataset LinearlySeparableBlobs(size_t per_class, size_t num_classes,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t c = 0; c < num_classes; ++c) {
+    const double cx = 6.0 * std::cos(2.0 * M_PI * static_cast<double>(c) /
+                                     static_cast<double>(num_classes));
+    const double cy = 6.0 * std::sin(2.0 * M_PI * static_cast<double>(c) /
+                                     static_cast<double>(num_classes));
+    for (size_t i = 0; i < per_class; ++i) {
+      data.Add({cx + 0.5 * rng.NextGaussian(), cy + 0.5 * rng.NextGaussian()},
+               static_cast<int>(c));
+    }
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, FitsBinarySeparableData) {
+  const Dataset data = LinearlySeparableBlobs(50, 2, 1);
+  LogisticRegression model;
+  model.Fit(data);
+  const std::vector<int> predictions = model.PredictBatch(data);
+  EXPECT_GE(Accuracy(data.labels(), predictions), 0.99);
+}
+
+TEST(LogisticRegressionTest, FitsMulticlassSeparableData) {
+  const Dataset data = LinearlySeparableBlobs(40, 5, 2);
+  LogisticRegression model;
+  model.Fit(data);
+  const std::vector<int> predictions = model.PredictBatch(data);
+  EXPECT_GE(Accuracy(data.labels(), predictions), 0.97);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  const Dataset data = LinearlySeparableBlobs(30, 3, 3);
+  LogisticRegression model;
+  model.Fit(data);
+  const std::vector<double> probs = model.PredictProba({1.0, -2.0});
+  ASSERT_EQ(probs.size(), 3u);
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LogisticRegressionTest, LossDecreasesDuringTraining) {
+  const Dataset data = LinearlySeparableBlobs(40, 3, 4);
+  LogisticRegressionConfig one_iter;
+  one_iter.max_iters = 1;
+  LogisticRegression barely_trained(one_iter);
+  barely_trained.Fit(data);
+
+  LogisticRegressionConfig full;
+  full.max_iters = 200;
+  LogisticRegression trained(full);
+  trained.Fit(data);
+  EXPECT_LT(trained.Loss(data), barely_trained.Loss(data));
+}
+
+TEST(LogisticRegressionTest, StrongerRidgeShrinksConfidence) {
+  const Dataset data = LinearlySeparableBlobs(40, 2, 5);
+  LogisticRegressionConfig weak;
+  weak.l2 = 1e-6;
+  LogisticRegressionConfig strong;
+  strong.l2 = 10.0;
+  LogisticRegression weak_model(weak);
+  LogisticRegression strong_model(strong);
+  weak_model.Fit(data);
+  strong_model.Fit(data);
+  // On a confidently classified point, heavy regularization pushes the
+  // probability towards uniform.
+  const double weak_p = weak_model.PredictProba(data.Features(0))[0];
+  const double strong_p = strong_model.PredictProba(data.Features(0))[0];
+  const double weak_conf = std::abs(weak_p - 0.5);
+  const double strong_conf = std::abs(strong_p - 0.5);
+  EXPECT_LT(strong_conf, weak_conf);
+}
+
+TEST(LogisticRegressionTest, HandlesConstantFeatures) {
+  Dataset data(3);
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.NextGaussian();
+    // Second feature is constant; third is informative.
+    data.Add({x, 1.0, x > 0 ? 2.0 : -2.0}, x > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  model.Fit(data);
+  const std::vector<int> predictions = model.PredictBatch(data);
+  EXPECT_GE(Accuracy(data.labels(), predictions), 0.99);
+}
+
+TEST(LogisticRegressionTest, SingleClassDegenerateCase) {
+  Dataset data(2);
+  data.Add({1.0, 2.0}, 0);
+  data.Add({2.0, 1.0}, 0);
+  LogisticRegression model;
+  model.Fit(data);
+  EXPECT_EQ(model.Predict({0.0, 0.0}), 0);
+}
+
+TEST(LogisticRegressionTest, DeterministicAcrossRuns) {
+  const Dataset data = LinearlySeparableBlobs(30, 3, 7);
+  LogisticRegression a;
+  LogisticRegression b;
+  a.Fit(data);
+  b.Fit(data);
+  for (size_t i = 0; i < data.NumExamples(); ++i) {
+    EXPECT_EQ(a.Predict(data.Features(i)), b.Predict(data.Features(i)));
+  }
+}
+
+TEST(LogisticRegressionTest, NameIsLogreg) {
+  LogisticRegression model;
+  EXPECT_STREQ(model.Name(), "logreg");
+}
+
+}  // namespace
+}  // namespace opthash::ml

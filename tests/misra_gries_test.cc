@@ -1,0 +1,132 @@
+#include "sketch/misra_gries.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenUnderCapacity) {
+  MisraGries summary(10);
+  for (int rep = 0; rep < 5; ++rep) summary.Update(1);
+  for (int rep = 0; rep < 3; ++rep) summary.Update(2);
+  EXPECT_EQ(summary.Estimate(1), 5u);
+  EXPECT_EQ(summary.Estimate(2), 3u);
+  EXPECT_EQ(summary.Estimate(99), 0u);
+  EXPECT_EQ(summary.size(), 2u);
+}
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  MisraGries summary(20);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(1);
+  ZipfSampler zipf(500, 1.1);
+  for (int t = 0; t < 50000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_LE(summary.Estimate(key), count);
+  }
+}
+
+TEST(MisraGriesTest, DeterministicErrorBound) {
+  // f_key - estimate <= total / (capacity + 1) for every key.
+  MisraGries summary(15);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(2);
+  ZipfSampler zipf(300, 1.0);
+  for (int t = 0; t < 30000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  const double bound = summary.ErrorBound();
+  for (const auto& [key, count] : truth) {
+    EXPECT_LE(static_cast<double>(count) -
+                  static_cast<double>(summary.Estimate(key)),
+              bound + 1e-9)
+        << "key " << key;
+  }
+}
+
+TEST(MisraGriesTest, GuaranteedToTrackTrueHeavyHitters) {
+  // Any key with frequency > total/(capacity+1) must be tracked.
+  MisraGries summary(9);
+  // One key takes 30% of a 10k stream; 9 counters, bound = 1000.
+  Rng rng(3);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 10000; ++t) {
+    const uint64_t key = rng.NextBernoulli(0.3) ? 7777 : 100 + rng.NextBounded(400);
+    summary.Update(key);
+    ++truth[key];
+  }
+  EXPECT_TRUE(summary.IsTracked(7777));
+  EXPECT_GT(summary.Estimate(7777), truth[7777] - 10000 / 10);
+}
+
+TEST(MisraGriesTest, CapacityNeverExceeded) {
+  MisraGries summary(5);
+  Rng rng(4);
+  for (int t = 0; t < 10000; ++t) {
+    summary.Update(rng.NextBounded(1000));
+    EXPECT_LE(summary.size(), 5u);
+  }
+}
+
+TEST(MisraGriesTest, HeavyEntriesSortedByCount) {
+  MisraGries summary(10);
+  for (int rep = 0; rep < 30; ++rep) summary.Update(1);
+  for (int rep = 0; rep < 50; ++rep) summary.Update(2);
+  for (int rep = 0; rep < 10; ++rep) summary.Update(3);
+  const auto entries = summary.HeavyEntries(15);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 2u);
+  EXPECT_EQ(entries[1].first, 1u);
+}
+
+TEST(MisraGriesTest, WeightedUpdates) {
+  MisraGries summary(3);
+  summary.Update(1, 100);
+  summary.Update(2, 1);
+  summary.Update(3, 1);
+  summary.Update(4, 2);  // Decrements everyone by 1, inserts 4 with 1.
+  EXPECT_EQ(summary.Estimate(1), 99u);
+  EXPECT_EQ(summary.Estimate(2), 0u);
+  EXPECT_EQ(summary.Estimate(3), 0u);
+  EXPECT_EQ(summary.Estimate(4), 1u);
+  EXPECT_EQ(summary.total_count(), 104u);
+}
+
+TEST(MisraGriesTest, MemoryAccounting) {
+  MisraGries summary(50);
+  EXPECT_EQ(summary.MemoryBuckets(), 100u);
+}
+
+class MisraGriesCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MisraGriesCapacitySweep, BoundHoldsAcrossCapacities) {
+  MisraGries summary(GetParam());
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(5);
+  ZipfSampler zipf(200, 1.2);
+  for (int t = 0; t < 20000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_LE(static_cast<double>(count - summary.Estimate(key)),
+              summary.ErrorBound() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MisraGriesCapacitySweep,
+                         ::testing::Values(1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace opthash::sketch

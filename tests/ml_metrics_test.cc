@@ -1,0 +1,59 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace opthash::ml {
+namespace {
+
+TEST(AccuracyTest, PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {1, 2, 0}), 0.0);
+}
+
+TEST(AccuracyTest, Partial) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 0, 1, 1}, {0, 1, 1, 0}), 0.5);
+}
+
+TEST(ConfusionMatrixTest, CountsPlacements) {
+  const auto matrix = ConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_EQ(matrix[0][0], 1u);
+  EXPECT_EQ(matrix[0][1], 1u);
+  EXPECT_EQ(matrix[1][0], 1u);
+  EXPECT_EQ(matrix[1][1], 2u);
+}
+
+TEST(ConfusionMatrixTest, RowsSumToClassCounts) {
+  const std::vector<int> labels = {2, 2, 0, 1, 2, 0};
+  const std::vector<int> predictions = {2, 1, 0, 1, 0, 0};
+  const auto matrix = ConfusionMatrix(labels, predictions, 3);
+  size_t class2_total = matrix[2][0] + matrix[2][1] + matrix[2][2];
+  EXPECT_EQ(class2_total, 3u);
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2, 0}, {0, 1, 2, 0}, 3), 1.0);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // Class 0: tp=1, fp=1, fn=0 -> p=0.5, r=1, f1=2/3.
+  // Class 1: tp=1, fp=0, fn=1 -> p=1, r=0.5, f1=2/3.
+  const double f1 = MacroF1({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  // Class 0: tp=1 (index 0), fn=1 (index 1 predicted 1), fp=0.
+  // Class 1: tp=2, fp=1, fn=0.
+  // f1_0 = 2*1*0.5/1.5 = 2/3; f1_1 = 2*(2/3)*1/(5/3) = 0.8.
+  EXPECT_NEAR(f1, (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassesSkipped) {
+  // Class 2 never appears in labels or predictions.
+  const double f1 = MacroF1({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(f1, 1.0);
+}
+
+TEST(MacroF1Test, ClassWithNoTruePositives) {
+  const double f1 = MacroF1({0, 0}, {1, 1}, 2);
+  EXPECT_DOUBLE_EQ(f1, 0.0);
+}
+
+}  // namespace
+}  // namespace opthash::ml

@@ -1,0 +1,104 @@
+#include "opt/objective.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/bucket_stats.h"
+#include "opt_test_util.h"
+
+namespace opthash::opt {
+namespace {
+
+TEST(ObjectiveTest, SingleBucketKnownValue) {
+  HashingProblem problem;
+  problem.frequencies = {1.0, 3.0, 8.0};
+  problem.features = {{0.0}, {1.0}, {2.0}};
+  problem.num_buckets = 1;
+  problem.lambda = 0.5;
+  const ObjectiveValue value = EvaluateObjective(problem, {0, 0, 0});
+  // Mean 4: |1-4| + |3-4| + |8-4| = 8.
+  EXPECT_DOUBLE_EQ(value.estimation_error, 8.0);
+  // Ordered pairs: 2*(1 + 4 + 1) = 12.
+  EXPECT_DOUBLE_EQ(value.similarity_error, 12.0);
+  EXPECT_DOUBLE_EQ(value.overall, 0.5 * 8.0 + 0.5 * 12.0);
+}
+
+TEST(ObjectiveTest, SingletonBucketsAreFree) {
+  HashingProblem problem;
+  problem.frequencies = {5.0, 9.0};
+  problem.features = {{1.0}, {7.0}};
+  problem.num_buckets = 2;
+  problem.lambda = 0.3;
+  const ObjectiveValue value = EvaluateObjective(problem, {0, 1});
+  EXPECT_DOUBLE_EQ(value.estimation_error, 0.0);
+  EXPECT_DOUBLE_EQ(value.similarity_error, 0.0);
+  EXPECT_DOUBLE_EQ(value.overall, 0.0);
+}
+
+TEST(ObjectiveTest, LambdaOneIgnoresFeatures) {
+  HashingProblem problem;
+  problem.frequencies = {2.0, 4.0};
+  problem.num_buckets = 1;
+  problem.lambda = 1.0;
+  const ObjectiveValue value = EvaluateObjective(problem, {0, 0});
+  EXPECT_DOUBLE_EQ(value.estimation_error, 2.0);
+  EXPECT_DOUBLE_EQ(value.similarity_error, 0.0);
+  EXPECT_DOUBLE_EQ(value.overall, 2.0);
+}
+
+TEST(ObjectiveTest, MatchesBucketStatsOnRandomInstances) {
+  // The from-scratch evaluator and the incremental BucketStats bookkeeping
+  // must agree on any assignment.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const HashingProblem problem =
+        testutil::RandomProblem(40, 5, 0.4, 2, seed);
+    Rng rng(seed + 100);
+    Assignment assignment(problem.NumElements());
+    for (auto& bucket : assignment) {
+      bucket = static_cast<int32_t>(rng.NextBounded(problem.num_buckets));
+    }
+    std::vector<BucketStats> buckets(problem.num_buckets, BucketStats(2));
+    for (size_t i = 0; i < problem.NumElements(); ++i) {
+      buckets[static_cast<size_t>(assignment[i])].Add(problem.frequencies[i],
+                                                      problem.features[i]);
+    }
+    double estimation = 0.0;
+    double similarity = 0.0;
+    for (const auto& bucket : buckets) {
+      estimation += bucket.EstimationError();
+      similarity += bucket.SimilarityError();
+    }
+    const ObjectiveValue value = EvaluateObjective(problem, assignment);
+    EXPECT_NEAR(value.estimation_error, estimation, 1e-7);
+    EXPECT_NEAR(value.similarity_error, similarity, 1e-6);
+  }
+}
+
+TEST(ObjectiveTest, NormalizedPerElementScale) {
+  HashingProblem problem;
+  problem.frequencies = {0.0, 4.0, 0.0, 4.0};
+  problem.features = {{0.0}, {2.0}, {0.0}, {2.0}};
+  problem.num_buckets = 2;
+  problem.lambda = 0.5;
+  // Buckets {0,1} and {2,3}: each has estimation error 4 and similarity 8.
+  const NormalizedObjective normalized =
+      NormalizeObjective(problem, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(normalized.estimation_error_per_element, 8.0 / 4.0);
+  // Ordered co-bucket pairs: 2 buckets * 2^2 = 8 pairs; similarity 16 total.
+  EXPECT_DOUBLE_EQ(normalized.similarity_error_per_pair, 16.0 / 8.0);
+  EXPECT_DOUBLE_EQ(normalized.overall, 0.5 * 2.0 + 0.5 * 2.0);
+}
+
+TEST(ObjectiveTest, EmptyBucketsContributeNothing) {
+  HashingProblem problem;
+  problem.frequencies = {1.0, 2.0};
+  problem.features = {{0.0}, {0.0}};
+  problem.num_buckets = 10;
+  problem.lambda = 0.5;
+  const ObjectiveValue value = EvaluateObjective(problem, {3, 3});
+  EXPECT_DOUBLE_EQ(value.estimation_error, 1.0);
+}
+
+}  // namespace
+}  // namespace opthash::opt

@@ -1,0 +1,225 @@
+#include "core/opt_hash_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::core {
+namespace {
+
+// A small prefix with two frequency tiers and features that separate them.
+std::vector<PrefixElement> TieredPrefix(size_t heavy, size_t light,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PrefixElement> prefix;
+  for (size_t i = 0; i < heavy; ++i) {
+    prefix.push_back({.id = 1000 + i,
+                      .frequency = 100.0 + static_cast<double>(i % 3),
+                      .features = {5.0 + rng.NextGaussian() * 0.2}});
+  }
+  for (size_t i = 0; i < light; ++i) {
+    prefix.push_back({.id = 2000 + i,
+                      .frequency = 2.0 + static_cast<double>(i % 2),
+                      .features = {-5.0 + rng.NextGaussian() * 0.2}});
+  }
+  return prefix;
+}
+
+OptHashConfig SmallConfig() {
+  OptHashConfig config;
+  config.total_buckets = 40;
+  config.id_ratio = 0.3;
+  config.lambda = 1.0;
+  config.solver = SolverKind::kDp;
+  config.classifier = ClassifierKind::kCart;
+  return config;
+}
+
+TEST(OptHashConfigTest, Validation) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  OptHashConfig bad = SmallConfig();
+  bad.total_buckets = 1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.id_ratio = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.lambda = 2.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(OptHashEstimatorTest, TrainRejectsEmptyPrefix) {
+  EXPECT_FALSE(OptHashEstimator::Train(SmallConfig(), {}).ok());
+}
+
+TEST(OptHashEstimatorTest, MemorySplitFollowsPaperFormula) {
+  // n = b_total/(1+c), b = b_total - n.
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 15, 1));
+  ASSERT_TRUE(result.ok());
+  const OptHashEstimator& estimator = result.value();
+  // b_total = 40, c = 0.3: id budget = floor(40/1.3) = 30, buckets = 10.
+  EXPECT_EQ(estimator.num_buckets(), 10u);
+  EXPECT_EQ(estimator.num_stored_ids(), 25u);  // All 25 fit within 30.
+  EXPECT_EQ(estimator.MemoryBuckets(), 35u);
+}
+
+TEST(OptHashEstimatorTest, SubsamplesWhenPrefixExceedsBudget) {
+  OptHashConfig config = SmallConfig();
+  config.total_buckets = 26;  // id budget = 20, buckets = 6.
+  auto result = OptHashEstimator::Train(config, TieredPrefix(20, 30, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_stored_ids(), 20u);
+  // Heavy elements (frequency 100+) should dominate the sample.
+  size_t heavy_kept = 0;
+  for (const auto& [id, bucket] : result.value().table()) {
+    if (id >= 1000 && id < 2000) ++heavy_kept;
+  }
+  EXPECT_GE(heavy_kept, 18u);
+}
+
+TEST(OptHashEstimatorTest, SeenElementEstimateIsBucketAverage) {
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(5, 10, 3));
+  ASSERT_TRUE(result.ok());
+  const OptHashEstimator& estimator = result.value();
+  // Heavy element: its bucket holds only heavy elements (frequencies
+  // 100..102 across 5 heavy ids; with 10 buckets the DP separates tiers).
+  const stream::StreamItem heavy{1000, nullptr};
+  const double estimate = estimator.Estimate(heavy);
+  EXPECT_GE(estimate, 99.0);
+  EXPECT_LE(estimate, 103.0);
+  const stream::StreamItem light{2000, nullptr};
+  EXPECT_LE(estimator.Estimate(light), 4.0);
+}
+
+TEST(OptHashEstimatorTest, UpdateIncrementsOnlyTrackedElements) {
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(5, 5, 4));
+  ASSERT_TRUE(result.ok());
+  OptHashEstimator& estimator = result.value();
+  const stream::StreamItem tracked{1000, nullptr};
+  const double before = estimator.Estimate(tracked);
+  const auto bucket = static_cast<size_t>(estimator.BucketOf(tracked));
+  const double bucket_count = estimator.BucketCount(bucket);
+  estimator.Update(tracked);
+  EXPECT_NEAR(estimator.Estimate(tracked), before + 1.0 / bucket_count, 1e-9);
+
+  // Unknown id: static mode ignores it entirely.
+  const stream::StreamItem unknown{999999, nullptr};
+  const double unknown_before = estimator.Estimate(unknown);
+  estimator.Update(unknown);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(unknown), unknown_before);
+}
+
+TEST(OptHashEstimatorTest, UnseenElementRoutedThroughClassifier) {
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(8, 12, 5));
+  ASSERT_TRUE(result.ok());
+  const OptHashEstimator& estimator = result.value();
+  // An unseen element whose features look "heavy" must get a heavy-tier
+  // estimate; one that looks "light" a light-tier estimate.
+  const std::vector<double> heavy_features = {5.0};
+  const std::vector<double> light_features = {-5.0};
+  const stream::StreamItem unseen_heavy{777777, &heavy_features};
+  const stream::StreamItem unseen_light{888888, &light_features};
+  EXPECT_GE(estimator.Estimate(unseen_heavy), 50.0);
+  EXPECT_LE(estimator.Estimate(unseen_light), 10.0);
+}
+
+TEST(OptHashEstimatorTest, NoClassifierUnseenGetsZero) {
+  OptHashConfig config = SmallConfig();
+  config.classifier = ClassifierKind::kNone;
+  auto result = OptHashEstimator::Train(config, TieredPrefix(5, 5, 6));
+  ASSERT_TRUE(result.ok());
+  const std::vector<double> features = {0.0};
+  const stream::StreamItem unseen{424242, &features};
+  EXPECT_EQ(result.value().BucketOf(unseen), -1);
+  EXPECT_DOUBLE_EQ(result.value().Estimate(unseen), 0.0);
+}
+
+TEST(OptHashEstimatorTest, LambdaBelowOneRequiresFeatures) {
+  OptHashConfig config = SmallConfig();
+  config.lambda = 0.5;
+  config.solver = SolverKind::kBcd;
+  std::vector<PrefixElement> featureless = {{1, 5.0, {}}, {2, 9.0, {}}};
+  EXPECT_FALSE(OptHashEstimator::Train(config, featureless).ok());
+}
+
+TEST(OptHashEstimatorTest, AllSolversProduceWorkingEstimators) {
+  for (SolverKind solver :
+       {SolverKind::kBcd, SolverKind::kDp, SolverKind::kExact}) {
+    OptHashConfig config = SmallConfig();
+    config.solver = solver;
+    config.exact.time_limit_seconds = 2.0;
+    auto result = OptHashEstimator::Train(config, TieredPrefix(5, 8, 7));
+    ASSERT_TRUE(result.ok()) << SolverKindName(solver);
+    const stream::StreamItem heavy{1000, nullptr};
+    EXPECT_GT(result.value().Estimate(heavy), 50.0) << SolverKindName(solver);
+  }
+}
+
+TEST(OptHashEstimatorTest, AllClassifiersProduceWorkingEstimators) {
+  for (ClassifierKind classifier :
+       {ClassifierKind::kLogisticRegression, ClassifierKind::kCart,
+        ClassifierKind::kRandomForest}) {
+    OptHashConfig config = SmallConfig();
+    config.classifier = classifier;
+    auto result = OptHashEstimator::Train(config, TieredPrefix(8, 12, 8));
+    ASSERT_TRUE(result.ok()) << ClassifierKindName(classifier);
+    const std::vector<double> heavy_features = {5.0};
+    const stream::StreamItem unseen{31337, &heavy_features};
+    EXPECT_GT(result.value().Estimate(unseen), 30.0)
+        << ClassifierKindName(classifier);
+  }
+}
+
+TEST(OptHashEstimatorTest, TrainingInfoPopulated) {
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 10, 9));
+  ASSERT_TRUE(result.ok());
+  const OptHashTrainingInfo& info = result.value().training_info();
+  EXPECT_EQ(info.num_prefix_elements, 20u);
+  EXPECT_EQ(info.num_sampled_elements, 20u);
+  EXPECT_EQ(info.num_buckets, 10u);
+  EXPECT_GE(info.total_train_seconds, 0.0);
+  EXPECT_TRUE(IsValidAssignment(
+      opt::HashingProblem{
+          .frequencies = std::vector<double>(20, 1.0),
+          .features = {},
+          .num_buckets = 10,
+          .lambda = 1.0,
+      },
+      info.solve_result.assignment));
+}
+
+TEST(OptHashEstimatorTest, BucketCountsConsistent) {
+  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 15, 10));
+  ASSERT_TRUE(result.ok());
+  const OptHashEstimator& estimator = result.value();
+  double total_count = 0.0;
+  for (size_t j = 0; j < estimator.num_buckets(); ++j) {
+    total_count += estimator.BucketCount(j);
+  }
+  EXPECT_DOUBLE_EQ(total_count,
+                   static_cast<double>(estimator.num_stored_ids()));
+}
+
+TEST(OptHashEstimatorTest, DeterministicGivenSeed) {
+  auto a = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 20, 11));
+  auto b = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 20, 11));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (uint64_t id : {1000u, 1005u, 2000u, 2010u}) {
+    const stream::StreamItem item{id, nullptr};
+    EXPECT_DOUBLE_EQ(a.value().Estimate(item), b.value().Estimate(item));
+  }
+}
+
+TEST(OptHashEstimatorTest, KindNames) {
+  EXPECT_STREQ(SolverKindName(SolverKind::kBcd), "bcd");
+  EXPECT_STREQ(SolverKindName(SolverKind::kDp), "dp");
+  EXPECT_STREQ(SolverKindName(SolverKind::kExact), "milp");
+  EXPECT_STREQ(ClassifierKindName(ClassifierKind::kRandomForest), "rf");
+  EXPECT_STREQ(ClassifierKindName(ClassifierKind::kNone), "none");
+}
+
+}  // namespace
+}  // namespace opthash::core

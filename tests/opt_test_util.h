@@ -1,0 +1,62 @@
+#ifndef OPTHASH_TESTS_OPT_TEST_UTIL_H_
+#define OPTHASH_TESTS_OPT_TEST_UTIL_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "opt/objective.h"
+#include "opt/problem.h"
+
+namespace opthash::opt::testutil {
+
+/// Builds a random problem instance with integer-ish frequencies in
+/// [0, max_freq) and Gaussian features.
+inline HashingProblem RandomProblem(size_t n, size_t b, double lambda,
+                                    size_t feature_dim, uint64_t seed,
+                                    double max_freq = 50.0) {
+  Rng rng(seed);
+  HashingProblem problem;
+  problem.num_buckets = b;
+  problem.lambda = lambda;
+  problem.frequencies.resize(n);
+  for (double& f : problem.frequencies) {
+    f = static_cast<double>(rng.NextBounded(static_cast<uint64_t>(max_freq)));
+  }
+  problem.features.resize(n);
+  for (auto& x : problem.features) {
+    x.resize(feature_dim);
+    for (double& value : x) value = rng.NextGaussian() * 3.0;
+  }
+  return problem;
+}
+
+/// Exhaustively enumerates all b^n assignments and returns the minimal
+/// overall objective. Only usable for tiny instances.
+inline double BruteForceOptimum(const HashingProblem& problem,
+                                Assignment* best_assignment = nullptr) {
+  const size_t n = problem.NumElements();
+  const size_t b = problem.num_buckets;
+  Assignment assignment(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    const double value = EvaluateObjective(problem, assignment).overall;
+    if (value < best) {
+      best = value;
+      if (best_assignment != nullptr) *best_assignment = assignment;
+    }
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < n) {
+      if (static_cast<size_t>(++assignment[pos]) < b) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace opthash::opt::testutil
+
+#endif  // OPTHASH_TESTS_OPT_TEST_UTIL_H_

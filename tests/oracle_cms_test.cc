@@ -1,0 +1,169 @@
+#include "core/oracle_cms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/baseline_estimators.h"
+#include "core/evaluation.h"
+#include "sketch/learned_count_min.h"
+
+namespace opthash::core {
+namespace {
+
+TEST(OracleLearnedCmsTest, CreateValidation) {
+  auto always_false = [](const stream::StreamItem&) { return false; };
+  EXPECT_FALSE(OracleLearnedCms::Create(100, 0, 10, always_false, 1).ok());
+  EXPECT_FALSE(OracleLearnedCms::Create(100, 2, 50, always_false, 1).ok());
+  EXPECT_FALSE(OracleLearnedCms::Create(100, 2, 10, nullptr, 1).ok());
+  EXPECT_TRUE(OracleLearnedCms::Create(100, 2, 10, always_false, 1).ok());
+}
+
+TEST(OracleLearnedCmsTest, FlaggedElementsCountedExactly) {
+  auto flag_low_ids = [](const stream::StreamItem& item) {
+    return item.id < 5;
+  };
+  auto created = OracleLearnedCms::Create(200, 2, 10, flag_low_ids, 2);
+  ASSERT_TRUE(created.ok());
+  OracleLearnedCms& estimator = created.value();
+  for (int rep = 0; rep < 17; ++rep) estimator.Update({3, nullptr});
+  EXPECT_DOUBLE_EQ(estimator.Estimate({3, nullptr}), 17.0);
+  EXPECT_EQ(estimator.heavy_in_use(), 1u);
+}
+
+TEST(OracleLearnedCmsTest, CapacityBoundsUniqueBuckets) {
+  auto flag_all = [](const stream::StreamItem&) { return true; };
+  auto created = OracleLearnedCms::Create(100, 2, 5, flag_all, 3);
+  ASSERT_TRUE(created.ok());
+  OracleLearnedCms& estimator = created.value();
+  for (uint64_t id = 0; id < 50; ++id) estimator.Update({id, nullptr});
+  EXPECT_EQ(estimator.heavy_in_use(), 5u);
+  // The first five claimed unique buckets; later ones flowed to the CMS and
+  // retain the one-sided CMS property.
+  for (uint64_t id = 5; id < 50; ++id) {
+    EXPECT_GE(estimator.Estimate({id, nullptr}), 1.0);
+  }
+}
+
+TEST(OracleLearnedCmsTest, UnflaggedGoThroughCms) {
+  auto flag_none = [](const stream::StreamItem&) { return false; };
+  auto created = OracleLearnedCms::Create(130, 2, 5, flag_none, 4);
+  ASSERT_TRUE(created.ok());
+  OracleLearnedCms& estimator = created.value();
+  Rng rng(5);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 5000; ++t) {
+    const uint64_t id = rng.NextBounded(200);
+    estimator.Update({id, nullptr});
+    ++truth[id];
+  }
+  EXPECT_EQ(estimator.heavy_in_use(), 0u);
+  for (const auto& [id, count] : truth) {
+    EXPECT_GE(estimator.Estimate({id, nullptr}), static_cast<double>(count));
+  }
+}
+
+TEST(TrainHeavyHitterOracleTest, Validation) {
+  EXPECT_FALSE(TrainHeavyHitterOracle({}, 0.1, 1).ok());
+  std::vector<PrefixElement> featureless = {{1, 5.0, {}}};
+  EXPECT_FALSE(TrainHeavyHitterOracle(featureless, 0.1, 1).ok());
+  std::vector<PrefixElement> ok = {{1, 5.0, {1.0}}, {2, 1.0, {0.0}}};
+  EXPECT_FALSE(TrainHeavyHitterOracle(ok, 0.0, 1).ok());
+  EXPECT_FALSE(TrainHeavyHitterOracle(ok, 1.0, 1).ok());
+  EXPECT_TRUE(TrainHeavyHitterOracle(ok, 0.5, 1).ok());
+}
+
+TEST(TrainHeavyHitterOracleTest, LearnsSeparableHeaviness) {
+  // Heavy elements live at feature +3, light at -3: the oracle must learn
+  // the boundary.
+  Rng rng(6);
+  std::vector<PrefixElement> prefix;
+  for (uint64_t i = 0; i < 40; ++i) {
+    prefix.push_back({.id = i,
+                      .frequency = 100.0,
+                      .features = {3.0 + 0.3 * rng.NextGaussian()}});
+  }
+  for (uint64_t i = 40; i < 400; ++i) {
+    prefix.push_back({.id = i,
+                      .frequency = 2.0,
+                      .features = {-3.0 + 0.3 * rng.NextGaussian()}});
+  }
+  auto oracle = TrainHeavyHitterOracle(prefix, 0.1, 7);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_GE(oracle.value().train_accuracy, 0.99);
+  EXPECT_DOUBLE_EQ(oracle.value().frequency_cutoff, 100.0);
+
+  const auto predicate = oracle.value().AsPredicate();
+  const std::vector<double> heavy_features = {3.0};
+  const std::vector<double> light_features = {-3.0};
+  EXPECT_TRUE(predicate({999, &heavy_features}));
+  EXPECT_FALSE(predicate({999, &light_features}));
+  EXPECT_FALSE(predicate({999, nullptr}));  // No features -> non-heavy.
+}
+
+TEST(OracleLearnedCmsTest, RealizableOracleBetweenIdealAndPlainCms) {
+  // The §2.2 hierarchy on a skewed stream with learnable heaviness:
+  //   ideal heavy-hitter <= learned-oracle heavy-hitter <= plain count-min
+  // in average absolute error at equal memory.
+  Rng rng(8);
+  std::vector<PrefixElement> prefix;
+  std::unordered_map<uint64_t, std::vector<double>> features;
+  for (uint64_t i = 0; i < 30; ++i) {
+    features[i] = {4.0 + 0.3 * rng.NextGaussian()};
+    prefix.push_back({.id = i, .frequency = 80.0, .features = features[i]});
+  }
+  for (uint64_t i = 30; i < 600; ++i) {
+    features[i] = {-4.0 + 0.3 * rng.NextGaussian()};
+    prefix.push_back({.id = i, .frequency = 2.0, .features = features[i]});
+  }
+  auto oracle = TrainHeavyHitterOracle(prefix, 0.05, 9);
+  ASSERT_TRUE(oracle.ok());
+
+  constexpr size_t kBudget = 220;
+  auto learned = OracleLearnedCms::Create(kBudget, 2, 30,
+                                          oracle.value().AsPredicate(), 10);
+  ASSERT_TRUE(learned.ok());
+  CountMinEstimator plain(kBudget, 2, 10);
+
+  // Stream: heavy ids ~50 arrivals each, light ids ~2 each.
+  stream::ExactCounter truth;
+  std::vector<uint64_t> stream_arrivals;
+  for (uint64_t i = 0; i < 30; ++i) {
+    for (int rep = 0; rep < 50; ++rep) stream_arrivals.push_back(i);
+  }
+  for (uint64_t i = 30; i < 600; ++i) {
+    for (int rep = 0; rep < 2; ++rep) stream_arrivals.push_back(i);
+  }
+  rng.Shuffle(stream_arrivals);
+  const std::vector<uint64_t> heavy_keys =
+      [&] {
+        std::unordered_map<uint64_t, uint64_t> totals;
+        for (uint64_t id : stream_arrivals) ++totals[id];
+        return sketch::SelectTopKeys(totals, 30);
+      }();
+  auto ideal = LearnedCmsEstimator::Create(kBudget, 2, heavy_keys, 10);
+  ASSERT_TRUE(ideal.ok());
+
+  for (uint64_t id : stream_arrivals) {
+    const stream::StreamItem item{id, &features[id]};
+    learned.value().Update(item);
+    plain.Update(item);
+    ideal.value().Update(item);
+    truth.Add(id);
+  }
+
+  std::vector<EvalQuery> queries;
+  for (const auto& [id, count] : truth.counts()) {
+    queries.push_back({{id, &features[id]}, static_cast<double>(count)});
+  }
+  const double learned_error =
+      EvaluateEstimator(learned.value(), queries).average_absolute_error;
+  const double plain_error =
+      EvaluateEstimator(plain, queries).average_absolute_error;
+  const double ideal_error =
+      EvaluateEstimator(ideal.value(), queries).average_absolute_error;
+  EXPECT_LE(ideal_error, learned_error + 1e-9);
+  EXPECT_LT(learned_error, plain_error);
+}
+
+}  // namespace
+}  // namespace opthash::core

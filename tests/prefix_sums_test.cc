@@ -1,0 +1,53 @@
+#include "common/prefix_sums.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash {
+namespace {
+
+TEST(PrefixSumsTest, EmptySequence) {
+  PrefixSums sums((std::vector<double>()));
+  EXPECT_EQ(sums.size(), 0u);
+  EXPECT_TRUE(sums.empty());
+  EXPECT_DOUBLE_EQ(sums.Head(0), 0.0);
+}
+
+TEST(PrefixSumsTest, SingleElement) {
+  PrefixSums sums(std::vector<double>{3.5});
+  EXPECT_EQ(sums.size(), 1u);
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(sums.Head(1), 3.5);
+}
+
+TEST(PrefixSumsTest, RangeSums) {
+  PrefixSums sums(std::vector<double>{1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 4), 15.0);
+  EXPECT_DOUBLE_EQ(sums.Sum(1, 3), 9.0);
+  EXPECT_DOUBLE_EQ(sums.Sum(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(sums.Head(3), 6.0);
+}
+
+TEST(PrefixSumsTest, NegativeValues) {
+  PrefixSums sums(std::vector<double>{-1.0, 2.0, -3.0});
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 2), -2.0);
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 1), 1.0);
+}
+
+TEST(PrefixSumsTest, MatchesNaiveOnRandomData) {
+  Rng rng(99);
+  std::vector<double> values(200);
+  for (double& v : values) v = rng.NextDouble(-10.0, 10.0);
+  PrefixSums sums(values);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t i = rng.NextBounded(values.size());
+    size_t j = i + rng.NextBounded(values.size() - i);
+    double naive = 0.0;
+    for (size_t t = i; t <= j; ++t) naive += values[t];
+    EXPECT_NEAR(sums.Sum(i, j), naive, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace opthash

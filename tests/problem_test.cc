@@ -1,0 +1,85 @@
+#include "opt/problem.h"
+
+#include <gtest/gtest.h>
+
+namespace opthash::opt {
+namespace {
+
+HashingProblem ValidProblem() {
+  HashingProblem problem;
+  problem.frequencies = {1.0, 2.0, 3.0};
+  problem.features = {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  problem.num_buckets = 2;
+  problem.lambda = 0.5;
+  return problem;
+}
+
+TEST(HashingProblemTest, ValidInstancePasses) {
+  EXPECT_TRUE(ValidProblem().Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsEmptyElements) {
+  HashingProblem problem = ValidProblem();
+  problem.frequencies.clear();
+  problem.features.clear();
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsZeroBuckets) {
+  HashingProblem problem = ValidProblem();
+  problem.num_buckets = 0;
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsLambdaOutOfRange) {
+  HashingProblem problem = ValidProblem();
+  problem.lambda = 1.5;
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.lambda = -0.1;
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsNegativeFrequency) {
+  HashingProblem problem = ValidProblem();
+  problem.frequencies[1] = -1.0;
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RequiresFeaturesWhenLambdaBelowOne) {
+  HashingProblem problem = ValidProblem();
+  problem.features.clear();
+  problem.lambda = 0.5;
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.lambda = 1.0;
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsInconsistentFeatureDims) {
+  HashingProblem problem = ValidProblem();
+  problem.features[1] = {1.0};
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(HashingProblemTest, RejectsPartialFeaturesAtLambdaOne) {
+  HashingProblem problem = ValidProblem();
+  problem.lambda = 1.0;
+  problem.features.pop_back();
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(SquaredDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({-1.0, 2.0}, {1.0, -2.0}), 20.0);
+}
+
+TEST(IsValidAssignmentTest, ChecksLengthAndRange) {
+  const HashingProblem problem = ValidProblem();
+  EXPECT_TRUE(IsValidAssignment(problem, {0, 1, 0}));
+  EXPECT_FALSE(IsValidAssignment(problem, {0, 1}));          // Too short.
+  EXPECT_FALSE(IsValidAssignment(problem, {0, 1, 2}));       // Bucket 2 >= b.
+  EXPECT_FALSE(IsValidAssignment(problem, {0, -1, 0}));      // Negative.
+}
+
+}  // namespace
+}  // namespace opthash::opt

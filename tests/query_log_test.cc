@@ -1,0 +1,167 @@
+#include "stream/query_log.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+namespace opthash::stream {
+namespace {
+
+QueryLogConfig SmallConfig() {
+  QueryLogConfig config;
+  config.num_queries = 5000;
+  config.arrivals_per_day = 2000;
+  config.num_days = 10;
+  config.seed = 1;
+  return config;
+}
+
+TEST(QueryLogConfigTest, Validation) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  QueryLogConfig bad = SmallConfig();
+  bad.num_queries = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.arrivals_per_day = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.num_days = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.zipf_s = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(QueryLogTest, HeadQueriesAreNavigational) {
+  QueryLog log(SmallConfig());
+  // Rank 1 is a bare brand ("google"-like), rank 2 a www form.
+  EXPECT_EQ(log.QueryText(1), "google");
+  EXPECT_EQ(log.QueryText(2).substr(0, 4), "www.");
+  EXPECT_NE(log.QueryText(2).find("google"), std::string::npos);
+}
+
+TEST(QueryLogTest, TailQueriesAreLongMultiWord) {
+  // Tail tier starts past rank 6000, so use a universe deep enough to
+  // sample it.
+  QueryLogConfig config = SmallConfig();
+  config.num_queries = 20000;
+  QueryLog log(config);
+  auto avg_words = [&](size_t lo, size_t hi) {
+    double total = 0.0;
+    for (size_t r = lo; r <= hi; ++r) {
+      const std::string& text = log.QueryText(r);
+      total += 1.0 + static_cast<double>(
+                         std::count(text.begin(), text.end(), ' '));
+    }
+    return total / static_cast<double>(hi - lo + 1);
+  };
+  EXPECT_LT(avg_words(1, 50), 1.5);
+  EXPECT_GT(avg_words(15000, 15500), 3.0);
+}
+
+TEST(QueryLogTest, TextLengthCorrelatesWithRank) {
+  QueryLogConfig config = SmallConfig();
+  config.num_queries = 20000;
+  QueryLog log(config);
+  double head_len = 0.0;
+  double tail_len = 0.0;
+  for (size_t r = 1; r <= 100; ++r) {
+    head_len += static_cast<double>(log.QueryText(r).size());
+  }
+  for (size_t r = 19901; r <= 20000; ++r) {
+    tail_len += static_cast<double>(log.QueryText(r).size());
+  }
+  EXPECT_GT(tail_len, 1.5 * head_len);
+}
+
+TEST(QueryLogTest, DayStreamsFollowZipf) {
+  QueryLog log(SmallConfig());
+  std::unordered_map<size_t, size_t> counts;
+  for (size_t day = 0; day < 10; ++day) {
+    for (size_t rank : log.GenerateDay(day)) ++counts[rank];
+  }
+  // 20000 arrivals: rank-1 count / rank-10 count ~ 10^0.82 ~ 6.6.
+  ASSERT_GT(counts[1], 0u);
+  ASSERT_GT(counts[10], 0u);
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[10]);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 14.0);
+}
+
+TEST(QueryLogTest, HeadQueriesPersistAcrossDays) {
+  // The §7 premise: "popular search queries tend to appear consistently
+  // across multiple days". Every head rank must appear every day.
+  QueryLog log(SmallConfig());
+  for (size_t day = 0; day < 10; ++day) {
+    const std::vector<size_t> arrivals = log.GenerateDay(day);
+    std::set<size_t> present(arrivals.begin(), arrivals.end());
+    for (size_t rank = 1; rank <= 10; ++rank) {
+      EXPECT_TRUE(present.count(rank)) << "day " << day << " rank " << rank;
+    }
+  }
+}
+
+TEST(QueryLogTest, TailChurnsAcrossDays) {
+  // Tail queries appear on some days and not others.
+  QueryLog log(SmallConfig());
+  const std::vector<size_t> day0_arrivals = log.GenerateDay(0);
+  const std::vector<size_t> day1_arrivals = log.GenerateDay(1);
+  std::set<size_t> day0(day0_arrivals.begin(), day0_arrivals.end());
+  std::set<size_t> day1(day1_arrivals.begin(), day1_arrivals.end());
+  size_t only_day1 = 0;
+  for (size_t rank : day1) {
+    if (!day0.count(rank)) ++only_day1;
+  }
+  EXPECT_GT(only_day1, 100u);
+}
+
+TEST(QueryLogTest, DaysAreDeterministic) {
+  QueryLog a(SmallConfig());
+  QueryLog b(SmallConfig());
+  EXPECT_EQ(a.GenerateDay(3), b.GenerateDay(3));
+  EXPECT_NE(a.GenerateDay(3), a.GenerateDay(4));
+}
+
+TEST(QueryLogTest, TextsAreStableAcrossUniverseSizes) {
+  // The per-rank RNG makes texts independent of num_queries, so scaling
+  // the universe doesn't change head query texts.
+  QueryLogConfig small = SmallConfig();
+  QueryLogConfig large = SmallConfig();
+  large.num_queries = 20000;
+  QueryLog small_log(small);
+  QueryLog large_log(large);
+  for (size_t rank = 1; rank <= 5000; rank += 500) {
+    EXPECT_EQ(small_log.QueryText(rank), large_log.QueryText(rank));
+  }
+}
+
+TEST(QueryLogTest, ZipfAnchorRatiosMatchPaperCalibration) {
+  // The paper's AOL anchors give f(1)/f(10) ~ 6.7, f(1)/f(100) ~ 48,
+  // f(1)/f(1000) ~ 272. With s = 0.82 the generator reproduces these.
+  QueryLogConfig config;
+  config.num_queries = 50000;
+  QueryLog log(config);
+  const double p1 = log.Probability(1);
+  EXPECT_NEAR(p1 / log.Probability(10), 251463.0 / 37436.0, 0.7);
+  EXPECT_NEAR(p1 / log.Probability(100), 251463.0 / 5237.0, 5.0);
+  EXPECT_NEAR(p1 / log.Probability(1000), 251463.0 / 926.0, 35.0);
+}
+
+TEST(QueryLogTest, QueryIdsAreRanks) {
+  QueryLog log(SmallConfig());
+  EXPECT_EQ(log.QueryId(1), 1u);
+  EXPECT_EQ(log.QueryId(777), 777u);
+}
+
+TEST(QueryLogTest, AllTextsNonEmptyAndUnique16CharPrefixNotRequired) {
+  QueryLog log(SmallConfig());
+  for (size_t rank = 1; rank <= log.NumQueries(); ++rank) {
+    EXPECT_FALSE(log.QueryText(rank).empty());
+  }
+}
+
+}  // namespace
+}  // namespace opthash::stream

@@ -1,0 +1,236 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace opthash {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndAdvancesState) {
+  uint64_t s1 = 7;
+  uint64_t s2 = 7;
+  const uint64_t a = SplitMix64(s1);
+  const uint64_t b = SplitMix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(SplitMix64(s1), a);  // State advanced.
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  size_t differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differences;
+  }
+  EXPECT_GT(differences, 30u);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedApproximatelyUniform) {
+  Rng rng(6);
+  constexpr size_t kBuckets = 8;
+  constexpr size_t kDraws = 80000;
+  std::vector<size_t> counts(kBuckets, 0);
+  for (size_t i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(9);
+  double total = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) total += rng.NextDouble();
+  EXPECT_NEAR(total / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(10);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(11);
+  const std::vector<size_t> perm = rng.Permutation(100);
+  std::set<size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(12);
+  const std::vector<size_t> perm = rng.Permutation(50);
+  std::vector<size_t> identity(50);
+  std::iota(identity.begin(), identity.end(), size_t{0});
+  EXPECT_NE(perm, identity);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<size_t> counts(3, 0);
+  constexpr size_t kDraws = 40000;
+  for (size_t i = 0; i < kDraws; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.02);
+}
+
+TEST(WeightedSampleTest, TakesAllWhenKExceedsN) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  const std::vector<size_t> chosen =
+      WeightedSampleWithoutReplacement(weights, 10, rng);
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST(WeightedSampleTest, ReturnsDistinctIndices) {
+  Rng rng(15);
+  std::vector<double> weights(100, 1.0);
+  const std::vector<size_t> chosen =
+      WeightedSampleWithoutReplacement(weights, 30, rng);
+  std::set<size_t> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t index : chosen) EXPECT_LT(index, 100u);
+}
+
+TEST(WeightedSampleTest, HeavyItemsSelectedMoreOften) {
+  Rng rng(16);
+  // Item 0 has weight 50, the other 99 items weight 1.
+  std::vector<double> weights(100, 1.0);
+  weights[0] = 50.0;
+  size_t hits = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<size_t> chosen =
+        WeightedSampleWithoutReplacement(weights, 10, rng);
+    hits += static_cast<size_t>(
+        std::count(chosen.begin(), chosen.end(), size_t{0}));
+  }
+  // With weight 50 vs 1, item 0 should be sampled nearly always.
+  EXPECT_GT(static_cast<double>(hits) / kTrials, 0.95);
+}
+
+TEST(WeightedSampleTest, ZeroWeightOnlyChosenWhenForced) {
+  Rng rng(17);
+  const std::vector<double> weights = {0.0, 1.0, 1.0};
+  for (int t = 0; t < 200; ++t) {
+    const std::vector<size_t> chosen =
+        WeightedSampleWithoutReplacement(weights, 2, rng);
+    for (size_t index : chosen) EXPECT_NE(index, 0u);
+  }
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler sampler(1000, 1.0);
+  double total = 0.0;
+  for (size_t r = 1; r <= 1000; ++r) total += sampler.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesDecreaseWithRank) {
+  ZipfSampler sampler(100, 0.82);
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_GT(sampler.Probability(r), sampler.Probability(r + 1));
+  }
+}
+
+TEST(ZipfSamplerTest, ZipfLawRatio) {
+  // P(1)/P(r) should equal r^s.
+  const double s = 0.82;
+  ZipfSampler sampler(10000, s);
+  for (size_t r : {2u, 10u, 100u, 1000u}) {
+    const double ratio = sampler.Probability(1) / sampler.Probability(r);
+    EXPECT_NEAR(ratio, std::pow(static_cast<double>(r), s), 1e-6 * ratio);
+  }
+}
+
+TEST(ZipfSamplerTest, SampleMatchesDistribution) {
+  ZipfSampler sampler(50, 1.0);
+  Rng rng(18);
+  std::vector<size_t> counts(51, 0);
+  constexpr size_t kDraws = 200000;
+  for (size_t i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t r = 1; r <= 50; ++r) {
+    const double expected = sampler.Probability(r) * kDraws;
+    EXPECT_NEAR(static_cast<double>(counts[r]), expected,
+                5 * std::sqrt(expected) + 5);
+  }
+}
+
+TEST(ZipfSamplerTest, UniformWhenSIsZero) {
+  ZipfSampler sampler(10, 0.0);
+  for (size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(sampler.Probability(r), 0.1, 1e-12);
+  }
+}
+
+class RngBoundedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundedSweep, AlwaysBelowBound) {
+  Rng rng(GetParam());
+  const uint64_t bound = 1 + GetParam() * 37;
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundedSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,70 @@
+#include "common/running_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(4.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveOnRandomData) {
+  Rng rng(7);
+  RunningStats stats;
+  std::vector<double> values(5000);
+  for (double& v : values) {
+    v = rng.NextGaussian() * 3.0 + 1.0;
+    stats.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-6);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(2.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,129 @@
+#include "opt/smawk.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::opt {
+namespace {
+
+// Brute-force leftmost row minima.
+std::vector<size_t> NaiveRowMinima(
+    size_t rows, size_t cols,
+    const std::function<double(size_t, size_t)>& value) {
+  std::vector<size_t> out(rows, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    double best = value(r, 0);
+    for (size_t c = 1; c < cols; ++c) {
+      const double v = value(r, c);
+      if (v < best) {
+        best = v;
+        out[r] = c;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SmawkTest, SingleRowSingleColumn) {
+  auto value = [](size_t, size_t) { return 1.0; };
+  EXPECT_EQ(SmawkRowMinima(1, 1, value), std::vector<size_t>({0}));
+}
+
+TEST(SmawkTest, SingleRowManyColumns) {
+  auto value = [](size_t, size_t c) {
+    return std::abs(static_cast<double>(c) - 3.0);
+  };
+  EXPECT_EQ(SmawkRowMinima(1, 8, value), std::vector<size_t>({3}));
+}
+
+TEST(SmawkTest, DistanceMatrix) {
+  // value(r, c) = (c - r)^2 is totally monotone; argmin of row r is c = r.
+  auto value = [](size_t r, size_t c) {
+    const double d = static_cast<double>(c) - static_cast<double>(r);
+    return d * d;
+  };
+  const std::vector<size_t> argmins = SmawkRowMinima(10, 10, value);
+  for (size_t r = 0; r < 10; ++r) EXPECT_EQ(argmins[r], r);
+}
+
+TEST(SmawkTest, MatchesNaiveOnRandomMongeMatrices) {
+  // Build random Monge matrices: M[r][c] = f(r) + g(c) + k * (R - r) * c with
+  // k <= 0 gives the (inverse) Monge condition ensuring total monotonicity
+  // of row minima moving right as r grows.
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t rows = 1 + rng.NextBounded(30);
+    const size_t cols = 1 + rng.NextBounded(30);
+    std::vector<double> f(rows);
+    std::vector<double> g(cols);
+    for (double& v : f) v = rng.NextDouble(0.0, 10.0);
+    for (double& v : g) v = rng.NextDouble(0.0, 10.0);
+    const double k = rng.NextDouble(0.1, 2.0);
+    std::vector<std::vector<double>> matrix(rows, std::vector<double>(cols));
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        // Additively Monge: M[r][c] = f(r) + g(c) - k*r*c satisfies
+        // M[r][c] + M[r'][c'] <= M[r][c'] + M[r'][c] for r<r', c<c'.
+        matrix[r][c] = f[r] + g[c] -
+                       k * static_cast<double>(r) * static_cast<double>(c);
+      }
+    }
+    auto value = [&](size_t r, size_t c) { return matrix[r][c]; };
+    EXPECT_EQ(SmawkRowMinima(rows, cols, value),
+              NaiveRowMinima(rows, cols, value))
+        << "trial " << trial << " rows " << rows << " cols " << cols;
+  }
+}
+
+TEST(SmawkTest, ArgminsAreMonotoneForMongeInput) {
+  Rng rng(2);
+  const size_t rows = 40;
+  const size_t cols = 40;
+  std::vector<std::vector<double>> matrix(rows, std::vector<double>(cols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      matrix[r][c] = rng.NextDouble(0.0, 1.0) * 0.0 +  // Deterministic base:
+                     (static_cast<double>(c) - 0.8 * static_cast<double>(r)) *
+                         (static_cast<double>(c) - 0.8 * static_cast<double>(r));
+    }
+  }
+  auto value = [&](size_t r, size_t c) { return matrix[r][c]; };
+  const std::vector<size_t> argmins = SmawkRowMinima(rows, cols, value);
+  for (size_t r = 1; r < rows; ++r) {
+    EXPECT_GE(argmins[r], argmins[r - 1]);
+  }
+}
+
+TEST(SmawkTest, WideMatrix) {
+  auto value = [](size_t r, size_t c) {
+    const double d = static_cast<double>(c) - 10.0 * static_cast<double>(r);
+    return d * d;
+  };
+  const std::vector<size_t> argmins = SmawkRowMinima(5, 200, value);
+  for (size_t r = 0; r < 5; ++r) EXPECT_EQ(argmins[r], 10 * r);
+}
+
+TEST(SmawkTest, TallMatrix) {
+  auto value = [](size_t r, size_t c) {
+    const double d = static_cast<double>(c) - static_cast<double>(r) / 50.0;
+    return d * d;
+  };
+  const std::vector<size_t> argmins = SmawkRowMinima(200, 4, value);
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(argmins[r], NaiveRowMinima(200, 4, value)[r]);
+  }
+}
+
+TEST(SmawkTest, TiesPickLeftmost) {
+  // Constant matrix: every column ties; leftmost must win.
+  auto value = [](size_t, size_t) { return 5.0; };
+  const std::vector<size_t> argmins = SmawkRowMinima(6, 6, value);
+  for (size_t r = 0; r < 6; ++r) EXPECT_EQ(argmins[r], 0u);
+}
+
+}  // namespace
+}  // namespace opthash::opt

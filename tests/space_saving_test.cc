@@ -1,0 +1,137 @@
+#include "sketch/space_saving.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace opthash::sketch {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving summary(10);
+  for (int rep = 0; rep < 5; ++rep) summary.Update(1);
+  for (int rep = 0; rep < 3; ++rep) summary.Update(2);
+  EXPECT_EQ(summary.Estimate(1), 5u);
+  EXPECT_EQ(summary.Estimate(2), 3u);
+  EXPECT_EQ(summary.Estimate(42), 0u);
+  EXPECT_EQ(summary.ErrorOf(1), 0u);
+}
+
+TEST(SpaceSavingTest, NeverUnderestimatesTrackedKeys) {
+  SpaceSaving summary(25);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(1);
+  ZipfSampler zipf(400, 1.1);
+  for (int t = 0; t < 40000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(summary.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(SpaceSavingTest, ErrorFieldBoundsOverestimation) {
+  SpaceSaving summary(20);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(2);
+  ZipfSampler zipf(300, 1.0);
+  for (int t = 0; t < 30000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    if (!summary.IsTracked(key)) continue;
+    // count >= counter - error  (the guaranteed part).
+    EXPECT_GE(count, summary.Estimate(key) - summary.ErrorOf(key));
+  }
+}
+
+TEST(SpaceSavingTest, DeterministicErrorBound) {
+  SpaceSaving summary(15);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(3);
+  ZipfSampler zipf(200, 1.0);
+  for (int t = 0; t < 20000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_LE(static_cast<double>(summary.Estimate(key)) -
+                  static_cast<double>(count),
+              summary.ErrorBound() + 1e-9);
+  }
+}
+
+TEST(SpaceSavingTest, TrueHeavyHittersAlwaysTracked) {
+  SpaceSaving summary(10);
+  Rng rng(4);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int t = 0; t < 20000; ++t) {
+    const uint64_t key =
+        rng.NextBernoulli(0.4) ? 12345 : 100 + rng.NextBounded(500);
+    summary.Update(key);
+    ++truth[key];
+  }
+  // 12345 holds ~40% of the stream >> total/capacity = 10%.
+  EXPECT_TRUE(summary.IsTracked(12345));
+}
+
+TEST(SpaceSavingTest, CapacityIsExactOnceWarm) {
+  SpaceSaving summary(7);
+  Rng rng(5);
+  for (int t = 0; t < 5000; ++t) {
+    summary.Update(rng.NextBounded(300));
+    EXPECT_LE(summary.size(), 7u);
+  }
+  EXPECT_EQ(summary.size(), 7u);
+}
+
+TEST(SpaceSavingTest, GuaranteedHeavyFiltersByLowerBound) {
+  SpaceSaving summary(5);
+  for (int rep = 0; rep < 100; ++rep) summary.Update(1);
+  for (int rep = 0; rep < 60; ++rep) summary.Update(2);
+  summary.Update(3);
+  summary.Update(4);
+  summary.Update(5);
+  summary.Update(6);  // Evicts one singleton; error 1.
+  const auto heavy = summary.GuaranteedHeavy(50);
+  ASSERT_EQ(heavy.size(), 2u);
+  EXPECT_EQ(heavy[0].first, 1u);
+  EXPECT_EQ(heavy[1].first, 2u);
+}
+
+TEST(SpaceSavingTest, MemoryAccounting) {
+  SpaceSaving summary(40);
+  EXPECT_EQ(summary.MemoryBuckets(), 120u);
+}
+
+class SpaceSavingCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpaceSavingCapacitySweep, OverestimateBoundAcrossCapacities) {
+  SpaceSaving summary(GetParam());
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(6);
+  ZipfSampler zipf(250, 1.2);
+  for (int t = 0; t < 15000; ++t) {
+    const uint64_t key = zipf.Sample(rng);
+    summary.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(summary.Estimate(key), count);
+    EXPECT_LE(static_cast<double>(summary.Estimate(key) - count),
+              summary.ErrorBound() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpaceSavingCapacitySweep,
+                         ::testing::Values(1, 3, 10, 50, 200));
+
+}  // namespace
+}  // namespace opthash::sketch

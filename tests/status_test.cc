@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace opthash {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status status = Status::InvalidArgument("bad lambda");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad lambda");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad lambda");
+}
+
+TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringNamesEveryCode) {
+  EXPECT_NE(Status::OutOfRange("m").ToString().find("OutOfRange"),
+            std::string::npos);
+  EXPECT_NE(Status::NotFound("m").ToString().find("NotFound"),
+            std::string::npos);
+  EXPECT_NE(Status::Internal("m").ToString().find("Internal"),
+            std::string::npos);
+  EXPECT_NE(
+      Status::FailedPrecondition("m").ToString().find("FailedPrecondition"),
+      std::string::npos);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("hello"));
+  ASSERT_TRUE(result.ok());
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result.value().push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace opthash

@@ -1,0 +1,187 @@
+#include "stream/synthetic.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+namespace opthash::stream {
+namespace {
+
+SyntheticConfig BaseConfig() {
+  SyntheticConfig config;
+  config.num_groups = 6;
+  config.min_group_exponent = 2;
+  config.feature_dim = 2;
+  config.fraction_seen = 0.5;
+  config.seed = 42;
+  return config;
+}
+
+TEST(SyntheticConfigTest, Validation) {
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+  SyntheticConfig bad = BaseConfig();
+  bad.num_groups = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.fraction_seen = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.fraction_seen = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.feature_dim = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SyntheticWorldTest, UniverseSizeMatchesPaperFormula) {
+  // G groups of sizes 2^(G0+1) .. 2^(G0+G): for G=6, G0=2 -> 8+...+256=504.
+  SyntheticWorld world(BaseConfig());
+  EXPECT_EQ(world.NumElements(), 504u);
+  EXPECT_EQ(world.NumGroups(), 6u);
+}
+
+TEST(SyntheticWorldTest, PaperExampleG10) {
+  // The paper: "by setting G = 10 and g0 = 0.5, we obtain a problem with
+  // 8,192 elements, out of which we only allow for 4,096 to appear in the
+  // prefix, which in turn has size 10,240."
+  SyntheticConfig config = BaseConfig();
+  config.num_groups = 10;
+  config.fraction_seen = 0.5;
+  SyntheticWorld world(config);
+  EXPECT_EQ(world.NumElements(), 8184u);  // sum 2^3..2^12 = 2^13 - 8.
+  size_t eligible = 0;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    if (world.PrefixEligible(e)) ++eligible;
+  }
+  EXPECT_EQ(eligible, 4092u);  // Half of each group.
+  EXPECT_EQ(world.DefaultPrefixLength(), 10240u);
+}
+
+TEST(SyntheticWorldTest, GroupSizesDouble) {
+  SyntheticWorld world(BaseConfig());
+  std::unordered_map<size_t, size_t> group_sizes;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    ++group_sizes[world.GroupOf(e)];
+  }
+  ASSERT_EQ(group_sizes.size(), 6u);
+  for (size_t g = 1; g <= 6; ++g) {
+    EXPECT_EQ(group_sizes[g], size_t{1} << (2 + g));
+  }
+}
+
+TEST(SyntheticWorldTest, FeaturesClusterByGroup) {
+  SyntheticWorld world(BaseConfig());
+  // Within-group feature variance ~ 1 per dim; group means are spread over
+  // [-10, 10]^2. Verify members are within a few sigma of their group mean.
+  std::unordered_map<size_t, std::vector<double>> group_mean;
+  std::unordered_map<size_t, size_t> group_count;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    auto& mean = group_mean[world.GroupOf(e)];
+    if (mean.empty()) mean.assign(2, 0.0);
+    mean[0] += world.FeaturesOf(e)[0];
+    mean[1] += world.FeaturesOf(e)[1];
+    ++group_count[world.GroupOf(e)];
+  }
+  for (auto& [g, mean] : group_mean) {
+    mean[0] /= static_cast<double>(group_count[g]);
+    mean[1] /= static_cast<double>(group_count[g]);
+  }
+  size_t outliers = 0;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    const auto& mean = group_mean[world.GroupOf(e)];
+    const double dx = world.FeaturesOf(e)[0] - mean[0];
+    const double dy = world.FeaturesOf(e)[1] - mean[1];
+    if (std::sqrt(dx * dx + dy * dy) > 4.0) ++outliers;
+  }
+  EXPECT_LT(outliers, world.NumElements() / 100);
+}
+
+TEST(SyntheticWorldTest, SmallGroupsArriveMoreOften) {
+  // Group arrival probability ∝ 1/g and within-group uniform, so elements
+  // of group 1 are the heavy hitters.
+  SyntheticWorld world(BaseConfig());
+  Rng rng(7);
+  const std::vector<size_t> stream = world.GenerateStream(200000, rng);
+  std::unordered_map<size_t, size_t> group_counts;
+  for (size_t e : stream) ++group_counts[world.GroupOf(e)];
+  // Group totals ∝ 1/g: counts of group 1 should be twice group 2's, etc.
+  const double h6 = 1.0 + 0.5 + 1.0 / 3 + 0.25 + 0.2 + 1.0 / 6;
+  for (size_t g = 1; g <= 6; ++g) {
+    const double expected = 200000.0 / (static_cast<double>(g) * h6);
+    EXPECT_NEAR(static_cast<double>(group_counts[g]), expected,
+                6.0 * std::sqrt(expected) + 50.0)
+        << "group " << g;
+  }
+}
+
+TEST(SyntheticWorldTest, PrefixOnlyContainsEligibleElements) {
+  SyntheticWorld world(BaseConfig());
+  Rng rng(8);
+  const std::vector<size_t> prefix = world.GeneratePrefix(20000, rng);
+  for (size_t e : prefix) {
+    EXPECT_TRUE(world.PrefixEligible(e));
+  }
+}
+
+TEST(SyntheticWorldTest, FullStreamReachesIneligibleElements) {
+  SyntheticWorld world(BaseConfig());
+  Rng rng(9);
+  const std::vector<size_t> stream = world.GenerateStream(50000, rng);
+  size_t unseen_hits = 0;
+  for (size_t e : stream) {
+    if (!world.PrefixEligible(e)) ++unseen_hits;
+  }
+  // Half of every group is ineligible, so about half the arrivals.
+  EXPECT_GT(unseen_hits, 20000u);
+}
+
+TEST(SyntheticWorldTest, ArrivalProbabilitiesSumToOne) {
+  SyntheticWorld world(BaseConfig());
+  double total = 0.0;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    total += world.ArrivalProbability(e);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SyntheticWorldTest, DeterministicGivenSeed) {
+  SyntheticWorld a(BaseConfig());
+  SyntheticWorld b(BaseConfig());
+  for (size_t e = 0; e < a.NumElements(); ++e) {
+    EXPECT_EQ(a.FeaturesOf(e), b.FeaturesOf(e));
+    EXPECT_EQ(a.GroupOf(e), b.GroupOf(e));
+  }
+  Rng rng_a(5);
+  Rng rng_b(5);
+  EXPECT_EQ(a.GenerateStream(1000, rng_a), b.GenerateStream(1000, rng_b));
+}
+
+TEST(SyntheticWorldTest, EveryGroupHasAtLeastOneEligibleElement) {
+  SyntheticConfig config = BaseConfig();
+  config.fraction_seen = 0.01;  // Tiny fraction.
+  SyntheticWorld world(config);
+  std::unordered_map<size_t, size_t> eligible_per_group;
+  for (size_t e = 0; e < world.NumElements(); ++e) {
+    if (world.PrefixEligible(e)) ++eligible_per_group[world.GroupOf(e)];
+  }
+  for (size_t g = 1; g <= config.num_groups; ++g) {
+    EXPECT_GE(eligible_per_group[g], 1u) << "group " << g;
+  }
+}
+
+class SyntheticGroupSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SyntheticGroupSweep, UniverseGrowsExponentially) {
+  SyntheticConfig config = BaseConfig();
+  config.num_groups = GetParam();
+  SyntheticWorld world(config);
+  // sum_{g=1..G} 2^(2+g) = 2^(G+3) - 8.
+  EXPECT_EQ(world.NumElements(), (size_t{1} << (GetParam() + 3)) - 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, SyntheticGroupSweep,
+                         ::testing::Values(1, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace opthash::stream

@@ -1,0 +1,297 @@
+// opthash_cli — train / apply / query / evaluate opt-hash estimators on
+// CSV stream traces. This is the operational workflow of §3: learn the
+// scheme offline from an observed prefix, ship the model to the stream
+// processor, keep counting, answer queries.
+//
+//   opthash_cli train    --trace prefix.csv --out model.txt
+//                        [--buckets 1000] [--ratio 0.3] [--lambda 1.0]
+//                        [--solver bcd|dp|milp] [--classifier rf|cart|logreg|none]
+//                        [--vocab 500] [--seed 1]
+//   opthash_cli apply    --model model.txt --trace day1.csv --out model.txt
+//   opthash_cli query    --model model.txt --trace queries.csv
+//   opthash_cli evaluate --model model.txt --trace stream.csv
+//
+// Traces are CSV files with header `id,text`; the text column feeds the
+// bag-of-words featurizer (may be empty for key-only workloads).
+
+#include <cstdio>
+#include <optional>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/opt_hash_estimator.h"
+#include "stream/element.h"
+#include "stream/features.h"
+#include "stream/trace_io.h"
+
+namespace opthash::cli {
+namespace {
+
+constexpr const char* kBundleMagic = "opthash.bundle.v1";
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  uint64_t GetUint(const std::string& name, uint64_t fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::stoull(it->second);
+  }
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+};
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag needs a value: " + arg);
+    }
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+struct ModelBundle {
+  stream::BagOfWordsFeaturizer featurizer{500};
+  std::optional<core::OptHashEstimator> estimator;
+};
+
+Status SaveBundle(const std::string& path, const ModelBundle& bundle) {
+  std::ostringstream out;
+  out << kBundleMagic << '\n';
+  bundle.featurizer.SerializeTo(out);
+  out << bundle.estimator->Serialize();
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::InvalidArgument("cannot write: " + path);
+  file << out.str();
+  return file.good() ? Status::OK()
+                     : Status::Internal("short write to " + path);
+}
+
+Result<ModelBundle> LoadBundle(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot read: " + path);
+  std::string magic;
+  file >> magic;
+  if (magic != kBundleMagic) {
+    return Status::InvalidArgument("not an opthash model bundle: " + path);
+  }
+  auto featurizer = stream::BagOfWordsFeaturizer::DeserializeFrom(file);
+  if (!featurizer.ok()) return featurizer.status();
+  std::stringstream rest;
+  rest << file.rdbuf();
+  auto estimator = core::OptHashEstimator::Deserialize(rest.str());
+  if (!estimator.ok()) return estimator.status();
+  ModelBundle bundle;
+  bundle.featurizer = std::move(featurizer).value();
+  bundle.estimator = std::move(estimator).value();
+  return bundle;
+}
+
+Result<core::SolverKind> ParseSolver(const std::string& name) {
+  if (name == "bcd") return core::SolverKind::kBcd;
+  if (name == "dp") return core::SolverKind::kDp;
+  if (name == "milp") return core::SolverKind::kExact;
+  return Status::InvalidArgument("unknown solver: " + name);
+}
+
+Result<core::ClassifierKind> ParseClassifier(const std::string& name) {
+  if (name == "rf") return core::ClassifierKind::kRandomForest;
+  if (name == "cart") return core::ClassifierKind::kCart;
+  if (name == "logreg") return core::ClassifierKind::kLogisticRegression;
+  if (name == "none") return core::ClassifierKind::kNone;
+  return Status::InvalidArgument("unknown classifier: " + name);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdTrain(const Flags& flags) {
+  if (!flags.Has("trace") || !flags.Has("out")) {
+    return Fail(Status::InvalidArgument("train needs --trace and --out"));
+  }
+  auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
+  if (!trace.ok()) return Fail(trace.status());
+
+  // Prefix frequencies + a representative text per id.
+  std::unordered_map<uint64_t, double> counts;
+  std::unordered_map<uint64_t, std::string> texts;
+  for (const auto& record : trace.value()) {
+    counts[record.id] += 1.0;
+    texts.emplace(record.id, record.text);
+  }
+  std::printf("prefix: %zu arrivals, %zu distinct elements\n",
+              trace.value().size(), counts.size());
+
+  ModelBundle bundle;
+  bundle.featurizer = stream::BagOfWordsFeaturizer(
+      static_cast<size_t>(flags.GetUint("vocab", 500)));
+  std::vector<std::pair<std::string, double>> corpus;
+  corpus.reserve(counts.size());
+  for (const auto& [id, count] : counts) corpus.push_back({texts[id], count});
+  bundle.featurizer.Fit(corpus);
+
+  std::vector<core::PrefixElement> prefix;
+  prefix.reserve(counts.size());
+  for (const auto& [id, count] : counts) {
+    prefix.push_back({.id = id,
+                      .frequency = count,
+                      .features = bundle.featurizer.Featurize(texts[id])});
+  }
+
+  core::OptHashConfig config;
+  config.total_buckets = flags.GetUint("buckets", 1000);
+  config.id_ratio = flags.GetDouble("ratio", 0.3);
+  config.lambda = flags.GetDouble("lambda", 1.0);
+  config.seed = flags.GetUint("seed", 1);
+  auto solver = ParseSolver(flags.Get("solver", "bcd"));
+  if (!solver.ok()) return Fail(solver.status());
+  config.solver = solver.value();
+  auto classifier = ParseClassifier(flags.Get("classifier", "rf"));
+  if (!classifier.ok()) return Fail(classifier.status());
+  config.classifier = classifier.value();
+  config.rf.num_trees = 10;
+
+  auto trained = core::OptHashEstimator::Train(config, prefix);
+  if (!trained.ok()) return Fail(trained.status());
+  bundle.estimator = std::move(trained).value();
+  std::printf(
+      "trained: %zu buckets + %zu stored ids (%.2f KB), solver objective "
+      "%.3f\n",
+      bundle.estimator->num_buckets(), bundle.estimator->num_stored_ids(),
+      bundle.estimator->MemoryKb(),
+      bundle.estimator->training_info().solve_result.objective.overall);
+
+  const Status saved = SaveBundle(flags.Get("out", ""), bundle);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("model written to %s\n", flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdApply(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("trace") || !flags.Has("out")) {
+    return Fail(
+        Status::InvalidArgument("apply needs --model, --trace and --out"));
+  }
+  auto bundle = LoadBundle(flags.Get("model", ""));
+  if (!bundle.ok()) return Fail(bundle.status());
+  auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
+  if (!trace.ok()) return Fail(trace.status());
+  for (const auto& record : trace.value()) {
+    bundle.value().estimator->Update({record.id, nullptr});
+  }
+  std::printf("applied %zu arrivals\n", trace.value().size());
+  const Status saved = SaveBundle(flags.Get("out", ""), bundle.value());
+  if (!saved.ok()) return Fail(saved);
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("trace")) {
+    return Fail(Status::InvalidArgument("query needs --model and --trace"));
+  }
+  auto bundle = LoadBundle(flags.Get("model", ""));
+  if (!bundle.ok()) return Fail(bundle.status());
+  auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
+  if (!trace.ok()) return Fail(trace.status());
+  std::printf("id,estimate\n");
+  std::unordered_map<uint64_t, bool> seen;
+  for (const auto& record : trace.value()) {
+    if (seen[record.id]) continue;
+    seen[record.id] = true;
+    const std::vector<double> features =
+        bundle.value().featurizer.Featurize(record.text);
+    const double estimate =
+        bundle.value().estimator->Estimate({record.id, &features});
+    std::printf("%llu,%.2f\n", static_cast<unsigned long long>(record.id),
+                estimate);
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("trace")) {
+    return Fail(Status::InvalidArgument("evaluate needs --model and --trace"));
+  }
+  auto bundle = LoadBundle(flags.Get("model", ""));
+  if (!bundle.ok()) return Fail(bundle.status());
+  auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
+  if (!trace.ok()) return Fail(trace.status());
+
+  stream::ExactCounter truth;
+  std::unordered_map<uint64_t, std::string> texts;
+  for (const auto& record : trace.value()) {
+    truth.Add(record.id);
+    texts.emplace(record.id, record.text);
+  }
+  std::vector<std::vector<double>> feature_store;
+  feature_store.reserve(truth.NumDistinct());
+  std::vector<core::EvalQuery> queries;
+  for (const auto& [id, count] : truth.counts()) {
+    feature_store.push_back(bundle.value().featurizer.Featurize(texts[id]));
+    queries.push_back(
+        {{id, &feature_store.back()}, static_cast<double>(count)});
+  }
+  const core::ErrorMetrics metrics =
+      core::EvaluateEstimator(*bundle.value().estimator, queries);
+  std::printf("queries: %zu distinct elements (%llu arrivals)\n",
+              metrics.num_queries,
+              static_cast<unsigned long long>(truth.total()));
+  std::printf("average absolute error:   %.4f\n",
+              metrics.average_absolute_error);
+  std::printf("expected magnitude error: %.4f\n",
+              metrics.expected_magnitude_error);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: opthash_cli <train|apply|query|evaluate> --flag value ...\n"
+      "  train    --trace prefix.csv --out model.txt [--buckets N]\n"
+      "           [--ratio C] [--lambda L] [--solver bcd|dp|milp]\n"
+      "           [--classifier rf|cart|logreg|none] [--vocab V] [--seed S]\n"
+      "  apply    --model model.txt --trace stream.csv --out model.txt\n"
+      "  query    --model model.txt --trace queries.csv\n"
+      "  evaluate --model model.txt --trace stream.csv\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  if (command == "train") return CmdTrain(flags.value());
+  if (command == "apply") return CmdApply(flags.value());
+  if (command == "query") return CmdQuery(flags.value());
+  if (command == "evaluate") return CmdEvaluate(flags.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace opthash::cli
+
+int main(int argc, char** argv) { return opthash::cli::Main(argc, argv); }
