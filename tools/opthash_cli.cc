@@ -20,6 +20,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,13 +43,33 @@ struct Flags {
     auto it = values.find(name);
     return it == values.end() ? fallback : it->second;
   }
-  double GetDouble(const std::string& name, double fallback) const {
+  Result<double> GetDouble(const std::string& name, double fallback) const {
     auto it = values.find(name);
-    return it == values.end() ? fallback : std::stod(it->second);
+    if (it == values.end()) return fallback;
+    try {
+      size_t consumed = 0;
+      const double parsed = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument("");
+      return parsed;
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("--" + name +
+                                     " needs a number, got: " + it->second);
+    }
   }
-  uint64_t GetUint(const std::string& name, uint64_t fallback) const {
+  Result<uint64_t> GetUint(const std::string& name, uint64_t fallback) const {
     auto it = values.find(name);
-    return it == values.end() ? fallback : std::stoull(it->second);
+    if (it == values.end()) return fallback;
+    // Digits only: stoull would silently wrap negatives modulo 2^64.
+    const bool digits_only =
+        !it->second.empty() &&
+        it->second.find_first_not_of("0123456789") == std::string::npos;
+    try {
+      if (!digits_only) throw std::invalid_argument("");
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument(
+          "--" + name + " needs a non-negative integer, got: " + it->second);
+    }
   }
   bool Has(const std::string& name) const { return values.count(name) > 0; }
 };
@@ -129,6 +150,22 @@ int CmdTrain(const Flags& flags) {
   if (!flags.Has("trace") || !flags.Has("out")) {
     return Fail(Status::InvalidArgument("train needs --trace and --out"));
   }
+  // Validate every flag before touching the (possibly large) trace.
+  const auto vocab = flags.GetUint("vocab", 500);
+  if (!vocab.ok()) return Fail(vocab.status());
+  const auto buckets = flags.GetUint("buckets", 1000);
+  if (!buckets.ok()) return Fail(buckets.status());
+  const auto ratio = flags.GetDouble("ratio", 0.3);
+  if (!ratio.ok()) return Fail(ratio.status());
+  const auto lambda = flags.GetDouble("lambda", 1.0);
+  if (!lambda.ok()) return Fail(lambda.status());
+  const auto seed = flags.GetUint("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  const auto solver = ParseSolver(flags.Get("solver", "bcd"));
+  if (!solver.ok()) return Fail(solver.status());
+  const auto classifier = ParseClassifier(flags.Get("classifier", "rf"));
+  if (!classifier.ok()) return Fail(classifier.status());
+
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
 
@@ -143,8 +180,8 @@ int CmdTrain(const Flags& flags) {
               trace.value().size(), counts.size());
 
   ModelBundle bundle;
-  bundle.featurizer = stream::BagOfWordsFeaturizer(
-      static_cast<size_t>(flags.GetUint("vocab", 500)));
+  bundle.featurizer =
+      stream::BagOfWordsFeaturizer(static_cast<size_t>(vocab.value()));
   std::vector<std::pair<std::string, double>> corpus;
   corpus.reserve(counts.size());
   for (const auto& [id, count] : counts) corpus.push_back({texts[id], count});
@@ -159,15 +196,11 @@ int CmdTrain(const Flags& flags) {
   }
 
   core::OptHashConfig config;
-  config.total_buckets = flags.GetUint("buckets", 1000);
-  config.id_ratio = flags.GetDouble("ratio", 0.3);
-  config.lambda = flags.GetDouble("lambda", 1.0);
-  config.seed = flags.GetUint("seed", 1);
-  auto solver = ParseSolver(flags.Get("solver", "bcd"));
-  if (!solver.ok()) return Fail(solver.status());
+  config.total_buckets = buckets.value();
+  config.id_ratio = ratio.value();
+  config.lambda = lambda.value();
+  config.seed = seed.value();
   config.solver = solver.value();
-  auto classifier = ParseClassifier(flags.Get("classifier", "rf"));
-  if (!classifier.ok()) return Fail(classifier.status());
   config.classifier = classifier.value();
   config.rf.num_trees = 10;
 
@@ -263,32 +296,63 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
-int Usage() {
+int Usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: opthash_cli <train|apply|query|evaluate> --flag value ...\n"
       "  train    --trace prefix.csv --out model.txt [--buckets N]\n"
       "           [--ratio C] [--lambda L] [--solver bcd|dp|milp]\n"
       "           [--classifier rf|cart|logreg|none] [--vocab V] [--seed S]\n"
       "  apply    --model model.txt --trace stream.csv --out model.txt\n"
       "  query    --model model.txt --trace queries.csv\n"
-      "  evaluate --model model.txt --trace stream.csv\n");
-  return 2;
+      "  evaluate --model model.txt --trace stream.csv\n"
+      "\n"
+      "traces are CSV files with header `id,text`: a numeric (uint64)\n"
+      "element key plus optional free text feeding the bag-of-words\n"
+      "featurizer; the text column may be empty for key-only workloads.\n"
+      "\n"
+      "train flags:\n"
+      "  --buckets N     overall memory budget b_total in 4-byte buckets,\n"
+      "                  split between aggregation buckets and stored ids\n"
+      "                  (default 1000)\n"
+      "  --ratio C       the split ratio c = b/n of paper sec. 7.3; the\n"
+      "                  paper examines 0.03 and 0.3 (default 0.3)\n"
+      "  --lambda L      objective trade-off in [0,1]: 1 = estimation\n"
+      "                  error only, 0 = feature similarity only\n"
+      "                  (default 1.0)\n"
+      "  --solver S      bcd (Algorithm 1), dp (exact for lambda = 1), or\n"
+      "                  milp (exact branch-and-bound, tiny instances\n"
+      "                  only) (default bcd)\n"
+      "  --classifier K  model routing unseen elements: rf, cart, logreg,\n"
+      "                  or none (default rf)\n"
+      "  --vocab V       bag-of-words vocabulary size (default 500)\n"
+      "  --seed S        RNG seed (default 1)\n");
+  return out == stdout ? 0 : 2;
+}
+
+bool IsHelp(const std::string& arg) {
+  return arg == "--help" || arg == "-h" || arg == "help";
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  if (argc < 2) return Usage(stderr);
+  if (IsHelp(argv[1])) return Usage(stdout);
+  // Honor --help/-h after the subcommand, but only in flag-name positions
+  // (odd offsets): `--trace help` is a value, not a help request.
+  for (int i = 2; i < argc; i += 2) {
+    if (IsHelp(argv[i])) return Usage(stdout);
+  }
   const std::string command = argv[1];
   auto flags = ParseFlags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
-    return Usage();
+    return Usage(stderr);
   }
   if (command == "train") return CmdTrain(flags.value());
   if (command == "apply") return CmdApply(flags.value());
   if (command == "query") return CmdQuery(flags.value());
   if (command == "evaluate") return CmdEvaluate(flags.value());
-  return Usage();
+  return Usage(stderr);
 }
 
 }  // namespace
