@@ -1,0 +1,61 @@
+#ifndef OPTHASH_COMMON_SPAN_H_
+#define OPTHASH_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace opthash {
+
+/// \brief Minimal C++17 stand-in for std::span: a non-owning view over a
+/// contiguous range. Used by the batched sketch update paths
+/// (`UpdateBatch(Span<const uint64_t>)`) and the sharded ingestion engine,
+/// which hands each worker thread a sub-range of the trace without copying.
+///
+/// Only the operations the ingest hot paths need are provided; the view is
+/// trivially copyable and cheap to pass by value.
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() noexcept = default;
+  constexpr Span(T* data, size_t size) noexcept : data_(data), size_(size) {}
+
+  /// Views over vectors; the const-vector overload participates only for
+  /// Span<const T>.
+  Span(std::vector<value_type>& v) noexcept  // NOLINT implicit
+      : data_(v.data()), size_(v.size()) {}
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<value_type>& v) noexcept  // NOLINT implicit
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](size_t index) const {
+    OPTHASH_CHECK_LT(index, size_);
+    return data_[index];
+  }
+
+  /// The sub-view [offset, offset + count); count is clamped to the tail.
+  Span subspan(size_t offset, size_t count) const {
+    OPTHASH_CHECK_LE(offset, size_);
+    const size_t tail = size_ - offset;
+    return Span(data_ + offset, count < tail ? count : tail);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace opthash
+
+#endif  // OPTHASH_COMMON_SPAN_H_

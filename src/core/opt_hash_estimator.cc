@@ -190,6 +190,27 @@ void OptHashEstimator::Update(const stream::StreamItem& item) {
   bucket_freq_[static_cast<size_t>(it->second)] += 1.0;
 }
 
+void OptHashEstimator::AccumulateUpdates(
+    Span<const uint64_t> ids, std::vector<double>& bucket_deltas) const {
+  OPTHASH_CHECK_EQ(bucket_deltas.size(), bucket_freq_.size());
+  for (uint64_t id : ids) {
+    auto it = table_.find(id);
+    if (it == table_.end()) continue;
+    bucket_deltas[static_cast<size_t>(it->second)] += 1.0;
+  }
+}
+
+Status OptHashEstimator::ApplyBucketDeltas(const std::vector<double>& deltas) {
+  if (deltas.size() != bucket_freq_.size()) {
+    return Status::InvalidArgument(
+        "bucket delta array size does not match num_buckets()");
+  }
+  for (size_t j = 0; j < deltas.size(); ++j) {
+    bucket_freq_[j] += deltas[j];
+  }
+  return Status::OK();
+}
+
 double OptHashEstimator::Estimate(const stream::StreamItem& item) const {
   const int32_t bucket = BucketOf(item);
   if (bucket < 0) return 0.0;

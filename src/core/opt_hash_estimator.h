@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "core/frequency_estimator.h"
 #include "ml/dataset.h"
@@ -100,6 +101,24 @@ class OptHashEstimator : public FrequencyEstimator {
       const OptHashConfig& config, const std::vector<PrefixElement>& prefix);
 
   void Update(const stream::StreamItem& item) override;
+
+  /// Shard-friendly hot path for the sharded ingestion engine
+  /// (stream/sharded_ingest.h): routes a block of arrival ids through the
+  /// learned table, accumulating the bucket increments into the
+  /// caller-owned `bucket_deltas` (size num_buckets()) instead of the
+  /// estimator's own counters. Because stream processing only *adds* to
+  /// bucket frequencies through a read-only table, per-worker delta
+  /// arrays merged via ApplyBucketDeltas are exactly equivalent to
+  /// calling Update once per id — this is the key-partitioned/bucketed
+  /// analogue of the linear sketches' replica merge.
+  void AccumulateUpdates(Span<const uint64_t> ids,
+                         std::vector<double>& bucket_deltas) const;
+
+  /// Folds a delta array produced by AccumulateUpdates into the bucket
+  /// counters. Fails with InvalidArgument unless deltas.size() ==
+  /// num_buckets().
+  Status ApplyBucketDeltas(const std::vector<double>& deltas);
+
   double Estimate(const stream::StreamItem& item) const override;
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "opt-hash"; }

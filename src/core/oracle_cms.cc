@@ -85,7 +85,8 @@ Result<HeavyHitterOracle> TrainHeavyHitterOracle(
     return prefix[a].frequency > prefix[b].frequency;
   });
   const size_t heavy_count = std::max<size_t>(
-      1, static_cast<size_t>(top_fraction * static_cast<double>(prefix.size())));
+      1,
+      static_cast<size_t>(top_fraction * static_cast<double>(prefix.size())));
 
   HeavyHitterOracle oracle;
   oracle.frequency_cutoff = prefix[order[heavy_count - 1]].frequency;

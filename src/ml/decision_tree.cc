@@ -75,8 +75,8 @@ int32_t DecisionTree::BuildNode(const Dataset& train,
     std::vector<size_t> all(num_features_);
     std::iota(all.begin(), all.end(), size_t{0});
     rng.Shuffle(all);
-    candidate_features.assign(all.begin(),
-                              all.begin() + static_cast<long>(config_.max_features));
+    candidate_features.assign(
+        all.begin(), all.begin() + static_cast<long>(config_.max_features));
   }
 
   // Exhaustive threshold scan per candidate feature.

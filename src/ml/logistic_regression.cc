@@ -77,7 +77,9 @@ void LogisticRegression::Fit(const Dataset& train) {
   }
 
   std::vector<std::vector<double>> standardized(n);
-  for (size_t i = 0; i < n; ++i) standardized[i] = Standardize(train.Features(i));
+  for (size_t i = 0; i < n; ++i) {
+    standardized[i] = Standardize(train.Features(i));
+  }
 
   weights_ = Matrix(num_classes_, num_features_, 0.0);
   biases_.assign(num_classes_, 0.0);

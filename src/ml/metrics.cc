@@ -48,8 +48,10 @@ double MacroF1(const std::vector<int>& labels,
     if (tp + fp + fn == 0) continue;  // Class absent everywhere.
     ++active_classes;
     if (tp == 0) continue;  // F1 = 0 for this class.
-    const double precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
-    const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(tp + fp);
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(tp + fn);
     f1_total += 2.0 * precision * recall / (precision + recall);
   }
   return active_classes == 0 ? 0.0

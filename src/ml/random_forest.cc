@@ -21,8 +21,8 @@ void RandomForest::Fit(const Dataset& train) {
 
   size_t max_features = config_.max_features;
   if (max_features == 0) {
-    max_features = static_cast<size_t>(
-        std::max(1.0, std::floor(std::sqrt(static_cast<double>(num_features_)))));
+    max_features = static_cast<size_t>(std::max(
+        1.0, std::floor(std::sqrt(static_cast<double>(num_features_)))));
   }
 
   Rng rng(config_.seed);

@@ -177,8 +177,9 @@ SolveResult ExactSolver::Solve(const HashingProblem& problem) const {
   std::sort(ascending.begin(), ascending.end());
   state.remaining_bound = SuffixClusteringBound(ascending, problem.num_buckets);
 
-  state.buckets.assign(problem.num_buckets,
-                       BucketStats(state.use_features ? problem.FeatureDim() : 0));
+  state.buckets.assign(
+      problem.num_buckets,
+      BucketStats(state.use_features ? problem.FeatureDim() : 0));
   state.bucket_lb.assign(problem.num_buckets, 0.0);
   state.assignment.assign(n, 0);
   if (state.best_assignment.empty()) {

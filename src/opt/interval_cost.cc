@@ -26,10 +26,11 @@ double IntervalCost::Cost(size_t i, size_t j) const {
   const auto len = static_cast<double>(j - i + 1);
   const double mean = total / len;
   // First index in [i, j] with value >= mean.
-  const auto split = std::lower_bound(values_.begin() + static_cast<long>(i),
-                                      values_.begin() + static_cast<long>(j + 1),
-                                      mean);
-  const auto below = static_cast<size_t>(split - (values_.begin() + static_cast<long>(i)));
+  const auto split =
+      std::lower_bound(values_.begin() + static_cast<long>(i),
+                       values_.begin() + static_cast<long>(j + 1), mean);
+  const auto below =
+      static_cast<size_t>(split - (values_.begin() + static_cast<long>(i)));
   const double below_sum = prefix_[i + below] - prefix_[i];
   const double above_sum = total - below_sum;
   const auto above = static_cast<double>(j - i + 1 - below);

@@ -95,7 +95,8 @@ MilpEvaluation MilpModel::EvaluateAt(const Assignment& assignment) const {
       // delta linearization and similarity contribution.
       if (use_features) {
         for (size_t k = 0; k < n; ++k) {
-          const double z_kj = static_cast<size_t>(assignment[k]) == j ? 1.0 : 0.0;
+          const double z_kj =
+              static_cast<size_t>(assignment[k]) == j ? 1.0 : 0.0;
           const double delta = z_ij * z_kj;
           check_ge(delta, z_ij + z_kj - 1.0);
           check_ge(z_ij, delta);

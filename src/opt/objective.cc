@@ -55,7 +55,8 @@ ObjectiveValue EvaluateObjective(const HashingProblem& problem,
       const double bucket_similarity =
           2.0 * static_cast<double>(counts[j]) * feature_sq_sum[j] -
           2.0 * sum_norm_sq;
-      value.similarity_error += bucket_similarity < 0.0 ? 0.0 : bucket_similarity;
+      value.similarity_error +=
+          bucket_similarity < 0.0 ? 0.0 : bucket_similarity;
     }
   }
   value.overall = problem.lambda * value.estimation_error +

@@ -7,7 +7,7 @@
 namespace opthash::sketch {
 
 AmsSketch::AmsSketch(size_t groups, size_t estimators_per_group, uint64_t seed)
-    : groups_(groups), per_group_(estimators_per_group) {
+    : groups_(groups), per_group_(estimators_per_group), seed_(seed) {
   OPTHASH_CHECK_GE(groups, 1u);
   OPTHASH_CHECK_GE(estimators_per_group, 1u);
   Rng rng(seed);
@@ -25,6 +25,29 @@ void AmsSketch::Update(uint64_t key, int64_t count) {
   for (size_t a = 0; a < atoms_.size(); ++a) {
     atoms_[a] += Sign(a, key) * count;
   }
+}
+
+void AmsSketch::UpdateBatch(Span<const uint64_t> keys) {
+  for (uint64_t key : keys) {
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      atoms_[a] += Sign(a, key);
+    }
+  }
+}
+
+Status AmsSketch::Merge(const AmsSketch& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a sketch into itself");
+  }
+  if (groups_ != other.groups_ || per_group_ != other.per_group_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "AmsSketch::Merge needs identical geometry and seed");
+  }
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    atoms_[a] += other.atoms_[a];
+  }
+  return Status::OK();
 }
 
 double AmsSketch::EstimateF2() const {

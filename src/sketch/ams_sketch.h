@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/span.h"
+#include "common/status.h"
 #include "hashing/hash_functions.h"
 
 namespace opthash::sketch {
@@ -26,9 +28,23 @@ class AmsSketch {
 
   void Update(uint64_t key, int64_t count = 1);
 
+  /// Batched unit-increment hot path; equivalent to Update(key) per key.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this sketch. Each atom Z = Σ s(i)·f_i is linear in
+  /// the frequency vector, so with identical sign sources atom-wise
+  /// addition of two half-stream sketches is bit-identical to one
+  /// full-stream sketch. Fails with InvalidArgument unless both sketches
+  /// share geometry and seed; self-merge is rejected.
+  Status Merge(const AmsSketch& other);
+
+  /// A fresh all-zero sketch with the same geometry and sign sources.
+  AmsSketch EmptyClone() const { return AmsSketch(groups_, per_group_, seed_); }
+
   /// Median-of-means estimate of F2.
   double EstimateF2() const;
 
+  uint64_t seed() const { return seed_; }
   size_t groups() const { return groups_; }
   size_t estimators_per_group() const { return per_group_; }
   size_t TotalCounters() const { return atoms_.size(); }
@@ -39,6 +55,7 @@ class AmsSketch {
 
   size_t groups_;
   size_t per_group_;
+  uint64_t seed_;
   std::vector<hashing::TabulationHash> sign_sources_;
   std::vector<int64_t> atoms_;  // groups_ x per_group_, row-major.
 };

@@ -10,7 +10,10 @@ namespace opthash::sketch {
 
 CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed,
                                bool conservative_update)
-    : width_(width), depth_(depth), conservative_update_(conservative_update) {
+    : width_(width),
+      depth_(depth),
+      seed_(seed),
+      conservative_update_(conservative_update) {
   OPTHASH_CHECK_GE(width, 1u);
   OPTHASH_CHECK_GE(depth, 1u);
   Rng rng(seed);
@@ -48,13 +51,45 @@ void CountMinSketch::Update(uint64_t key, uint64_t count) {
   // max(counter, current_estimate + count).
   uint64_t current = std::numeric_limits<uint64_t>::max();
   for (size_t level = 0; level < depth_; ++level) {
-    current = std::min(current, counters_[level * width_ + hashes_[level](key)]);
+    current =
+        std::min(current, counters_[level * width_ + hashes_[level](key)]);
   }
   const uint64_t target = current + count;
   for (size_t level = 0; level < depth_; ++level) {
     uint64_t& counter = counters_[level * width_ + hashes_[level](key)];
     counter = std::max(counter, target);
   }
+}
+
+void CountMinSketch::UpdateBatch(Span<const uint64_t> keys) {
+  if (conservative_update_) {
+    for (uint64_t key : keys) Update(key);
+    return;
+  }
+  total_count_ += keys.size();
+  for (uint64_t key : keys) {
+    for (size_t level = 0; level < depth_; ++level) {
+      counters_[level * width_ + hashes_[level](key)] += 1;
+    }
+  }
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a sketch into itself");
+  }
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_ ||
+      conservative_update_ != other.conservative_update_) {
+    return Status::InvalidArgument(
+        "CountMinSketch::Merge needs identical geometry, seed and "
+        "conservative flag");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_count_ += other.total_count_;
+  return Status::OK();
 }
 
 uint64_t CountMinSketch::Estimate(uint64_t key) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "hashing/hash_functions.h"
 
@@ -39,6 +40,31 @@ class CountMinSketch {
   /// Adds `count` occurrences of `key`.
   void Update(uint64_t key, uint64_t count = 1);
 
+  /// Batched unit-increment hot path: one arrival per key in `keys`.
+  /// Equivalent to calling Update(key) for each key in order; exists so
+  /// the sharded ingestion engine (stream/sharded_ingest.h) amortizes the
+  /// per-call overhead over whole trace blocks.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this sketch. The CMS is a linear sketch: with
+  /// identical hash functions the counters of two half-stream sketches add
+  /// to exactly the full-stream counters, so for plain updates
+  /// Merge(A, B) is bit-identical to ingesting A's and B's streams
+  /// sequentially. With conservative_update the merged sketch still never
+  /// underestimates (min_i(a_i + b_i) >= min_i a_i + min_i b_i) but is no
+  /// longer identical to single-stream conservative ingestion.
+  ///
+  /// Fails with InvalidArgument unless both sketches share width, depth,
+  /// seed and the conservative flag (same geometry + same hash draws);
+  /// merging a sketch into itself is rejected.
+  Status Merge(const CountMinSketch& other);
+
+  /// A fresh all-zero sketch with the same geometry and hash functions —
+  /// the worker-replica factory of the sharded ingestion engine.
+  CountMinSketch EmptyClone() const {
+    return CountMinSketch(width_, depth_, seed_, conservative_update_);
+  }
+
   /// Point query: min over levels, never below the true count.
   uint64_t Estimate(uint64_t key) const;
 
@@ -47,6 +73,7 @@ class CountMinSketch {
 
   size_t width() const { return width_; }
   size_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
   bool conservative_update() const { return conservative_update_; }
 
   /// Number of buckets (w*d); each bucket costs 4 bytes in the paper's
@@ -61,6 +88,7 @@ class CountMinSketch {
  private:
   size_t width_;
   size_t depth_;
+  uint64_t seed_;
   bool conservative_update_;
   std::vector<hashing::LinearHash> hashes_;
   std::vector<uint64_t> counters_;  // depth_ x width_, row-major.

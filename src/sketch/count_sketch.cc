@@ -7,7 +7,7 @@
 namespace opthash::sketch {
 
 CountSketch::CountSketch(size_t width, size_t depth, uint64_t seed)
-    : width_(width), depth_(depth) {
+    : width_(width), depth_(depth), seed_(seed) {
   OPTHASH_CHECK_GE(width, 1u);
   OPTHASH_CHECK_GE(depth, 1u);
   Rng rng(seed);
@@ -25,6 +25,30 @@ void CountSketch::Update(uint64_t key, int64_t count) {
     const int sign = sign_hashes_[level](key);
     counters_[level * width_ + bucket_hashes_[level](key)] += sign * count;
   }
+}
+
+void CountSketch::UpdateBatch(Span<const uint64_t> keys) {
+  for (uint64_t key : keys) {
+    for (size_t level = 0; level < depth_; ++level) {
+      const int sign = sign_hashes_[level](key);
+      counters_[level * width_ + bucket_hashes_[level](key)] += sign;
+    }
+  }
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a sketch into itself");
+  }
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "CountSketch::Merge needs identical geometry and seed");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::OK();
 }
 
 int64_t CountSketch::Estimate(uint64_t key) const {

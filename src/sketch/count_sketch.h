@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/span.h"
+#include "common/status.h"
 #include "hashing/hash_functions.h"
 
 namespace opthash::sketch {
@@ -22,6 +24,19 @@ class CountSketch {
 
   void Update(uint64_t key, int64_t count = 1);
 
+  /// Batched unit-increment hot path; equivalent to Update(key) per key.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this sketch. The Count Sketch is linear: with
+  /// identical (bucket, sign) hash draws, counter-wise addition of two
+  /// half-stream sketches is bit-identical to one full-stream sketch.
+  /// Fails with InvalidArgument unless both sketches share width, depth and
+  /// seed; self-merge is rejected.
+  Status Merge(const CountSketch& other);
+
+  /// A fresh all-zero sketch with the same geometry and hash functions.
+  CountSketch EmptyClone() const { return CountSketch(width_, depth_, seed_); }
+
   /// Median-of-levels estimate; may be negative on adversarial collisions,
   /// in which case callers typically clamp at zero.
   int64_t Estimate(uint64_t key) const;
@@ -31,12 +46,14 @@ class CountSketch {
 
   size_t width() const { return width_; }
   size_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
   size_t TotalBuckets() const { return width_ * depth_; }
   size_t MemoryBytes() const { return TotalBuckets() * sizeof(uint32_t); }
 
  private:
   size_t width_;
   size_t depth_;
+  uint64_t seed_;
   std::vector<hashing::LinearHash> bucket_hashes_;
   std::vector<hashing::SignHash> sign_hashes_;
   std::vector<int64_t> counters_;  // depth_ x width_, row-major.

@@ -41,6 +41,41 @@ void LearnedCountMinSketch::Update(uint64_t key, uint64_t count) {
   remainder_.Update(key, count);
 }
 
+void LearnedCountMinSketch::UpdateBatch(Span<const uint64_t> keys) {
+  for (uint64_t key : keys) Update(key);
+}
+
+Status LearnedCountMinSketch::Merge(const LearnedCountMinSketch& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a sketch into itself");
+  }
+  if (heavy_counts_.size() != other.heavy_counts_.size()) {
+    return Status::InvalidArgument(
+        "LearnedCountMinSketch::Merge needs identical heavy-key sets");
+  }
+  for (const auto& [key, count] : other.heavy_counts_) {
+    if (heavy_counts_.find(key) == heavy_counts_.end()) {
+      return Status::InvalidArgument(
+          "LearnedCountMinSketch::Merge needs identical heavy-key sets");
+    }
+    (void)count;
+  }
+  const Status remainder_merged = remainder_.Merge(other.remainder_);
+  if (!remainder_merged.ok()) return remainder_merged;
+  for (const auto& [key, count] : other.heavy_counts_) {
+    heavy_counts_[key] += count;
+  }
+  return Status::OK();
+}
+
+LearnedCountMinSketch LearnedCountMinSketch::EmptyClone() const {
+  std::unordered_map<uint64_t, uint64_t> heavy_counts;
+  heavy_counts.reserve(heavy_counts_.size());
+  for (const auto& [key, count] : heavy_counts_) heavy_counts.emplace(key, 0);
+  return LearnedCountMinSketch(total_buckets_, remainder_.EmptyClone(),
+                               std::move(heavy_counts));
+}
+
 uint64_t LearnedCountMinSketch::Estimate(uint64_t key) const {
   auto it = heavy_counts_.find(key);
   if (it != heavy_counts_.end()) return it->second;

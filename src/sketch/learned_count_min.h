@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "sketch/count_min_sketch.h"
 
@@ -36,6 +37,20 @@ class LearnedCountMinSketch {
       const std::vector<uint64_t>& heavy_keys, uint64_t seed);
 
   void Update(uint64_t key, uint64_t count = 1);
+
+  /// Batched unit-increment hot path; equivalent to Update(key) per key.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this sketch. The LCMS is linear end to end: heavy
+  /// keys are counted exactly (sums add) and the remainder is a plain CMS,
+  /// so merging two half-stream sketches built from the same oracle is
+  /// bit-identical to one full-stream sketch. Fails with InvalidArgument
+  /// unless both sketches share the heavy-key set and the remainder
+  /// geometry/seed; self-merge is rejected.
+  Status Merge(const LearnedCountMinSketch& other);
+
+  /// A fresh all-zero sketch with the same oracle set and remainder hashes.
+  LearnedCountMinSketch EmptyClone() const;
 
   uint64_t Estimate(uint64_t key) const;
 

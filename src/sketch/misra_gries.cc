@@ -1,6 +1,7 @@
 #include "sketch/misra_gries.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.h"
 
@@ -41,6 +42,43 @@ void MisraGries::Update(uint64_t key, uint64_t count) {
   if (remaining > 0 && counters_.size() < capacity_) {
     counters_.emplace(key, remaining);
   }
+}
+
+void MisraGries::UpdateBatch(Span<const uint64_t> keys) {
+  for (uint64_t key : keys) Update(key);
+}
+
+Status MisraGries::Merge(const MisraGries& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a summary into itself");
+  }
+  if (capacity_ != other.capacity_) {
+    return Status::InvalidArgument(
+        "MisraGries::Merge needs equal capacities");
+  }
+  for (const auto& [key, counter] : other.counters_) {
+    counters_[key] += counter;
+  }
+  total_count_ += other.total_count_;
+  if (counters_.size() <= capacity_) return Status::OK();
+  // Subtract the (capacity+1)-th largest counter from every counter and
+  // evict the non-positive ones: the batched equivalent of running the
+  // decrement phase until at most `capacity` counters survive.
+  std::vector<uint64_t> values;
+  values.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) values.push_back(counter);
+  std::nth_element(values.begin(), values.begin() + capacity_, values.end(),
+                   std::greater<uint64_t>());
+  const uint64_t pivot = values[capacity_];
+  for (auto entry = counters_.begin(); entry != counters_.end();) {
+    if (entry->second <= pivot) {
+      entry = counters_.erase(entry);
+    } else {
+      entry->second -= pivot;
+      ++entry;
+    }
+  }
+  return Status::OK();
 }
 
 uint64_t MisraGries::Estimate(uint64_t key) const {

@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
+#include "common/status.h"
+
 namespace opthash::sketch {
 
 /// \brief The Misra-Gries frequent-elements summary (Misra & Gries 1982,
@@ -28,6 +31,27 @@ class MisraGries {
   explicit MisraGries(size_t capacity);
 
   void Update(uint64_t key, uint64_t count = 1);
+
+  /// Batched unit-increment hot path; equivalent to Update(key) per key.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this summary. Unlike the linear sketches, a
+  /// counter-based summary cannot merge by counter addition alone: the
+  /// union of two capacity-k summaries can track up to 2k keys. We use the
+  /// Agarwal et al. ("Mergeable Summaries", PODS 2012) merge: add counters
+  /// over the key union, then subtract the (k+1)-th largest counter value
+  /// from every counter and drop the non-positive ones. The result is a
+  /// valid capacity-k summary whose error bound is the *sum* of the input
+  /// bounds — (n1 + n2)/(k + 1) — so merged estimates stay within the
+  /// standard deterministic guarantee but are generally not identical to
+  /// single-stream ingestion. Estimates remain lower bounds throughout.
+  ///
+  /// Fails with InvalidArgument unless both summaries have equal capacity
+  /// (the k in the guarantee); self-merge is rejected.
+  Status Merge(const MisraGries& other);
+
+  /// A fresh empty summary with the same capacity.
+  MisraGries EmptyClone() const { return MisraGries(capacity_); }
 
   /// Lower-bound estimate: the tracked counter, or 0 if untracked.
   uint64_t Estimate(uint64_t key) const;

@@ -51,6 +51,69 @@ void SpaceSaving::Update(uint64_t key, uint64_t count) {
   by_count_[entry.count].push_back(key);
 }
 
+void SpaceSaving::UpdateBatch(Span<const uint64_t> keys) {
+  for (uint64_t key : keys) Update(key);
+}
+
+Status SpaceSaving::Merge(const SpaceSaving& other) {
+  if (this == &other) {
+    return Status::InvalidArgument("cannot merge a summary into itself");
+  }
+  if (capacity_ != other.capacity_) {
+    return Status::InvalidArgument("SpaceSaving::Merge needs equal capacities");
+  }
+  // A summary's contribution for an untracked key is its tightest upper
+  // bound: the minimum counter once the table is warm, 0 before that. The
+  // full contribution is also added to the key's error term, since none of
+  // it is a witnessed arrival.
+  const uint64_t min_this =
+      counters_.size() < capacity_ ? 0 : by_count_.begin()->first;
+  const uint64_t min_other =
+      other.counters_.size() < other.capacity_
+          ? 0
+          : other.by_count_.begin()->first;
+
+  std::vector<std::pair<uint64_t, Entry>> combined;
+  combined.reserve(counters_.size() + other.counters_.size());
+  for (const auto& [key, entry] : counters_) {
+    Entry merged = entry;
+    auto it = other.counters_.find(key);
+    if (it != other.counters_.end()) {
+      merged.count += it->second.count;
+      merged.error += it->second.error;
+    } else {
+      merged.count += min_other;
+      merged.error += min_other;
+    }
+    combined.push_back({key, merged});
+  }
+  for (const auto& [key, entry] : other.counters_) {
+    if (counters_.find(key) != counters_.end()) continue;
+    Entry merged = entry;
+    merged.count += min_this;
+    merged.error += min_this;
+    combined.push_back({key, merged});
+  }
+
+  std::sort(combined.begin(), combined.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.count != b.second.count) {
+                return a.second.count > b.second.count;
+              }
+              return a.first < b.first;
+            });
+  if (combined.size() > capacity_) combined.resize(capacity_);
+
+  counters_.clear();
+  by_count_.clear();
+  for (const auto& [key, entry] : combined) {
+    counters_.emplace(key, entry);
+    by_count_[entry.count].push_back(key);
+  }
+  total_count_ += other.total_count_;
+  return Status::OK();
+}
+
 uint64_t SpaceSaving::Estimate(uint64_t key) const {
   auto it = counters_.find(key);
   if (it != counters_.end()) return it->second.count;

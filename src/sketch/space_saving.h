@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
+#include "common/status.h"
+
 namespace opthash::sketch {
 
 /// \brief The Space-Saving summary (Metwally, Agrawal, El Abbadi 2005) —
@@ -28,6 +31,29 @@ class SpaceSaving {
   explicit SpaceSaving(size_t capacity);
 
   void Update(uint64_t key, uint64_t count = 1);
+
+  /// Batched unit-increment hot path; equivalent to Update(key) per key.
+  void UpdateBatch(Span<const uint64_t> keys);
+
+  /// Folds `other` into this summary. Like Misra-Gries, Space-Saving is a
+  /// counter-based summary and merges through its heap of (key, counter)
+  /// entries rather than by plain addition (the union of two capacity-m
+  /// tables can hold 2m keys). We use the combine step of Cafaro et al.'s
+  /// parallel Space-Saving: every key in the union gets the sum of its
+  /// per-summary upper bounds (a summary where the key is untracked
+  /// contributes its minimum counter once warm, 0 otherwise, with the same
+  /// amount added to the key's error), and the top `capacity` keys by
+  /// combined counter survive, ties broken toward smaller keys for
+  /// determinism. Estimates stay upper bounds with error at most the sum
+  /// of the input bounds, (n1 + n2)/capacity, but are generally not
+  /// identical to single-stream ingestion.
+  ///
+  /// Fails with InvalidArgument unless both summaries have equal capacity;
+  /// self-merge is rejected.
+  Status Merge(const SpaceSaving& other);
+
+  /// A fresh empty summary with the same capacity.
+  SpaceSaving EmptyClone() const { return SpaceSaving(capacity_); }
 
   /// Upper-bound estimate: the tracked counter, or the current minimum
   /// counter (the tightest valid upper bound) if untracked.

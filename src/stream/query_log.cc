@@ -74,7 +74,8 @@ std::string QueryLog::GenerateText(size_t rank, Rng& rng) const {
   if (rank <= 600) {
     // Upper-mid: either a domain query or one/two common keywords.
     if (rng.NextBernoulli(0.4)) {
-      return "www." + common_word() + "." + kTlds[rng.NextBounded(kTlds.size())];
+      return "www." + common_word() + "." +
+             kTlds[rng.NextBounded(kTlds.size())];
     }
     std::string text = common_word();
     if (rng.NextBernoulli(0.5)) text += " " + common_word();

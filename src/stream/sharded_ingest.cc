@@ -1,0 +1,75 @@
+#include "stream/sharded_ingest.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "hashing/hash_functions.h"
+
+namespace opthash::stream {
+
+namespace {
+
+// Backstop against pathological configs (e.g. --threads 10^9 from a CLI):
+// more workers than this cannot help and each costs a replica + a stack.
+constexpr size_t kMaxThreads = 256;
+
+}  // namespace
+
+Status ShardedIngestConfig::Validate() const {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument("num_threads must be <= 256 (0 = auto)");
+  }
+  return Status::OK();
+}
+
+double IngestStats::ItemsPerSecond() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(num_items) / seconds;
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, std::min<size_t>(hardware, kMaxThreads));
+}
+
+size_t NumBlocks(size_t num_items, size_t block_size) {
+  if (block_size == 0) return 0;
+  return (num_items + block_size - 1) / block_size;
+}
+
+size_t KeyShardOf(uint64_t key, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Mix64 decorrelates the shard from the sketches' own Carter-Wegman
+  // draws, so partitioning never aligns with any sketch's bucket hash.
+  return static_cast<size_t>(hashing::Mix64(key) % num_shards);
+}
+
+void RunOnWorkers(size_t threads, const std::function<void(size_t)>& body) {
+  if (threads <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  // Join before propagating any exception from the spawn loop or the
+  // calling thread's own share: destroying a joinable std::thread calls
+  // std::terminate. (An exception escaping `body` *inside a spawned
+  // worker* still terminates — std::thread semantics — so worker bodies
+  // must report failures through their replica state, not by throwing.)
+  try {
+    for (size_t worker = 1; worker < threads; ++worker) {
+      pool.emplace_back(body, worker);
+    }
+    body(0);
+  } catch (...) {
+    for (std::thread& thread : pool) thread.join();
+    throw;
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+}  // namespace opthash::stream

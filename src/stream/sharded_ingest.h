@@ -1,0 +1,184 @@
+#ifndef OPTHASH_STREAM_SHARDED_INGEST_H_
+#define OPTHASH_STREAM_SHARDED_INGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/span.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace opthash::stream {
+
+/// \brief How the sharded ingestion engine distributes a trace across its
+/// worker threads.
+enum class ShardMode {
+  /// Every worker owns a full sketch replica and ingests a round-robin
+  /// subset of the trace blocks. Correct for the *linear* sketches
+  /// (Count-Min, Count-Sketch, AMS, Learned Count-Min), whose Merge is
+  /// counter addition: the merged replicas are bit-identical to
+  /// sequential ingestion regardless of how blocks were distributed.
+  kReplicated,
+  /// Worker w only ingests keys with KeyShardOf(key, threads) == w, so
+  /// replicas see disjoint key sets. Preferred for the counter-based
+  /// summaries (Misra-Gries, Space-Saving), where replicated ingestion
+  /// would track popular keys redundantly in every replica and the merge
+  /// is lossy; disjoint key sets keep each capacity-k replica focused on
+  /// its own shard's heavy hitters. Every worker scans all blocks and
+  /// filters — cheap relative to a hash-table update.
+  kKeyPartitioned,
+};
+
+/// \brief Configuration of one sharded ingestion run.
+struct ShardedIngestConfig {
+  /// Worker threads; 0 means "use the hardware concurrency". With 1 the
+  /// engine runs entirely on the calling thread with no replicas, making
+  /// results bit-reproducible against plain sequential ingestion.
+  size_t num_threads = 1;
+  /// Trace items per dispatch block (replicated mode's unit of work).
+  size_t block_size = 1 << 16;
+  ShardMode mode = ShardMode::kReplicated;
+
+  Status Validate() const;
+};
+
+/// \brief What one ingestion run did, for throughput reporting.
+struct IngestStats {
+  size_t num_items = 0;
+  size_t num_blocks = 0;
+  size_t threads_used = 0;
+  double seconds = 0.0;
+
+  double ItemsPerSecond() const;
+};
+
+/// Resolves the configured thread count: 0 becomes the hardware
+/// concurrency (at least 1).
+size_t ResolveThreadCount(size_t requested);
+
+/// Number of block_size-sized blocks covering `num_items` (last may be
+/// short).
+size_t NumBlocks(size_t num_items, size_t block_size);
+
+/// Deterministic key → shard assignment used by kKeyPartitioned (Mix64 of
+/// the key modulo `num_shards`), stable across runs and thread counts.
+size_t KeyShardOf(uint64_t key, size_t num_shards);
+
+/// Runs `body(worker)` for worker in [0, threads): worker 0 on the calling
+/// thread, the rest on freshly spawned std::threads; joins them all before
+/// returning. With threads == 1 no thread is spawned at all.
+void RunOnWorkers(size_t threads, const std::function<void(size_t)>& body);
+
+/// \brief Core engine: partitions `keys` into blocks, fans them out to N
+/// workers that each own one replica produced by `make_replica(worker)`,
+/// and folds every replica into the caller's estimator via
+/// `merge_replica`, in worker order (deterministic).
+///
+/// Callable contracts:
+///   make_replica(size_t worker) -> Replica        (any movable type)
+///   ingest_block(Replica&, size_t worker, Span<const uint64_t> block)
+///   merge_replica(Replica&) -> Status
+///
+/// In kReplicated mode worker w receives blocks w, w+T, w+2T, ... — a
+/// static round-robin assignment, so which replica ingested which block
+/// never depends on thread scheduling. In kKeyPartitioned mode every
+/// worker receives every block and `ingest_block` is expected to filter by
+/// worker (see ShardedIngest for the canonical filter).
+template <typename Make, typename Ingest, typename MergeFn>
+Result<IngestStats> ShardedIngestCustom(Span<const uint64_t> keys,
+                                        const ShardedIngestConfig& config,
+                                        Make make_replica, Ingest ingest_block,
+                                        MergeFn merge_replica) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  const size_t threads = ResolveThreadCount(config.num_threads);
+  const size_t num_blocks = NumBlocks(keys.size(), config.block_size);
+  using Replica = decltype(make_replica(size_t{0}));
+
+  Timer timer;
+  std::vector<Replica> replicas;
+  replicas.reserve(threads);
+  for (size_t worker = 0; worker < threads; ++worker) {
+    replicas.push_back(make_replica(worker));
+  }
+
+  const bool every_block = config.mode == ShardMode::kKeyPartitioned;
+  const size_t stride = every_block ? 1 : threads;
+  RunOnWorkers(threads, [&](size_t worker) {
+    for (size_t block = every_block ? 0 : worker; block < num_blocks;
+         block += stride) {
+      ingest_block(replicas[worker], worker,
+                   keys.subspan(block * config.block_size, config.block_size));
+    }
+  });
+
+  for (Replica& replica : replicas) {
+    const Status merged = merge_replica(replica);
+    if (!merged.ok()) return merged;
+  }
+
+  IngestStats stats;
+  stats.num_items = keys.size();
+  stats.num_blocks = num_blocks;
+  stats.threads_used = threads;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+/// \brief Sketch-level entry point: ingests `keys` (unit increments) into
+/// `sketch` using N worker-owned replicas merged back at the end.
+///
+/// Requires the mergeable-sketch interface every sketch in src/sketch/
+/// implements: `EmptyClone() const`, `UpdateBatch(Span<const uint64_t>)`
+/// and `Status Merge(const Self&)`.
+///
+/// With a resolved thread count of 1 this is exactly
+/// `sketch.UpdateBatch(keys)` — no replicas, no merge — so single-threaded
+/// results are bit-identical to sequential ingestion for *every* sketch,
+/// including the order-sensitive ones (conservative-update CMS,
+/// Misra-Gries, Space-Saving). For linear sketches in kReplicated mode the
+/// multi-threaded result is also exactly the sequential one; for the
+/// counter-based summaries it is within the documented merge bounds.
+template <typename Sketch>
+Result<IngestStats> ShardedIngest(Span<const uint64_t> keys,
+                                  const ShardedIngestConfig& config,
+                                  Sketch& sketch) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  const size_t threads = ResolveThreadCount(config.num_threads);
+  if (threads <= 1) {
+    Timer timer;
+    sketch.UpdateBatch(keys);
+    IngestStats stats;
+    stats.num_items = keys.size();
+    stats.num_blocks = NumBlocks(keys.size(), config.block_size);
+    stats.threads_used = 1;
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;
+  }
+  auto make = [&sketch](size_t) { return sketch.EmptyClone(); };
+  auto merge = [&sketch](Sketch& replica) { return sketch.Merge(replica); };
+  if (config.mode == ShardMode::kKeyPartitioned) {
+    return ShardedIngestCustom(
+        keys, config, make,
+        [threads](Sketch& replica, size_t worker, Span<const uint64_t> block) {
+          for (uint64_t key : block) {
+            if (KeyShardOf(key, threads) == worker) replica.Update(key);
+          }
+        },
+        merge);
+  }
+  return ShardedIngestCustom(
+      keys, config, make,
+      [](Sketch& replica, size_t /*worker*/, Span<const uint64_t> block) {
+        replica.UpdateBatch(block);
+      },
+      merge);
+}
+
+}  // namespace opthash::stream
+
+#endif  // OPTHASH_STREAM_SHARDED_INGEST_H_

@@ -7,8 +7,12 @@
 namespace opthash::stream {
 
 Status SyntheticConfig::Validate() const {
-  if (num_groups == 0) return Status::InvalidArgument("num_groups must be >= 1");
-  if (feature_dim == 0) return Status::InvalidArgument("feature_dim must be >= 1");
+  if (num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be >= 1");
+  }
+  if (feature_dim == 0) {
+    return Status::InvalidArgument("feature_dim must be >= 1");
+  }
   if (fraction_seen <= 0.0 || fraction_seen > 1.0) {
     return Status::InvalidArgument("fraction_seen must lie in (0, 1]");
   }

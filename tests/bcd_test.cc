@@ -38,7 +38,8 @@ TEST(BcdTest, SweepObjectivesNonIncreasing) {
 TEST(BcdTest, ImprovesOverRandomInitialization) {
   const HashingProblem problem = testutil::RandomProblem(100, 8, 1.0, 0, 2);
   Rng rng(7);
-  Assignment initial = InitializeAssignment(problem, InitStrategy::kRandom, rng);
+  Assignment initial =
+      InitializeAssignment(problem, InitStrategy::kRandom, rng);
   const double initial_value = EvaluateObjective(problem, initial).overall;
   BcdSolver solver;
   const SolveResult result = solver.SolveFrom(problem, initial);

@@ -75,7 +75,9 @@ TEST(DecisionTreeTest, MinImpurityDecreasePrunes) {
 
 TEST(DecisionTreeTest, MinSamplesLeafRespected) {
   Dataset data(1);
-  for (int i = 0; i < 10; ++i) data.Add({static_cast<double>(i)}, i < 5 ? 0 : 1);
+  for (int i = 0; i < 10; ++i) {
+    data.Add({static_cast<double>(i)}, i < 5 ? 0 : 1);
+  }
   // With min_samples_leaf = 6, every possible split of 10 examples leaves
   // one side below the minimum, so even this perfectly splittable data must
   // stay a stump.

@@ -61,7 +61,8 @@ TEST(ExactTest, NeverWorseThanBcdIncumbent) {
   const HashingProblem problem = testutil::RandomProblem(14, 3, 0.7, 2, 40);
   BcdConfig bcd_config;
   bcd_config.num_restarts = 3;
-  const double bcd_cost = BcdSolver(bcd_config).Solve(problem).objective.overall;
+  const double bcd_cost =
+      BcdSolver(bcd_config).Solve(problem).objective.overall;
   ExactConfig config;
   config.bcd = bcd_config;
   config.time_limit_seconds = 10.0;

@@ -29,8 +29,9 @@ std::vector<PrefixElement> CollectPrefix(const stream::SyntheticWorld& world,
   std::vector<PrefixElement> out;
   out.reserve(counts.size());
   for (const auto& [element, count] : counts) {
-    out.push_back(
-        {.id = element, .frequency = count, .features = world.FeaturesOf(element)});
+    out.push_back({.id = element,
+                   .frequency = count,
+                   .features = world.FeaturesOf(element)});
   }
   return out;
 }

@@ -61,7 +61,8 @@ TEST(MisraGriesTest, GuaranteedToTrackTrueHeavyHitters) {
   Rng rng(3);
   std::unordered_map<uint64_t, uint64_t> truth;
   for (int t = 0; t < 10000; ++t) {
-    const uint64_t key = rng.NextBernoulli(0.3) ? 7777 : 100 + rng.NextBounded(400);
+    const uint64_t key =
+        rng.NextBernoulli(0.3) ? 7777 : 100 + rng.NextBounded(400);
     summary.Update(key);
     ++truth[key];
   }

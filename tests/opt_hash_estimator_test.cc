@@ -191,7 +191,8 @@ TEST(OptHashEstimatorTest, TrainingInfoPopulated) {
 }
 
 TEST(OptHashEstimatorTest, BucketCountsConsistent) {
-  auto result = OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 15, 10));
+  auto result =
+      OptHashEstimator::Train(SmallConfig(), TieredPrefix(10, 15, 10));
   ASSERT_TRUE(result.ok());
   const OptHashEstimator& estimator = result.value();
   double total_count = 0.0;

@@ -50,7 +50,8 @@ TEST_P(OptInvariantSweep, ObjectiveInvariantUnderBucketRelabeling) {
   const std::vector<size_t> perm = rng.Permutation(b);
   Assignment relabeled(n);
   for (size_t i = 0; i < n; ++i) {
-    relabeled[i] = static_cast<int32_t>(perm[static_cast<size_t>(assignment[i])]);
+    relabeled[i] =
+        static_cast<int32_t>(perm[static_cast<size_t>(assignment[i])]);
   }
   const ObjectiveValue permuted = EvaluateObjective(problem, relabeled);
   EXPECT_NEAR(base.estimation_error, permuted.estimation_error, 1e-9);
@@ -86,7 +87,8 @@ TEST_P(OptInvariantSweep, SolversRespectObjectiveHierarchy) {
   ExactConfig exact_config;
   exact_config.time_limit_seconds = 10.0;
   exact_config.bcd = bcd_config;
-  const double exact = ExactSolver(exact_config).Solve(problem).objective.overall;
+  const double exact =
+      ExactSolver(exact_config).Solve(problem).objective.overall;
   EXPECT_LE(exact, bcd + 1e-9);
   if (lambda == 1.0) {
     const double dp = DpSolver().Solve(problem).objective.overall;

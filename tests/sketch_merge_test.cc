@@ -1,0 +1,261 @@
+// Merge-semantics coverage for every sketch in src/sketch/: linear
+// sketches merge *exactly* (two half-trace sketches equal one full-trace
+// sketch, counter for counter), and the counter-based summaries merge
+// within their documented deterministic bounds.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/span.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/learned_count_min.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+
+namespace opthash::sketch {
+namespace {
+
+// A Zipf-ish trace over `universe` keys, plus its exact counts.
+std::vector<uint64_t> MakeTrace(size_t length, size_t universe, uint64_t seed,
+                                std::unordered_map<uint64_t, uint64_t>* truth) {
+  Rng rng(seed);
+  ZipfSampler zipf(universe, 1.1);
+  std::vector<uint64_t> trace(length);
+  for (auto& key : trace) {
+    key = zipf.Sample(rng);
+    if (truth != nullptr) ++(*truth)[key];
+  }
+  return trace;
+}
+
+template <typename Sketch>
+void IngestHalves(const std::vector<uint64_t>& trace, Sketch& first,
+                  Sketch& second) {
+  const size_t half = trace.size() / 2;
+  first.UpdateBatch(Span<const uint64_t>(trace.data(), half));
+  second.UpdateBatch(
+      Span<const uint64_t>(trace.data() + half, trace.size() - half));
+}
+
+TEST(CountMinMergeTest, HalfTraceMergeEqualsFullTrace) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 800, 3, &truth);
+
+  CountMinSketch full(256, 4, 9);
+  full.UpdateBatch(Span<const uint64_t>(trace));
+
+  CountMinSketch first(256, 4, 9), second(256, 4, 9);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  EXPECT_EQ(first.total_count(), full.total_count());
+  for (const auto& [key, count] : truth) {
+    EXPECT_EQ(first.Estimate(key), full.Estimate(key));
+  }
+}
+
+TEST(CountMinMergeTest, UpdateBatchMatchesUpdateLoop) {
+  const auto trace = MakeTrace(5000, 300, 4, nullptr);
+  CountMinSketch batched(128, 3, 5), looped(128, 3, 5);
+  batched.UpdateBatch(Span<const uint64_t>(trace));
+  for (uint64_t key : trace) looped.Update(key);
+  EXPECT_EQ(batched.total_count(), looped.total_count());
+  for (uint64_t key = 1; key <= 300; ++key) {
+    EXPECT_EQ(batched.Estimate(key), looped.Estimate(key));
+  }
+}
+
+TEST(CountMinMergeTest, RejectsIncompatibleSketches) {
+  CountMinSketch base(64, 4, 1);
+  CountMinSketch wrong_width(65, 4, 1);
+  CountMinSketch wrong_depth(64, 3, 1);
+  CountMinSketch wrong_seed(64, 4, 2);
+  CountMinSketch wrong_mode(64, 4, 1, /*conservative_update=*/true);
+  EXPECT_FALSE(base.Merge(wrong_width).ok());
+  EXPECT_FALSE(base.Merge(wrong_depth).ok());
+  EXPECT_FALSE(base.Merge(wrong_seed).ok());
+  EXPECT_FALSE(base.Merge(wrong_mode).ok());
+  EXPECT_FALSE(base.Merge(base).ok());
+}
+
+TEST(CountMinMergeTest, ConservativeMergeNeverUnderestimates) {
+  // Conservative merges are not identical to sequential conservative
+  // ingestion, but the one-sided guarantee must survive the merge.
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 500, 5, &truth);
+  CountMinSketch first(64, 3, 7, true), second(64, 3, 7, true);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(first.Estimate(key), count);
+  }
+}
+
+TEST(CountMinMergeTest, EmptyCloneSharesGeometryAndHashes) {
+  const auto trace = MakeTrace(5000, 200, 6, nullptr);
+  CountMinSketch sketch(128, 4, 11);
+  sketch.UpdateBatch(Span<const uint64_t>(trace));
+  CountMinSketch clone = sketch.EmptyClone();
+  EXPECT_EQ(clone.total_count(), 0u);
+  EXPECT_EQ(clone.width(), sketch.width());
+  EXPECT_EQ(clone.depth(), sketch.depth());
+  EXPECT_EQ(clone.seed(), sketch.seed());
+  // Mergeable into the original => identical hash draws.
+  EXPECT_TRUE(sketch.Merge(clone).ok());
+}
+
+TEST(CountSketchMergeTest, HalfTraceMergeEqualsFullTrace) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 800, 13, &truth);
+
+  CountSketch full(256, 5, 17);
+  full.UpdateBatch(Span<const uint64_t>(trace));
+
+  CountSketch first(256, 5, 17), second(256, 5, 17);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  for (const auto& [key, count] : truth) {
+    EXPECT_EQ(first.Estimate(key), full.Estimate(key));
+  }
+}
+
+TEST(CountSketchMergeTest, RejectsIncompatibleSketches) {
+  CountSketch base(64, 5, 1);
+  CountSketch wrong_seed(64, 5, 2);
+  CountSketch wrong_width(32, 5, 1);
+  EXPECT_FALSE(base.Merge(wrong_seed).ok());
+  EXPECT_FALSE(base.Merge(wrong_width).ok());
+  EXPECT_FALSE(base.Merge(base).ok());
+}
+
+TEST(AmsMergeTest, HalfTraceMergeEqualsFullTrace) {
+  const auto trace = MakeTrace(20000, 600, 19, nullptr);
+
+  AmsSketch full(5, 8, 23);
+  full.UpdateBatch(Span<const uint64_t>(trace));
+
+  AmsSketch first(5, 8, 23), second(5, 8, 23);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  // Atoms are linear, so the merged F2 estimate is *exactly* the
+  // full-trace estimate.
+  EXPECT_DOUBLE_EQ(first.EstimateF2(), full.EstimateF2());
+}
+
+TEST(AmsMergeTest, RejectsIncompatibleSketches) {
+  AmsSketch base(5, 8, 1);
+  AmsSketch wrong_seed(5, 8, 2);
+  AmsSketch wrong_groups(4, 8, 1);
+  EXPECT_FALSE(base.Merge(wrong_seed).ok());
+  EXPECT_FALSE(base.Merge(wrong_groups).ok());
+  EXPECT_FALSE(base.Merge(base).ok());
+}
+
+TEST(LearnedCountMinMergeTest, HalfTraceMergeEqualsFullTrace) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 800, 29, &truth);
+  const std::vector<uint64_t> heavy = SelectTopKeys(truth, 20);
+
+  auto full = LearnedCountMinSketch::Create(500, 4, heavy, 31);
+  auto first = LearnedCountMinSketch::Create(500, 4, heavy, 31);
+  auto second = LearnedCountMinSketch::Create(500, 4, heavy, 31);
+  ASSERT_TRUE(full.ok() && first.ok() && second.ok());
+
+  full.value().UpdateBatch(Span<const uint64_t>(trace));
+  IngestHalves(trace, first.value(), second.value());
+  ASSERT_TRUE(first.value().Merge(second.value()).ok());
+
+  for (const auto& [key, count] : truth) {
+    EXPECT_EQ(first.value().Estimate(key), full.value().Estimate(key));
+  }
+}
+
+TEST(LearnedCountMinMergeTest, RejectsDifferentOracleSets) {
+  auto a = LearnedCountMinSketch::Create(100, 2, {1, 2, 3}, 1);
+  auto b = LearnedCountMinSketch::Create(100, 2, {1, 2, 4}, 1);
+  auto c = LearnedCountMinSketch::Create(100, 2, {1, 2}, 1);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(a.value().Merge(b.value()).ok());
+  EXPECT_FALSE(a.value().Merge(c.value()).ok());
+  EXPECT_FALSE(a.value().Merge(a.value()).ok());
+}
+
+TEST(MisraGriesMergeTest, MergedSummaryKeepsDeterministicGuarantees) {
+  constexpr size_t kCapacity = 64;
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 37, &truth);
+
+  MisraGries first(kCapacity), second(kCapacity);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  EXPECT_LE(first.size(), kCapacity);
+  EXPECT_EQ(first.total_count(), trace.size());
+  // Lower bound is preserved and the merged error bound is the sum of the
+  // input bounds: (n1 + n2)/(capacity + 1) = total/(capacity + 1).
+  const double bound =
+      static_cast<double>(trace.size()) / static_cast<double>(kCapacity + 1);
+  for (const auto& [key, count] : truth) {
+    const uint64_t estimate = first.Estimate(key);
+    EXPECT_LE(estimate, count);
+    EXPECT_LE(static_cast<double>(count - estimate), bound + 1.0);
+  }
+}
+
+TEST(MisraGriesMergeTest, RejectsIncompatibleSummaries) {
+  MisraGries a(8), b(9);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(a).ok());
+}
+
+TEST(SpaceSavingMergeTest, MergedSummaryKeepsUpperBound) {
+  constexpr size_t kCapacity = 64;
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 41, &truth);
+
+  SpaceSaving first(kCapacity), second(kCapacity);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  EXPECT_LE(first.size(), kCapacity);
+  EXPECT_EQ(first.total_count(), trace.size());
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(first.Estimate(key), count);
+  }
+}
+
+TEST(SpaceSavingMergeTest, HeavyHittersSurviveTheMerge) {
+  constexpr size_t kCapacity = 64;
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 43, &truth);
+
+  SpaceSaving first(kCapacity), second(kCapacity);
+  IngestHalves(trace, first, second);
+  ASSERT_TRUE(first.Merge(second).ok());
+
+  // Any key whose frequency clearly dominates the merged error bound must
+  // still be tracked after the merge (4n/capacity gives provable margin
+  // over the combine step's worst case).
+  const uint64_t threshold = 4 * trace.size() / kCapacity;
+  for (const auto& [key, count] : truth) {
+    if (count > threshold) {
+      EXPECT_TRUE(first.IsTracked(key));
+    }
+  }
+}
+
+TEST(SpaceSavingMergeTest, RejectsIncompatibleSummaries) {
+  SpaceSaving a(8), b(9);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(a).ok());
+}
+
+}  // namespace
+}  // namespace opthash::sketch

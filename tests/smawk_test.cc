@@ -86,9 +86,9 @@ TEST(SmawkTest, ArgminsAreMonotoneForMongeInput) {
   std::vector<std::vector<double>> matrix(rows, std::vector<double>(cols));
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < cols; ++c) {
+      const double diag = static_cast<double>(c) - 0.8 * static_cast<double>(r);
       matrix[r][c] = rng.NextDouble(0.0, 1.0) * 0.0 +  // Deterministic base:
-                     (static_cast<double>(c) - 0.8 * static_cast<double>(r)) *
-                         (static_cast<double>(c) - 0.8 * static_cast<double>(r));
+                     diag * diag;
     }
   }
   auto value = [&](size_t r, size_t c) { return matrix[r][c]; };

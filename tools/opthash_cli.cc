@@ -5,9 +5,11 @@
 //
 //   opthash_cli train    --trace prefix.csv --out model.txt
 //                        [--buckets 1000] [--ratio 0.3] [--lambda 1.0]
-//                        [--solver bcd|dp|milp] [--classifier rf|cart|logreg|none]
+//                        [--solver bcd|dp|milp]
+//                        [--classifier rf|cart|logreg|none]
 //                        [--vocab 500] [--seed 1]
 //   opthash_cli apply    --model model.txt --trace day1.csv --out model.txt
+//                        [--threads N] [--block-size B]
 //   opthash_cli query    --model model.txt --trace queries.csv
 //   opthash_cli evaluate --model model.txt --trace stream.csv
 //
@@ -29,6 +31,7 @@
 #include "core/opt_hash_estimator.h"
 #include "stream/element.h"
 #include "stream/features.h"
+#include "stream/sharded_ingest.h"
 #include "stream/trace_io.h"
 
 namespace opthash::cli {
@@ -225,14 +228,46 @@ int CmdApply(const Flags& flags) {
     return Fail(
         Status::InvalidArgument("apply needs --model, --trace and --out"));
   }
+  const auto threads = flags.GetUint("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  const auto block_size = flags.GetUint("block-size", 1 << 16);
+  if (!block_size.ok()) return Fail(block_size.status());
+  stream::ShardedIngestConfig config;
+  config.num_threads = static_cast<size_t>(threads.value());
+  config.block_size = static_cast<size_t>(block_size.value());
+  const Status config_ok = config.Validate();
+  if (!config_ok.ok()) return Fail(config_ok);
+
   auto bundle = LoadBundle(flags.Get("model", ""));
   if (!bundle.ok()) return Fail(bundle.status());
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
-  for (const auto& record : trace.value()) {
-    bundle.value().estimator->Update({record.id, nullptr});
-  }
-  std::printf("applied %zu arrivals\n", trace.value().size());
+
+  std::vector<uint64_t> ids;
+  ids.reserve(trace.value().size());
+  for (const auto& record : trace.value()) ids.push_back(record.id);
+
+  // Stream processing only adds to bucket counters through the read-only
+  // learned table, so each worker accumulates into a private delta array
+  // and the deltas fold back in at the end — exactly equivalent to a
+  // sequential Update loop at any thread count.
+  core::OptHashEstimator& estimator = *bundle.value().estimator;
+  auto stats = stream::ShardedIngestCustom(
+      ids, config,
+      [&estimator](size_t) {
+        return std::vector<double>(estimator.num_buckets(), 0.0);
+      },
+      [&estimator](std::vector<double>& deltas, size_t /*worker*/,
+                   Span<const uint64_t> block) {
+        estimator.AccumulateUpdates(block, deltas);
+      },
+      [&estimator](std::vector<double>& deltas) {
+        return estimator.ApplyBucketDeltas(deltas);
+      });
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("applied %zu arrivals (%zu threads, %.3fs, %.0f items/sec)\n",
+              stats.value().num_items, stats.value().threads_used,
+              stats.value().seconds, stats.value().ItemsPerSecond());
   const Status saved = SaveBundle(flags.Get("out", ""), bundle.value());
   if (!saved.ok()) return Fail(saved);
   return 0;
@@ -304,6 +339,7 @@ int Usage(std::FILE* out) {
       "           [--ratio C] [--lambda L] [--solver bcd|dp|milp]\n"
       "           [--classifier rf|cart|logreg|none] [--vocab V] [--seed S]\n"
       "  apply    --model model.txt --trace stream.csv --out model.txt\n"
+      "           [--threads N] [--block-size B]\n"
       "  query    --model model.txt --trace queries.csv\n"
       "  evaluate --model model.txt --trace stream.csv\n"
       "\n"
@@ -326,7 +362,15 @@ int Usage(std::FILE* out) {
       "  --classifier K  model routing unseen elements: rf, cart, logreg,\n"
       "                  or none (default rf)\n"
       "  --vocab V       bag-of-words vocabulary size (default 500)\n"
-      "  --seed S        RNG seed (default 1)\n");
+      "  --seed S        RNG seed (default 1)\n"
+      "\n"
+      "apply flags:\n"
+      "  --threads N     worker threads for sharded trace ingestion; 0 uses\n"
+      "                  the hardware concurrency. Estimates after the\n"
+      "                  merge are identical at every thread count\n"
+      "                  (default 1)\n"
+      "  --block-size B  trace items per worker dispatch block\n"
+      "                  (default 65536)\n");
   return out == stdout ? 0 : 2;
 }
 
