@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fails on dead intra-repo links in tracked markdown files.
+
+Checks every [text](target) whose target is a relative path: the file must
+exist, and an optional #anchor must match a heading in the target (GitHub
+anchor slugging: lowercase, spaces -> dashes, punctuation dropped).
+External URLs (http/https/mailto) are skipped on purpose — network
+flakiness must not gate merges.
+
+Run from the repository root: python3 .github/check_markdown_links.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        text = CODE_FENCE_RE.sub("", handle.read())
+    return {github_anchor(match) for match in HEADING_RE.findall(text)}
+
+
+def main() -> int:
+    files = subprocess.run(
+        ["git", "ls-files", "*.md"], capture_output=True, text=True,
+        check=True).stdout.split()
+    errors = []
+    for md_file in files:
+        with open(md_file, encoding="utf-8") as handle:
+            text = CODE_FENCE_RE.sub("", handle.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            base = os.path.dirname(md_file)
+            resolved = (os.path.normpath(os.path.join(base, path_part))
+                        if path_part else md_file)
+            if not os.path.exists(resolved):
+                errors.append(f"{md_file}: dead link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if github_anchor(anchor) not in anchors_of(resolved):
+                    errors.append(f"{md_file}: dead anchor -> {target}")
+    for error in errors:
+        print(error)
+    checked = len(files)
+    print(f"checked {checked} markdown files, {len(errors)} dead links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

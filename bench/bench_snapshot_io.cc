@@ -1,0 +1,300 @@
+// bench_snapshot_io — save/load latency and on-disk size of the binary
+// snapshot format vs. text parsing, plus the mmap zero-copy open path.
+// Emits machine-readable JSON (like bench_throughput) so CI can archive
+// the restart-cost trajectory across commits.
+//
+//   bench_snapshot_io [--quick] [--counters N] [--reps R] [--out path.json]
+//
+// Three artifacts are measured:
+//   1. A Count-Min sketch with N counters (default 1,000,000 — the
+//      acceptance workload): binary snapshot save/load, mmap view open,
+//      and a text-parse baseline (the counters as whitespace decimals,
+//      i.e. what a model.txt-style encoding would cost).
+//   2. The trained model bundle (featurizer + estimator + classifier):
+//      legacy text format vs. binary snapshot, both directions.
+//   3. First-query latency through the mapped views (open + one query)
+//      versus full deserialization — the hot-restart story.
+//
+// --quick shrinks N to 100,000 and reps to 3 for CI smoke runs. JSON goes
+// to --out (stdout when omitted); a human summary always goes to stderr.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/opt_hash_estimator.h"
+#include "io/model_io.h"
+#include "io/sketch_snapshot.h"
+#include "sketch/count_min_sketch.h"
+
+namespace opthash {
+namespace {
+
+struct Options {
+  size_t counters = 1'000'000;
+  size_t reps = 5;
+  std::string out;  // Empty = stdout.
+  bool quick = false;
+};
+
+struct ResultRow {
+  std::string artifact;
+  std::string operation;
+  double seconds = 0.0;
+  size_t bytes = 0;
+};
+
+// Best-of-reps wall time: snapshots are dominated by deterministic CPU
+// work, so min is the stable statistic.
+template <typename Fn>
+double BestOf(size_t reps, Fn fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+size_t FileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  return file ? static_cast<size_t>(file.tellg()) : 0;
+}
+
+// The text baseline for raw counters: what a whitespace-decimal encoding
+// (the pre-snapshot model.txt idiom) costs to write and re-parse.
+void WriteCountersAsText(const std::string& path,
+                         const sketch::CountMinSketch& sketch) {
+  io::ByteWriter payload;
+  sketch.Serialize(payload);
+  // Round-trip through the binary payload to reach the counters without
+  // befriending the sketch: header is 40 bytes, then u64 counters.
+  std::ostringstream out;
+  out << sketch.width() << ' ' << sketch.depth() << ' ' << sketch.seed()
+      << ' ' << sketch.total_count() << '\n';
+  const uint8_t* counters = payload.bytes().data() + 40;
+  const size_t count = sketch.width() * sketch.depth();
+  for (size_t i = 0; i < count; ++i) {
+    out << io::LoadLittleU64(counters + i * 8) << ' ';
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << out.str();
+}
+
+uint64_t ParseCountersFromText(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  size_t width = 0;
+  size_t depth = 0;
+  uint64_t seed = 0;
+  uint64_t total = 0;
+  file >> width >> depth >> seed >> total;
+  uint64_t checksum = 0;
+  uint64_t value = 0;
+  for (size_t i = 0; i < width * depth && (file >> value); ++i) {
+    checksum ^= value;
+  }
+  return checksum;
+}
+
+std::vector<core::PrefixElement> BenchPrefix(size_t elements) {
+  Rng rng(7);
+  std::vector<core::PrefixElement> prefix;
+  prefix.reserve(elements);
+  for (size_t i = 0; i < elements; ++i) {
+    const bool heavy = i % 10 == 0;
+    prefix.push_back(
+        {.id = 1000 + i,
+         .frequency = heavy ? 200.0 + static_cast<double>(i % 97) : 2.0,
+         .features = {heavy ? 1.0 + 0.1 * rng.NextGaussian()
+                            : -1.0 + 0.1 * rng.NextGaussian(),
+                      rng.NextGaussian()}});
+  }
+  return prefix;
+}
+
+void PrintJson(std::FILE* out, const Options& options,
+               const std::vector<ResultRow>& rows) {
+  std::fprintf(out, "{\n  \"benchmark\": \"snapshot_io\",\n");
+  std::fprintf(out, "  \"counters\": %zu,\n  \"reps\": %zu,\n",
+               options.counters, options.reps);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"artifact\": \"%s\", \"operation\": \"%s\", "
+                 "\"seconds\": %.6f, \"bytes\": %zu}%s\n",
+                 rows[i].artifact.c_str(), rows[i].operation.c_str(),
+                 rows[i].seconds, rows[i].bytes,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+      options.counters = 100'000;
+      options.reps = 3;
+    } else if (arg == "--counters" && i + 1 < argc) {
+      options.counters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      options.reps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_snapshot_io [--quick] [--counters N] "
+                   "[--reps R] [--out path.json]\n");
+      return 2;
+    }
+  }
+  std::vector<ResultRow> rows;
+  const std::string dir = "/tmp";
+
+  // ---- Artifact 1: Count-Min with N counters. -------------------------
+  const size_t depth = 4;
+  const size_t width = options.counters / depth;
+  sketch::CountMinSketch cms(width, depth, 11);
+  {
+    // Load the sketch to realistic occupancy (~16 expected hits per
+    // counter): an empty sketch would flatter the text baseline, whose
+    // cost scales with digit count.
+    Rng rng(13);
+    std::vector<uint64_t> keys(1 << 16);
+    for (uint64_t& key : keys) key = rng.NextBounded(1 << 19);
+    const size_t rounds = options.counters / (1 << 14);
+    for (size_t round = 0; round < rounds; ++round) {
+      for (uint64_t& key : keys) key = (key * 2862933555777941757ull) + 1;
+      cms.UpdateBatch(keys);
+    }
+  }
+  const std::string cms_bin = dir + "/bench_snapshot_cms.bin";
+  const std::string cms_txt = dir + "/bench_snapshot_cms.txt";
+
+  rows.push_back({"cms", "binary_save",
+                  BestOf(options.reps,
+                         [&] { (void)io::SaveSketchSnapshot(cms_bin, cms); }),
+                  0});
+  rows.back().bytes = FileBytes(cms_bin);
+  rows.push_back(
+      {"cms", "binary_load",
+       BestOf(options.reps,
+              [&] {
+                auto loaded =
+                    io::LoadSketchSnapshot<sketch::CountMinSketch>(cms_bin);
+                if (!loaded.ok()) std::abort();
+              }),
+       FileBytes(cms_bin)});
+  rows.push_back({"cms", "mmap_open_and_query",
+                  BestOf(options.reps,
+                         [&] {
+                           auto view = io::MappedCountMinView::Open(cms_bin);
+                           if (!view.ok()) std::abort();
+                           (void)view.value().Estimate(42);
+                         }),
+                  FileBytes(cms_bin)});
+  rows.push_back(
+      {"cms", "text_save",
+       BestOf(options.reps, [&] { WriteCountersAsText(cms_txt, cms); }), 0});
+  rows.back().bytes = FileBytes(cms_txt);
+  rows.push_back({"cms", "text_load",
+                  BestOf(options.reps,
+                         [&] { (void)ParseCountersFromText(cms_txt); }),
+                  FileBytes(cms_txt)});
+
+  // ---- Artifact 2: the model bundle. ----------------------------------
+  io::ModelBundle bundle;
+  bundle.featurizer = stream::BagOfWordsFeaturizer(64);
+  bundle.featurizer.Fit({{"alpha beta gamma", 5.0}, {"delta epsilon", 2.0}});
+  core::OptHashConfig config;
+  // Modest estimator: the bundle numbers track format overhead, not
+  // training cost, and the DP solve would dominate setup far above this.
+  config.total_buckets = options.quick ? 500 : 2000;
+  config.id_ratio = 0.5;
+  config.solver = core::SolverKind::kDp;
+  config.classifier = core::ClassifierKind::kCart;
+  auto trained =
+      core::OptHashEstimator::Train(config, BenchPrefix(config.total_buckets));
+  if (!trained.ok()) {
+    std::fprintf(stderr, "error: %s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  bundle.estimator = std::move(trained).value();
+
+  const std::string bundle_bin = dir + "/bench_snapshot_bundle.bin";
+  const std::string bundle_txt = dir + "/bench_snapshot_bundle.txt";
+  for (const auto format :
+       {io::SnapshotFormat::kBinary, io::SnapshotFormat::kText}) {
+    const bool binary = format == io::SnapshotFormat::kBinary;
+    const std::string& path = binary ? bundle_bin : bundle_txt;
+    const char* tag = binary ? "binary" : "text";
+    rows.push_back(
+        {"bundle", std::string(tag) + "_save",
+         BestOf(options.reps,
+                [&] { (void)io::SaveModelBundle(path, bundle, format); }),
+         0});
+    rows.back().bytes = FileBytes(path);
+    rows.push_back({"bundle", std::string(tag) + "_load",
+                    BestOf(options.reps,
+                           [&] {
+                             auto loaded = io::LoadModelBundle(path);
+                             if (!loaded.ok()) std::abort();
+                           }),
+                    FileBytes(path)});
+  }
+  rows.push_back({"bundle", "mmap_open_and_query",
+                  BestOf(options.reps,
+                         [&] {
+                           auto view =
+                               io::MappedEstimatorView::Open(bundle_bin);
+                           if (!view.ok()) std::abort();
+                           (void)view.value().Estimate(1000);
+                         }),
+                  FileBytes(bundle_bin)});
+
+  // ---- Report. --------------------------------------------------------
+  double binary_load = 0.0;
+  double text_load = 0.0;
+  for (const ResultRow& row : rows) {
+    std::fprintf(stderr, "%-8s %-22s %10.3f ms  %10zu bytes\n",
+                 row.artifact.c_str(), row.operation.c_str(),
+                 row.seconds * 1e3, row.bytes);
+    if (row.artifact == "cms" && row.operation == "binary_load") {
+      binary_load = row.seconds;
+    }
+    if (row.artifact == "cms" && row.operation == "text_load") {
+      text_load = row.seconds;
+    }
+  }
+  if (binary_load > 0.0) {
+    std::fprintf(stderr,
+                 "cms load speedup: binary is %.1fx faster than text parse\n",
+                 text_load / binary_load);
+  }
+  if (options.out.empty()) {
+    PrintJson(stdout, options, rows);
+  } else {
+    std::FILE* file = std::fopen(options.out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.out.c_str());
+      return 1;
+    }
+    PrintJson(file, options, rows);
+    std::fclose(file);
+    std::fprintf(stderr, "json written to %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opthash
+
+int main(int argc, char** argv) { return opthash::Main(argc, argv); }

@@ -338,4 +338,129 @@ Result<OptHashEstimator> OptHashEstimator::Deserialize(
   return estimator;
 }
 
+namespace {
+constexpr uint32_t kEstimatorPayloadVersion = 1;
+}  // namespace
+
+void OptHashEstimator::SerializeBinary(io::ByteWriter& out) const {
+  out.WriteU32(kEstimatorPayloadVersion);
+  out.WriteU32(static_cast<uint32_t>(classifier_kind_));
+  out.WriteU64(bucket_freq_.size());
+  out.WriteU64(table_.size());
+  out.WriteDoubleArray(bucket_freq_);
+  out.WriteDoubleArray(bucket_count_);
+  // Structure-of-arrays table in ascending id order: deterministic bytes,
+  // and the mapped view can binary-search the id column in place.
+  std::vector<std::pair<uint64_t, int32_t>> entries(table_.begin(),
+                                                    table_.end());
+  std::sort(entries.begin(), entries.end());
+  std::vector<uint64_t> ids;
+  std::vector<int32_t> buckets;
+  ids.reserve(entries.size());
+  buckets.reserve(entries.size());
+  for (const auto& [id, bucket] : entries) {
+    ids.push_back(id);
+    buckets.push_back(bucket);
+  }
+  out.WriteU64Array(ids);
+  out.WriteI32Array(buckets);
+  out.AlignTo(8);
+  io::ByteWriter classifier;
+  if (classifier_ != nullptr) {
+    switch (classifier_kind_) {
+      case ClassifierKind::kLogisticRegression:
+        static_cast<const ml::LogisticRegression*>(classifier_.get())
+            ->SerializeBinary(classifier);
+        break;
+      case ClassifierKind::kCart:
+        static_cast<const ml::DecisionTree*>(classifier_.get())
+            ->SerializeBinary(classifier);
+        break;
+      case ClassifierKind::kRandomForest:
+        static_cast<const ml::RandomForest*>(classifier_.get())
+            ->SerializeBinary(classifier);
+        break;
+      case ClassifierKind::kNone:
+        break;
+    }
+  }
+  out.WriteU64(classifier.size());
+  out.WriteBytes(classifier.bytes().data(), classifier.size());
+}
+
+Result<OptHashEstimator> OptHashEstimator::DeserializeBinary(
+    io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kEstimatorPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported estimator payload version " + std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(kind_raw, in.ReadU32());
+  if (kind_raw > static_cast<uint32_t>(ClassifierKind::kRandomForest)) {
+    return Status::InvalidArgument("unknown classifier kind " +
+                                   std::to_string(kind_raw));
+  }
+  const auto kind = static_cast<ClassifierKind>(kind_raw);
+  OPTHASH_IO_ASSIGN(num_buckets, in.ReadU64());
+  OPTHASH_IO_ASSIGN(table_size, in.ReadU64());
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("estimator needs at least one bucket");
+  }
+  if (num_buckets > in.remaining() / (2 * sizeof(double))) {
+    return Status::InvalidArgument("estimator bucket count exceeds payload");
+  }
+  OptHashEstimator estimator;
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadDoubleArray(estimator.bucket_freq_, num_buckets));
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadDoubleArray(estimator.bucket_count_, num_buckets));
+  std::vector<uint64_t> ids;
+  std::vector<int32_t> buckets;
+  OPTHASH_IO_RETURN_IF_ERROR(in.ReadU64Array(ids, table_size));
+  OPTHASH_IO_RETURN_IF_ERROR(in.ReadI32Array(buckets, table_size));
+  OPTHASH_IO_RETURN_IF_ERROR(in.AlignTo(8));
+  estimator.table_.reserve(table_size);
+  for (size_t t = 0; t < table_size; ++t) {
+    if (t > 0 && ids[t] <= ids[t - 1]) {
+      return Status::InvalidArgument("table ids must be strictly ascending");
+    }
+    if (buckets[t] < 0 || static_cast<uint64_t>(buckets[t]) >= num_buckets) {
+      return Status::InvalidArgument("table bucket out of range");
+    }
+    estimator.table_.emplace(ids[t], buckets[t]);
+  }
+  OPTHASH_IO_ASSIGN(classifier_size, in.ReadU64());
+  auto blob = in.ReadSpan(classifier_size);
+  if (!blob.ok()) return blob.status();
+  io::ByteReader classifier(blob.value());
+  if (kind == ClassifierKind::kNone) {
+    if (classifier_size != 0) {
+      return Status::InvalidArgument(
+          "classifier payload present without a classifier");
+    }
+  } else if (kind == ClassifierKind::kLogisticRegression) {
+    auto model = ml::LogisticRegression::DeserializeBinary(classifier);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::LogisticRegression>(std::move(model).value());
+  } else if (kind == ClassifierKind::kCart) {
+    auto model = ml::DecisionTree::DeserializeBinary(classifier);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::DecisionTree>(std::move(model).value());
+  } else {
+    auto model = ml::RandomForest::DeserializeBinary(classifier);
+    if (!model.ok()) return model.status();
+    estimator.classifier_ =
+        std::make_unique<ml::RandomForest>(std::move(model).value());
+  }
+  if (kind != ClassifierKind::kNone) {
+    OPTHASH_IO_RETURN_IF_ERROR(classifier.ExpectFullyConsumed());
+  }
+  estimator.classifier_kind_ = kind;
+  estimator.training_info_.num_sampled_elements = table_size;
+  estimator.training_info_.num_buckets = num_buckets;
+  return estimator;
+}
+
 }  // namespace opthash::core

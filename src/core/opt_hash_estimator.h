@@ -8,6 +8,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "core/frequency_estimator.h"
+#include "io/bytes.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "ml/logistic_regression.h"
@@ -146,6 +147,22 @@ class OptHashEstimator : public FrequencyEstimator {
   /// not preserved.
   std::string Serialize() const;
   static Result<OptHashEstimator> Deserialize(const std::string& blob);
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 32): bucket
+  /// counter arrays and the learned table as ascending-sorted structure-
+  /// of-arrays (ids then buckets) at 8-aligned payload offsets — the
+  /// layout io::MappedEstimatorView binary-searches in place — followed
+  /// by the classifier's length-prefixed binary payload. Bit-exact
+  /// round-trip of doubles (the text path goes through decimal).
+  /// Must start at an 8-aligned writer offset (a fresh ByteWriter does);
+  /// snapshot sections always satisfy this on disk.
+  void SerializeBinary(io::ByteWriter& out) const;
+
+  /// Rebuilds an estimator from a SerializeBinary payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes, bucket
+  /// indices out of range, or a malformed embedded classifier. Training
+  /// diagnostics are not preserved (same contract as the text path).
+  static Result<OptHashEstimator> DeserializeBinary(io::ByteReader& in);
 
  private:
   OptHashEstimator() = default;

@@ -248,6 +248,99 @@ Result<DecisionTree> DecisionTree::Deserialize(const std::string& blob) {
   return DeserializeFrom(in);
 }
 
+namespace {
+constexpr uint32_t kCartPayloadVersion = 1;
+constexpr uint32_t kNodeFlagLeaf = 1u << 0;
+constexpr size_t kNodeRecordBytes = 48;
+}  // namespace
+
+void DecisionTree::SerializeBinary(io::ByteWriter& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "SerializeBinary before Fit");
+  out.WriteU32(kCartPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(num_features_);
+  out.WriteU64(num_classes_);
+  out.WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    out.WriteU64(node.feature);
+    out.WriteDouble(node.threshold);
+    out.WriteI32(node.left);
+    out.WriteI32(node.right);
+    out.WriteI32(node.label);
+    out.WriteU32(node.is_leaf ? kNodeFlagLeaf : 0u);
+    out.WriteDouble(node.impurity_decrease);
+    out.WriteU64(node.num_samples);
+  }
+}
+
+Result<DecisionTree> DecisionTree::DeserializeBinary(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kCartPayloadVersion) {
+    return Status::InvalidArgument("unsupported cart payload version " +
+                                   std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero cart reserved field");
+  }
+  OPTHASH_IO_ASSIGN(num_features, in.ReadU64());
+  OPTHASH_IO_ASSIGN(num_classes, in.ReadU64());
+  OPTHASH_IO_ASSIGN(node_count, in.ReadU64());
+  if (node_count == 0) {
+    return Status::InvalidArgument("decision tree has no nodes");
+  }
+  if (num_classes == 0) {
+    return Status::InvalidArgument("decision tree needs at least one class");
+  }
+  if (node_count > in.remaining() / kNodeRecordBytes) {
+    return Status::InvalidArgument("cart node count exceeds payload");
+  }
+  DecisionTree tree;
+  tree.num_features_ = num_features;
+  tree.num_classes_ = num_classes;
+  tree.nodes_.resize(node_count);
+  for (size_t index = 0; index < node_count; ++index) {
+    Node& node = tree.nodes_[index];
+    OPTHASH_IO_ASSIGN(feature, in.ReadU64());
+    OPTHASH_IO_ASSIGN(threshold, in.ReadDouble());
+    OPTHASH_IO_ASSIGN(left, in.ReadI32());
+    OPTHASH_IO_ASSIGN(right, in.ReadI32());
+    OPTHASH_IO_ASSIGN(label, in.ReadI32());
+    OPTHASH_IO_ASSIGN(flags, in.ReadU32());
+    OPTHASH_IO_ASSIGN(impurity_decrease, in.ReadDouble());
+    OPTHASH_IO_ASSIGN(num_samples, in.ReadU64());
+    if ((flags & ~kNodeFlagLeaf) != 0) {
+      return Status::InvalidArgument("unknown cart node flags");
+    }
+    node.feature = feature;
+    node.threshold = threshold;
+    node.left = left;
+    node.right = right;
+    node.label = label;
+    node.is_leaf = (flags & kNodeFlagLeaf) != 0;
+    node.impurity_decrease = impurity_decrease;
+    node.num_samples = num_samples;
+    // Every node carries its majority label; a corrupt one would abort
+    // Predict's bounds CHECK later, so reject it here instead.
+    if (node.label < 0 ||
+        static_cast<uint64_t>(node.label) >= num_classes) {
+      return Status::InvalidArgument("decision tree label out of range");
+    }
+    // The builder appends children after their parent, so child > parent
+    // is a format invariant; enforcing it makes cycles (which would hang
+    // Predict) unrepresentable.
+    const auto self = static_cast<int32_t>(index);
+    const auto count = static_cast<int32_t>(node_count);
+    if (!node.is_leaf &&
+        (node.left <= self || node.right <= self || node.left >= count ||
+         node.right >= count || node.feature >= num_features)) {
+      return Status::InvalidArgument("decision tree node out of range");
+    }
+  }
+  tree.fitted_ = true;
+  return tree;
+}
+
 std::vector<double> DecisionTree::FeatureImportances() const {
   std::vector<double> importances(num_features_, 0.0);
   double total = 0.0;

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "io/bytes.h"
 #include "ml/dataset.h"
 
 namespace opthash::ml {
@@ -60,6 +61,18 @@ class DecisionTree : public Classifier {
   /// Reconstructs a tree from Serialize() output.
   static Result<DecisionTree> Deserialize(const std::string& blob);
   static Result<DecisionTree> DeserializeFrom(std::istream& in);
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 17): header +
+  /// fixed 48-byte little-endian node records. Exactly the state the text
+  /// format carries (structure, thresholds at full double precision,
+  /// importances bookkeeping); fitted-ness is implied — serializing an
+  /// unfitted tree is a programming error, like the text path.
+  void SerializeBinary(io::ByteWriter& out) const;
+
+  /// Rebuilds a tree from a SerializeBinary payload; same node-index
+  /// range checks as the text reader, returning InvalidArgument (never
+  /// crashing) on truncated/corrupt/mis-versioned bytes.
+  static Result<DecisionTree> DeserializeBinary(io::ByteReader& in);
 
  private:
   struct Node {

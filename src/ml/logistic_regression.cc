@@ -253,6 +253,69 @@ Result<LogisticRegression> LogisticRegression::Deserialize(
   return DeserializeFrom(in);
 }
 
+namespace {
+constexpr uint32_t kLogRegPayloadVersion = 1;
+}  // namespace
+
+void LogisticRegression::SerializeBinary(io::ByteWriter& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "SerializeBinary before Fit");
+  out.WriteU32(kLogRegPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(num_classes_);
+  out.WriteU64(num_features_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    out.WriteDoubleArray(Span<const double>(weights_.Row(c), num_features_));
+  }
+  out.WriteDoubleArray(biases_);
+  out.WriteDoubleArray(feature_means_);
+  out.WriteDoubleArray(feature_stds_);
+}
+
+Result<LogisticRegression> LogisticRegression::DeserializeBinary(
+    io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kLogRegPayloadVersion) {
+    return Status::InvalidArgument("unsupported logreg payload version " +
+                                   std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero logreg reserved field");
+  }
+  OPTHASH_IO_ASSIGN(num_classes, in.ReadU64());
+  OPTHASH_IO_ASSIGN(num_features, in.ReadU64());
+  if (num_classes == 0) {
+    return Status::InvalidArgument("logreg needs at least one class");
+  }
+  // Bound num_classes by the biases array alone so a crafted payload with
+  // num_features == 0 cannot drive an effectively unbounded loop, then by
+  // the weight matrix.
+  if (num_classes > in.remaining() / sizeof(double) ||
+      (num_features != 0 &&
+       num_classes > in.remaining() / sizeof(double) / num_features)) {
+    return Status::InvalidArgument("logreg shape exceeds payload");
+  }
+  LogisticRegression model;
+  model.num_classes_ = num_classes;
+  model.num_features_ = num_features;
+  model.weights_ = Matrix(num_classes, num_features);
+  std::vector<double> row;
+  for (size_t c = 0; c < num_classes; ++c) {
+    OPTHASH_IO_RETURN_IF_ERROR(in.ReadDoubleArray(row, num_features));
+    std::copy(row.begin(), row.end(), model.weights_.Row(c));
+  }
+  OPTHASH_IO_RETURN_IF_ERROR(in.ReadDoubleArray(model.biases_, num_classes));
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadDoubleArray(model.feature_means_, num_features));
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadDoubleArray(model.feature_stds_, num_features));
+  for (double s : model.feature_stds_) {
+    if (s <= 0.0) return Status::InvalidArgument("non-positive feature std");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
 double LogisticRegression::Loss(const Dataset& data) const {
   OPTHASH_CHECK_MSG(fitted_, "Loss before Fit");
   double total = 0.0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/bytes.h"
 #include "ml/dataset.h"
 #include "ml/matrix.h"
 
@@ -50,6 +51,17 @@ class LogisticRegression : public Classifier {
   void SerializeTo(std::ostream& out) const;
   static Result<LogisticRegression> Deserialize(const std::string& blob);
   static Result<LogisticRegression> DeserializeFrom(std::istream& in);
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 16): weights,
+  /// biases and standardization vectors as raw little-endian IEEE-754
+  /// doubles — exact bit-level round-trip, unlike the text path's
+  /// decimal round-trip through setprecision(17).
+  void SerializeBinary(io::ByteWriter& out) const;
+
+  /// Rebuilds a model from a SerializeBinary payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes or
+  /// non-positive feature standard deviations.
+  static Result<LogisticRegression> DeserializeBinary(io::ByteReader& in);
 
  private:
   std::vector<double> Standardize(const std::vector<double>& features) const;

@@ -109,6 +109,54 @@ Result<RandomForest> RandomForest::Deserialize(const std::string& blob) {
   return DeserializeFrom(in);
 }
 
+namespace {
+constexpr uint32_t kForestPayloadVersion = 1;
+}  // namespace
+
+void RandomForest::SerializeBinary(io::ByteWriter& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "SerializeBinary before Fit");
+  out.WriteU32(kForestPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(num_classes_);
+  out.WriteU64(num_features_);
+  out.WriteU64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.SerializeBinary(out);
+}
+
+Result<RandomForest> RandomForest::DeserializeBinary(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kForestPayloadVersion) {
+    return Status::InvalidArgument("unsupported rf payload version " +
+                                   std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero rf reserved field");
+  }
+  OPTHASH_IO_ASSIGN(num_classes, in.ReadU64());
+  OPTHASH_IO_ASSIGN(num_features, in.ReadU64());
+  OPTHASH_IO_ASSIGN(num_trees, in.ReadU64());
+  if (num_trees == 0) {
+    return Status::InvalidArgument("random forest has no trees");
+  }
+  // Each tree payload is at least its 32-byte header plus one 48-byte
+  // node; cheap sanity bound before reserving.
+  if (num_trees > in.remaining() / 80) {
+    return Status::InvalidArgument("rf tree count exceeds payload");
+  }
+  RandomForest forest;
+  forest.num_classes_ = num_classes;
+  forest.num_features_ = num_features;
+  forest.trees_.reserve(num_trees);
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    auto tree = DecisionTree::DeserializeBinary(in);
+    if (!tree.ok()) return tree.status();
+    forest.trees_.push_back(std::move(tree).value());
+  }
+  forest.fitted_ = true;
+  return forest;
+}
+
 std::vector<double> RandomForest::FeatureImportances() const {
   OPTHASH_CHECK_MSG(fitted_, "FeatureImportances before Fit");
   std::vector<double> importances(num_features_, 0.0);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/bytes.h"
 #include "ml/decision_tree.h"
 
 namespace opthash::ml {
@@ -47,6 +48,14 @@ class RandomForest : public Classifier {
   void SerializeTo(std::ostream& out) const;
   static Result<RandomForest> Deserialize(const std::string& blob);
   static Result<RandomForest> DeserializeFrom(std::istream& in);
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 18): ensemble
+  /// header followed by each tree's SerializeBinary payload inline.
+  void SerializeBinary(io::ByteWriter& out) const;
+
+  /// Rebuilds an ensemble from a SerializeBinary payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes.
+  static Result<RandomForest> DeserializeBinary(io::ByteReader& in);
 
  private:
   RandomForestConfig config_;

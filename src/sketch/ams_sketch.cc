@@ -66,4 +66,40 @@ double AmsSketch::EstimateF2() const {
   return 0.5 * (group_means[mid - 1] + group_means[mid]);
 }
 
+namespace {
+constexpr uint32_t kAmsPayloadVersion = 1;
+}  // namespace
+
+void AmsSketch::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kAmsPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(groups_);
+  out.WriteU64(per_group_);
+  out.WriteU64(seed_);
+  out.WriteI64Array(atoms_);
+}
+
+Result<AmsSketch> AmsSketch::Deserialize(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kAmsPayloadVersion) {
+    return Status::InvalidArgument("unsupported ams payload version " +
+                                   std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero ams reserved field");
+  }
+  OPTHASH_IO_ASSIGN(groups, in.ReadU64());
+  OPTHASH_IO_ASSIGN(per_group, in.ReadU64());
+  OPTHASH_IO_ASSIGN(seed, in.ReadU64());
+  if (groups == 0 || per_group == 0 ||
+      groups > in.remaining() / sizeof(int64_t) / per_group) {
+    return Status::InvalidArgument("ams geometry exceeds payload");
+  }
+  AmsSketch sketch(groups, per_group, seed);
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadI64Array(sketch.atoms_, groups * per_group));
+  return sketch;
+}
+
 }  // namespace opthash::sketch

@@ -8,6 +8,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "hashing/hash_functions.h"
+#include "io/bytes.h"
 
 namespace opthash::sketch {
 
@@ -49,6 +50,15 @@ class AmsSketch {
   size_t estimators_per_group() const { return per_group_; }
   size_t TotalCounters() const { return atoms_.size(); }
   size_t MemoryBuckets() const { return atoms_.size() * 2; }  // 8B counters.
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 3):
+  /// little-endian geometry + seed + atom counters. The tabulation sign
+  /// sources are redrawn from the seed on load, not stored.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a sketch from a Serialize payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes.
+  static Result<AmsSketch> Deserialize(io::ByteReader& in);
 
  private:
   int Sign(size_t atom, uint64_t key) const;

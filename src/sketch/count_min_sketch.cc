@@ -108,4 +108,45 @@ double CountMinSketch::Delta() const {
   return std::exp(-static_cast<double>(depth_));
 }
 
+namespace {
+constexpr uint32_t kCmsPayloadVersion = 1;
+constexpr uint32_t kCmsFlagConservative = 1u << 0;
+}  // namespace
+
+void CountMinSketch::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kCmsPayloadVersion);
+  out.WriteU32(conservative_update_ ? kCmsFlagConservative : 0u);
+  out.WriteU64(width_);
+  out.WriteU64(depth_);
+  out.WriteU64(seed_);
+  out.WriteU64(total_count_);
+  out.WriteU64Array(counters_);
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kCmsPayloadVersion) {
+    return Status::InvalidArgument("unsupported count-min payload version " +
+                                   std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(flags, in.ReadU32());
+  if ((flags & ~kCmsFlagConservative) != 0) {
+    return Status::InvalidArgument("unknown count-min payload flags");
+  }
+  OPTHASH_IO_ASSIGN(width, in.ReadU64());
+  OPTHASH_IO_ASSIGN(depth, in.ReadU64());
+  OPTHASH_IO_ASSIGN(seed, in.ReadU64());
+  OPTHASH_IO_ASSIGN(total_count, in.ReadU64());
+  if (width == 0 || depth == 0 ||
+      width > in.remaining() / sizeof(uint64_t) / depth) {
+    return Status::InvalidArgument("count-min geometry exceeds payload");
+  }
+  CountMinSketch sketch(width, depth, seed,
+                        (flags & kCmsFlagConservative) != 0);
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadU64Array(sketch.counters_, width * depth));
+  sketch.total_count_ = total_count;
+  return sketch;
+}
+
 }  // namespace opthash::sketch

@@ -8,6 +8,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "hashing/hash_functions.h"
+#include "io/bytes.h"
 
 namespace opthash::sketch {
 
@@ -84,6 +85,21 @@ class CountMinSketch {
   /// Guarantee parameters implied by the current geometry.
   double Epsilon() const;
   double Delta() const;
+
+  /// Appends the binary snapshot payload (docs/FORMATS.md, section type 1)
+  /// to `out`: geometry + seed + counters, all little-endian. Hash
+  /// functions are not stored — they are redrawn deterministically from
+  /// the seed on load, so the payload is portable across hosts of either
+  /// endianness. Counter bytes are written so the array sits 8-aligned
+  /// when the payload itself starts 8-aligned (every snapshot section
+  /// does), which is what the zero-copy mapped reader relies on.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a sketch from a Serialize payload. `in` must be positioned
+  /// at the payload start; on success exactly the payload bytes are
+  /// consumed. Fails with InvalidArgument on truncation, a bad payload
+  /// version, or impossible geometry — never crashes on corrupt input.
+  static Result<CountMinSketch> Deserialize(io::ByteReader& in);
 
  private:
   size_t width_;

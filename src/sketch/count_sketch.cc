@@ -70,4 +70,41 @@ uint64_t CountSketch::EstimateNonNegative(uint64_t key) const {
   return estimate < 0 ? 0 : static_cast<uint64_t>(estimate);
 }
 
+namespace {
+constexpr uint32_t kCountSketchPayloadVersion = 1;
+}  // namespace
+
+void CountSketch::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kCountSketchPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(width_);
+  out.WriteU64(depth_);
+  out.WriteU64(seed_);
+  out.WriteI64Array(counters_);
+}
+
+Result<CountSketch> CountSketch::Deserialize(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kCountSketchPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported count-sketch payload version " +
+        std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero count-sketch reserved field");
+  }
+  OPTHASH_IO_ASSIGN(width, in.ReadU64());
+  OPTHASH_IO_ASSIGN(depth, in.ReadU64());
+  OPTHASH_IO_ASSIGN(seed, in.ReadU64());
+  if (width == 0 || depth == 0 ||
+      width > in.remaining() / sizeof(int64_t) / depth) {
+    return Status::InvalidArgument("count-sketch geometry exceeds payload");
+  }
+  CountSketch sketch(width, depth, seed);
+  OPTHASH_IO_RETURN_IF_ERROR(
+      in.ReadI64Array(sketch.counters_, width * depth));
+  return sketch;
+}
+
 }  // namespace opthash::sketch

@@ -8,6 +8,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "hashing/hash_functions.h"
+#include "io/bytes.h"
 
 namespace opthash::sketch {
 
@@ -49,6 +50,15 @@ class CountSketch {
   uint64_t seed() const { return seed_; }
   size_t TotalBuckets() const { return width_ * depth_; }
   size_t MemoryBytes() const { return TotalBuckets() * sizeof(uint32_t); }
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 2):
+  /// little-endian geometry + seed + signed counters. The (bucket, sign)
+  /// hash pairs are redrawn from the seed on load, not stored.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a sketch from a Serialize payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes.
+  static Result<CountSketch> Deserialize(io::ByteReader& in);
 
  private:
   size_t width_;

@@ -82,6 +82,67 @@ uint64_t LearnedCountMinSketch::Estimate(uint64_t key) const {
   return remainder_.Estimate(key);
 }
 
+namespace {
+constexpr uint32_t kLcmsPayloadVersion = 1;
+}  // namespace
+
+void LearnedCountMinSketch::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kLcmsPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(total_buckets_);
+  out.WriteU64(heavy_counts_.size());
+  // Ascending key order: deterministic bytes for a given sketch state.
+  std::vector<std::pair<uint64_t, uint64_t>> heavy(heavy_counts_.begin(),
+                                                   heavy_counts_.end());
+  std::sort(heavy.begin(), heavy.end());
+  for (const auto& [key, count] : heavy) {
+    out.WriteU64(key);
+    out.WriteU64(count);
+  }
+  remainder_.Serialize(out);
+}
+
+Result<LearnedCountMinSketch> LearnedCountMinSketch::Deserialize(
+    io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kLcmsPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported learned-count-min payload version " +
+        std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument(
+        "non-zero learned-count-min reserved field");
+  }
+  OPTHASH_IO_ASSIGN(total_buckets, in.ReadU64());
+  OPTHASH_IO_ASSIGN(heavy_count, in.ReadU64());
+  if (heavy_count > in.remaining() / (2 * sizeof(uint64_t))) {
+    return Status::InvalidArgument("heavy-key count exceeds payload");
+  }
+  if (2 * heavy_count >= total_buckets) {
+    return Status::InvalidArgument(
+        "heavy buckets must leave room for the CMS remainder");
+  }
+  std::unordered_map<uint64_t, uint64_t> heavy_counts;
+  heavy_counts.reserve(heavy_count);
+  uint64_t previous_key = 0;
+  for (uint64_t i = 0; i < heavy_count; ++i) {
+    OPTHASH_IO_ASSIGN(key, in.ReadU64());
+    OPTHASH_IO_ASSIGN(count, in.ReadU64());
+    if (i > 0 && key <= previous_key) {
+      return Status::InvalidArgument(
+          "heavy keys must be strictly ascending");
+    }
+    previous_key = key;
+    heavy_counts.emplace(key, count);
+  }
+  auto remainder = CountMinSketch::Deserialize(in);
+  if (!remainder.ok()) return remainder.status();
+  return LearnedCountMinSketch(total_buckets, std::move(remainder).value(),
+                               std::move(heavy_counts));
+}
+
 std::vector<uint64_t> SelectTopKeys(
     const std::unordered_map<uint64_t, uint64_t>& true_frequencies,
     size_t count) {

@@ -7,6 +7,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "io/bytes.h"
 #include "sketch/count_min_sketch.h"
 
 namespace opthash::sketch {
@@ -58,6 +59,16 @@ class LearnedCountMinSketch {
   size_t TotalBuckets() const { return total_buckets_; }
   size_t MemoryBytes() const { return total_buckets_ * sizeof(uint32_t); }
   const CountMinSketch& remainder_sketch() const { return remainder_; }
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 4): budget,
+  /// heavy (key, count) pairs in ascending key order, then the embedded
+  /// remainder Count-Min payload. Deterministic for a given state.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a sketch from a Serialize payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes or a heavy
+  /// set that violates 2*|heavy| < total_buckets.
+  static Result<LearnedCountMinSketch> Deserialize(io::ByteReader& in);
 
  private:
   LearnedCountMinSketch(size_t total_buckets, CountMinSketch remainder,

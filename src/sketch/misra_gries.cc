@@ -106,4 +106,68 @@ std::vector<uint64_t> MisraGries::TrackedKeys() const {
   return keys;
 }
 
+namespace {
+constexpr uint32_t kMisraGriesPayloadVersion = 1;
+}  // namespace
+
+void MisraGries::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kMisraGriesPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(capacity_);
+  out.WriteU64(total_count_);
+  out.WriteU64(counters_.size());
+  // Ascending key order: deterministic bytes for a given summary state.
+  std::vector<std::pair<uint64_t, uint64_t>> entries(counters_.begin(),
+                                                     counters_.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [key, count] : entries) {
+    out.WriteU64(key);
+    out.WriteU64(count);
+  }
+}
+
+Result<MisraGries> MisraGries::Deserialize(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kMisraGriesPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported misra-gries payload version " +
+        std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero misra-gries reserved field");
+  }
+  OPTHASH_IO_ASSIGN(capacity, in.ReadU64());
+  OPTHASH_IO_ASSIGN(total_count, in.ReadU64());
+  OPTHASH_IO_ASSIGN(size, in.ReadU64());
+  if (capacity == 0) {
+    return Status::InvalidArgument("misra-gries capacity must be >= 1");
+  }
+  if (size > capacity) {
+    return Status::InvalidArgument(
+        "misra-gries tracks more entries than its capacity");
+  }
+  if (size > in.remaining() / (2 * sizeof(uint64_t))) {
+    return Status::InvalidArgument("misra-gries entry count exceeds payload");
+  }
+  MisraGries summary(capacity);
+  uint64_t previous_key = 0;
+  for (uint64_t i = 0; i < size; ++i) {
+    OPTHASH_IO_ASSIGN(key, in.ReadU64());
+    OPTHASH_IO_ASSIGN(count, in.ReadU64());
+    if (i > 0 && key <= previous_key) {
+      return Status::InvalidArgument(
+          "misra-gries keys must be strictly ascending");
+    }
+    if (count == 0) {
+      return Status::InvalidArgument(
+          "misra-gries counters must be positive (zeros are evicted)");
+    }
+    previous_key = key;
+    summary.counters_.emplace(key, count);
+  }
+  summary.total_count_ = total_count;
+  return summary;
+}
+
 }  // namespace opthash::sketch

@@ -8,6 +8,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "io/bytes.h"
 
 namespace opthash::sketch {
 
@@ -79,6 +80,16 @@ class MisraGries {
   /// Memory in the paper's 4-byte-bucket unit: each tracked entry stores a
   /// key and a counter (2 buckets), mirroring the LCMS unique-bucket cost.
   size_t MemoryBuckets() const { return 2 * capacity_; }
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 5): capacity,
+  /// total count, then tracked (key, counter) pairs in ascending key order
+  /// — deterministic bytes for a given summary state.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a summary from a Serialize payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes or more
+  /// tracked entries than the stated capacity.
+  static Result<MisraGries> Deserialize(io::ByteReader& in);
 
  private:
   size_t capacity_;

@@ -144,4 +144,74 @@ std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::GuaranteedHeavy(
   return heavy;
 }
 
+namespace {
+constexpr uint32_t kSpaceSavingPayloadVersion = 1;
+}  // namespace
+
+void SpaceSaving::Serialize(io::ByteWriter& out) const {
+  out.WriteU32(kSpaceSavingPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(capacity_);
+  out.WriteU64(total_count_);
+  out.WriteU64(counters_.size());
+  // Ascending key order: deterministic bytes for a given summary state.
+  // The count-ordered eviction index is derived state and not stored.
+  std::vector<std::pair<uint64_t, Entry>> entries(counters_.begin(),
+                                                  counters_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, entry] : entries) {
+    out.WriteU64(key);
+    out.WriteU64(entry.count);
+    out.WriteU64(entry.error);
+  }
+}
+
+Result<SpaceSaving> SpaceSaving::Deserialize(io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kSpaceSavingPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported space-saving payload version " +
+        std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero space-saving reserved field");
+  }
+  OPTHASH_IO_ASSIGN(capacity, in.ReadU64());
+  OPTHASH_IO_ASSIGN(total_count, in.ReadU64());
+  OPTHASH_IO_ASSIGN(size, in.ReadU64());
+  if (capacity == 0) {
+    return Status::InvalidArgument("space-saving capacity must be >= 1");
+  }
+  if (size > capacity) {
+    return Status::InvalidArgument(
+        "space-saving tracks more entries than its capacity");
+  }
+  if (size > in.remaining() / (3 * sizeof(uint64_t))) {
+    return Status::InvalidArgument(
+        "space-saving entry count exceeds payload");
+  }
+  SpaceSaving summary(capacity);
+  uint64_t previous_key = 0;
+  for (uint64_t i = 0; i < size; ++i) {
+    OPTHASH_IO_ASSIGN(key, in.ReadU64());
+    OPTHASH_IO_ASSIGN(count, in.ReadU64());
+    OPTHASH_IO_ASSIGN(error, in.ReadU64());
+    if (i > 0 && key <= previous_key) {
+      return Status::InvalidArgument(
+          "space-saving keys must be strictly ascending");
+    }
+    if (error > count) {
+      return Status::InvalidArgument(
+          "space-saving error bound exceeds its counter");
+    }
+    previous_key = key;
+    summary.counters_.emplace(key, Entry{count, error});
+    summary.by_count_[count].push_back(key);
+  }
+  summary.total_count_ = total_count;
+  return summary;
+}
+
 }  // namespace opthash::sketch

@@ -9,6 +9,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "io/bytes.h"
 
 namespace opthash::sketch {
 
@@ -81,6 +82,17 @@ class SpaceSaving {
 
   /// 2 units per entry (key + counter), plus 1 for the error field.
   size_t MemoryBuckets() const { return 3 * capacity_; }
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 6): capacity,
+  /// total count, then tracked (key, counter, error) triples in ascending
+  /// key order. The count-ordered eviction index is rebuilt on load, not
+  /// stored.
+  void Serialize(io::ByteWriter& out) const;
+
+  /// Rebuilds a summary from a Serialize payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes, more
+  /// entries than capacity, or an error field exceeding its counter.
+  static Result<SpaceSaving> Deserialize(io::ByteReader& in);
 
  private:
   struct Entry {

@@ -135,6 +135,52 @@ Result<BagOfWordsFeaturizer> BagOfWordsFeaturizer::Deserialize(
   return DeserializeFrom(in);
 }
 
+namespace {
+constexpr uint32_t kFeaturizerPayloadVersion = 1;
+}  // namespace
+
+void BagOfWordsFeaturizer::SerializeBinary(io::ByteWriter& out) const {
+  OPTHASH_CHECK_MSG(fitted_, "SerializeBinary before Fit");
+  out.WriteU32(kFeaturizerPayloadVersion);
+  out.WriteU32(0);  // reserved
+  out.WriteU64(vocabulary_size_);
+  out.WriteU64(vocabulary_.size());
+  for (const std::string& token : vocabulary_) out.WriteString(token);
+}
+
+Result<BagOfWordsFeaturizer> BagOfWordsFeaturizer::DeserializeBinary(
+    io::ByteReader& in) {
+  OPTHASH_IO_ASSIGN(version, in.ReadU32());
+  if (version != kFeaturizerPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported featurizer payload version " + std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(reserved, in.ReadU32());
+  if (reserved != 0) {
+    return Status::InvalidArgument("non-zero featurizer reserved field");
+  }
+  OPTHASH_IO_ASSIGN(cap, in.ReadU64());
+  OPTHASH_IO_ASSIGN(count, in.ReadU64());
+  if (count > cap) {
+    return Status::InvalidArgument("featurizer vocabulary exceeds its cap");
+  }
+  // Every token costs at least its 4-byte length prefix.
+  if (count > in.remaining() / sizeof(uint32_t)) {
+    return Status::InvalidArgument("featurizer token count exceeds payload");
+  }
+  BagOfWordsFeaturizer featurizer(cap);
+  featurizer.vocabulary_.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    auto token = in.ReadString();
+    if (!token.ok()) return token.status();
+    featurizer.token_index_.emplace(token.value(),
+                                    featurizer.vocabulary_.size());
+    featurizer.vocabulary_.push_back(std::move(token).value());
+  }
+  featurizer.fitted_ = true;
+  return featurizer;
+}
+
 std::string BagOfWordsFeaturizer::FeatureName(size_t index) const {
   OPTHASH_CHECK_LT(index, FeatureDim());
   if (index < vocabulary_.size()) return "word:" + vocabulary_[index];

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/bytes.h"
 
 namespace opthash::stream {
 
@@ -44,6 +45,16 @@ class BagOfWordsFeaturizer {
   void SerializeTo(std::ostream& out) const;
   static Result<BagOfWordsFeaturizer> Deserialize(const std::string& blob);
   static Result<BagOfWordsFeaturizer> DeserializeFrom(std::istream& in);
+
+  /// Binary snapshot payload (docs/FORMATS.md, section type 33): cap,
+  /// token count, then length-prefixed tokens in index order. Tokens are
+  /// raw bytes, so unlike the whitespace-delimited text format this path
+  /// round-trips any future tokenizer output unambiguously.
+  void SerializeBinary(io::ByteWriter& out) const;
+
+  /// Rebuilds a featurizer from a SerializeBinary payload; fails with
+  /// InvalidArgument on truncated/corrupt/mis-versioned bytes.
+  static Result<BagOfWordsFeaturizer> DeserializeBinary(io::ByteReader& in);
 
  private:
   size_t vocabulary_size_;

@@ -1,0 +1,174 @@
+// Unit tests for the little-endian byte codec and CRC-32 primitive
+// underneath the binary snapshot format (src/io/bytes.h).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/bytes.h"
+
+namespace opthash::io {
+namespace {
+
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value: crc("123456789").
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string text = "stream me in two pieces";
+  const uint32_t whole = Crc32(text.data(), text.size());
+  const uint32_t first = Crc32(text.data(), 10);
+  EXPECT_EQ(Crc32(text.data() + 10, text.size() - 10, first), whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> bytes(64, 0xAB);
+  const uint32_t before = Crc32(bytes.data(), bytes.size());
+  bytes[17] ^= 0x04;
+  EXPECT_NE(Crc32(bytes.data(), bytes.size()), before);
+}
+
+TEST(ByteCodecTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0x7F);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI32(-42);
+  writer.WriteI64(std::numeric_limits<int64_t>::min());
+  writer.WriteDouble(-1234.5678);
+  writer.WriteString("hello bytes");
+
+  ByteReader reader(writer.bytes().data(), writer.size());
+  EXPECT_EQ(reader.ReadU8().value(), 0x7F);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI32().value(), -42);
+  EXPECT_EQ(reader.ReadI64().value(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(reader.ReadDouble().value(), -1234.5678);
+  EXPECT_EQ(reader.ReadString().value(), "hello bytes");
+  EXPECT_TRUE(reader.ExpectFullyConsumed().ok());
+}
+
+TEST(ByteCodecTest, ScalarsAreLittleEndianOnDisk) {
+  ByteWriter writer;
+  writer.WriteU32(0x01020304u);
+  ASSERT_EQ(writer.size(), 4u);
+  EXPECT_EQ(writer.bytes()[0], 0x04);
+  EXPECT_EQ(writer.bytes()[3], 0x01);
+}
+
+TEST(ByteCodecTest, ArrayRoundTrip) {
+  const std::vector<uint64_t> u64s = {
+      0, 1, std::numeric_limits<uint64_t>::max()};
+  const std::vector<int64_t> i64s = {-5, 0, 7};
+  const std::vector<int32_t> i32s = {-1, 2, -3};
+  const std::vector<double> doubles = {0.0, -0.0, 3.14159, 1e300};
+  ByteWriter writer;
+  writer.WriteU64Array(u64s);
+  writer.WriteI64Array(i64s);
+  writer.WriteI32Array(i32s);
+  writer.WriteDoubleArray(doubles);
+
+  ByteReader reader(writer.bytes().data(), writer.size());
+  std::vector<uint64_t> u64s_out;
+  std::vector<int64_t> i64s_out;
+  std::vector<int32_t> i32s_out;
+  std::vector<double> doubles_out;
+  ASSERT_TRUE(reader.ReadU64Array(u64s_out, u64s.size()).ok());
+  ASSERT_TRUE(reader.ReadI64Array(i64s_out, i64s.size()).ok());
+  ASSERT_TRUE(reader.ReadI32Array(i32s_out, i32s.size()).ok());
+  ASSERT_TRUE(reader.ReadDoubleArray(doubles_out, doubles.size()).ok());
+  EXPECT_EQ(u64s_out, u64s);
+  EXPECT_EQ(i64s_out, i64s);
+  EXPECT_EQ(i32s_out, i32s);
+  EXPECT_EQ(doubles_out, doubles);
+  EXPECT_TRUE(reader.ExpectFullyConsumed().ok());
+}
+
+TEST(ByteCodecTest, AlignmentPadsWithZeros) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.AlignTo(8);
+  EXPECT_EQ(writer.size(), 8u);
+  writer.WriteU8(9);
+  writer.AlignTo(8);
+  EXPECT_EQ(writer.size(), 16u);
+
+  ByteReader reader(writer.bytes().data(), writer.size());
+  ASSERT_TRUE(reader.ReadU32().ok());
+  ASSERT_TRUE(reader.AlignTo(8).ok());
+  EXPECT_EQ(reader.offset(), 8u);
+  ASSERT_TRUE(reader.ReadU8().ok());
+  ASSERT_TRUE(reader.AlignTo(8).ok());
+  EXPECT_TRUE(reader.ExpectFullyConsumed().ok());
+}
+
+TEST(ByteCodecTest, NonZeroPaddingRejected) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(0xFFFFFFFFu);
+  ByteReader reader(writer.bytes().data(), writer.size());
+  ASSERT_TRUE(reader.ReadU32().ok());
+  ASSERT_TRUE(reader.ReadU8().ok());  // Move off alignment.
+  EXPECT_FALSE(reader.AlignTo(8).ok());
+}
+
+TEST(ByteCodecTest, TruncatedReadsFailCleanly) {
+  ByteWriter writer;
+  writer.WriteU32(7);
+  ByteReader reader(writer.bytes().data(), writer.size());
+  EXPECT_FALSE(reader.ReadU64().ok());
+  // A failed read does not advance past the end.
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_TRUE(reader.ReadU32().ok());
+}
+
+TEST(ByteCodecTest, TruncatedStringFailsCleanly) {
+  ByteWriter writer;
+  writer.WriteU32(1000);  // Length prefix promising bytes that don't exist.
+  writer.WriteU8('x');
+  ByteReader reader(writer.bytes().data(), writer.size());
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(ByteCodecTest, OversizedArrayCountRejectedBeforeAllocating) {
+  ByteWriter writer;
+  writer.WriteU32(0);
+  ByteReader reader(writer.bytes().data(), writer.size());
+  std::vector<uint64_t> out;
+  // A corrupt header asking for ~2^61 elements must fail the bounds check,
+  // not attempt a resize.
+  EXPECT_FALSE(
+      reader.ReadU64Array(out, std::numeric_limits<size_t>::max() / 8).ok());
+}
+
+TEST(ByteCodecTest, TrailingBytesDetected) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ByteReader reader(writer.bytes().data(), writer.size());
+  ASSERT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ExpectFullyConsumed().ok());
+}
+
+TEST(ByteCodecTest, UnalignedLoadHelpersMatchCodec) {
+  ByteWriter writer;
+  writer.WriteU8(0);  // Force odd offsets for everything after.
+  writer.WriteU32(0xCAFEBABEu);
+  writer.WriteU64(0x1122334455667788ull);
+  writer.WriteDouble(2.71828);
+  const uint8_t* base = writer.bytes().data();
+  EXPECT_EQ(LoadLittleU32(base + 1), 0xCAFEBABEu);
+  EXPECT_EQ(LoadLittleU64(base + 5), 0x1122334455667788ull);
+  EXPECT_EQ(LoadLittleDouble(base + 13), 2.71828);
+}
+
+}  // namespace
+}  // namespace opthash::io

@@ -1,34 +1,30 @@
 // opthash_cli — train / apply / query / evaluate opt-hash estimators on
-// CSV stream traces. This is the operational workflow of §3: learn the
-// scheme offline from an observed prefix, ship the model to the stream
-// processor, keep counting, answer queries.
+// CSV stream traces, and snapshot / restore durable sketch checkpoints.
+// This is the operational workflow of §3: learn the scheme offline from an
+// observed prefix, ship the model to the stream processor, keep counting,
+// checkpoint, answer queries.
 //
-//   opthash_cli train    --trace prefix.csv --out model.txt
-//                        [--buckets 1000] [--ratio 0.3] [--lambda 1.0]
-//                        [--solver bcd|dp|milp]
-//                        [--classifier rf|cart|logreg|none]
-//                        [--vocab 500] [--seed 1]
-//   opthash_cli apply    --model model.txt --trace day1.csv --out model.txt
-//                        [--threads N] [--block-size B]
-//   opthash_cli query    --model model.txt --trace queries.csv
-//   opthash_cli evaluate --model model.txt --trace stream.csv
+// The authoritative synopsis, flag list and defaults live in kUsageText
+// below — the one string `--help` prints. (An earlier revision duplicated
+// the synopsis here and the copies drifted; keep this comment prose-only.)
 //
 // Traces are CSV files with header `id,text`; the text column feeds the
 // bag-of-words featurizer (may be empty for key-only workloads).
 
 #include <cstdio>
-#include <optional>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/evaluation.h"
 #include "core/opt_hash_estimator.h"
+#include "io/model_io.h"
+#include "io/sketch_snapshot.h"
 #include "stream/element.h"
 #include "stream/features.h"
 #include "stream/sharded_ingest.h"
@@ -37,7 +33,93 @@
 namespace opthash::cli {
 namespace {
 
-constexpr const char* kBundleMagic = "opthash.bundle.v1";
+// Single source of truth for the CLI contract: Usage() prints it, and the
+// file header comment above defers to it instead of restating defaults.
+constexpr const char* kUsageText =
+    "usage: opthash_cli <train|apply|query|evaluate|snapshot|restore> "
+    "--flag value ...\n"
+    "  train    --trace prefix.csv --out model [--buckets N] [--ratio C]\n"
+    "           [--lambda L] [--solver bcd|dp|milp]\n"
+    "           [--classifier rf|cart|logreg|none] [--vocab V] [--seed S]\n"
+    "           [--format text|binary]\n"
+    "  apply    --model model --trace stream.csv --out model\n"
+    "           [--threads N] [--block-size B] [--format text|binary]\n"
+    "  query    --model model --trace queries.csv\n"
+    "  evaluate --model model --trace stream.csv\n"
+    "  snapshot --trace stream.csv --out ckpt.bin [--in prev.bin]\n"
+    "           [--sketch cms|countsketch|ams|lcms|mg|ss] [--width W]\n"
+    "           [--depth D] [--capacity K] [--heavy H] [--buckets N]\n"
+    "           [--seed S] [--conservative 1]\n"
+    "  restore  --in file [--trace queries.csv] [--mmap 1]\n"
+    "\n"
+    "traces are CSV files with header `id,text`: a numeric (uint64)\n"
+    "element key plus optional free text feeding the bag-of-words\n"
+    "featurizer; the text column may be empty for key-only workloads.\n"
+    "\n"
+    "model files exist in two formats (docs/FORMATS.md): the legacy text\n"
+    "bundle and the versioned, CRC-checked binary snapshot container.\n"
+    "Readers auto-detect the format; --format picks what gets written.\n"
+    "\n"
+    "train flags:\n"
+    "  --buckets N     overall memory budget b_total in 4-byte buckets,\n"
+    "                  split between aggregation buckets and stored ids\n"
+    "                  (default 1000)\n"
+    "  --ratio C       the split ratio c = b/n of paper sec. 7.3; the\n"
+    "                  paper examines 0.03 and 0.3 (default 0.3)\n"
+    "  --lambda L      objective trade-off in [0,1]: 1 = estimation\n"
+    "                  error only, 0 = feature similarity only\n"
+    "                  (default 1.0)\n"
+    "  --solver S      bcd (Algorithm 1), dp (exact for lambda = 1), or\n"
+    "                  milp (exact branch-and-bound, tiny instances\n"
+    "                  only) (default bcd)\n"
+    "  --classifier K  model routing unseen elements: rf, cart, logreg,\n"
+    "                  or none (default rf)\n"
+    "  --vocab V       bag-of-words vocabulary size (default 500)\n"
+    "  --seed S        RNG seed (default 1)\n"
+    "  --format F      output encoding: text (legacy bundle) or binary\n"
+    "                  (snapshot container; smaller, CRC-checked,\n"
+    "                  mmap-loadable) (default text)\n"
+    "\n"
+    "apply flags:\n"
+    "  --threads N     worker threads for sharded trace ingestion; 0 uses\n"
+    "                  the hardware concurrency. Estimates after the\n"
+    "                  merge are identical at every thread count\n"
+    "                  (default 1)\n"
+    "  --block-size B  trace items per worker dispatch block\n"
+    "                  (default 65536)\n"
+    "  --format F      output encoding; default: keep the input model's\n"
+    "                  format\n"
+    "\n"
+    "snapshot flags (mid-stream sketch checkpoints):\n"
+    "  --in prev.bin   resume from an existing checkpoint (its sketch\n"
+    "                  kind and geometry win; the flags below are for\n"
+    "                  fresh checkpoints only)\n"
+    "  --sketch T      cms (count-min, default), countsketch, ams,\n"
+    "                  lcms (learned count-min with a top-H oracle from\n"
+    "                  this trace), mg (misra-gries), ss (space-saving)\n"
+    "  --width W       counters per level, cms/countsketch (default 1024)\n"
+    "  --depth D       levels, cms/countsketch/lcms; ams groups\n"
+    "                  (default 4)\n"
+    "  --capacity K    tracked entries, mg/ss; ams estimators per group\n"
+    "                  (default 256)\n"
+    "  --heavy H       lcms heavy keys, taken as this trace's top-H\n"
+    "                  (default 16)\n"
+    "  --buckets N     lcms total bucket budget (default 1024)\n"
+    "  --seed S        hash seed (default 1)\n"
+    "  --conservative 1  cms only: Estan-Varghese conservative update\n"
+    "                  (default 0)\n"
+    "\n"
+    "restore flags:\n"
+    "  --in file       a model bundle (either format) or a sketch\n"
+    "                  checkpoint; the content is auto-detected\n"
+    "  --trace Q       query CSV: prints id,estimate for each distinct\n"
+    "                  id (ams checkpoints answer only the stream-wide\n"
+    "                  F2 moment, so the trace is ignored with a note).\n"
+    "                  Without it, prints a summary of the file\n"
+    "  --mmap 1        zero-copy load: serve queries straight from the\n"
+    "                  mapped file. Binary files only; bundles answer\n"
+    "                  stored-id queries (no classifier fallback), cms\n"
+    "                  checkpoints answer all point queries\n";
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -92,43 +174,6 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
   return flags;
 }
 
-struct ModelBundle {
-  stream::BagOfWordsFeaturizer featurizer{500};
-  std::optional<core::OptHashEstimator> estimator;
-};
-
-Status SaveBundle(const std::string& path, const ModelBundle& bundle) {
-  std::ostringstream out;
-  out << kBundleMagic << '\n';
-  bundle.featurizer.SerializeTo(out);
-  out << bundle.estimator->Serialize();
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::InvalidArgument("cannot write: " + path);
-  file << out.str();
-  return file.good() ? Status::OK()
-                     : Status::Internal("short write to " + path);
-}
-
-Result<ModelBundle> LoadBundle(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot read: " + path);
-  std::string magic;
-  file >> magic;
-  if (magic != kBundleMagic) {
-    return Status::InvalidArgument("not an opthash model bundle: " + path);
-  }
-  auto featurizer = stream::BagOfWordsFeaturizer::DeserializeFrom(file);
-  if (!featurizer.ok()) return featurizer.status();
-  std::stringstream rest;
-  rest << file.rdbuf();
-  auto estimator = core::OptHashEstimator::Deserialize(rest.str());
-  if (!estimator.ok()) return estimator.status();
-  ModelBundle bundle;
-  bundle.featurizer = std::move(featurizer).value();
-  bundle.estimator = std::move(estimator).value();
-  return bundle;
-}
-
 Result<core::SolverKind> ParseSolver(const std::string& name) {
   if (name == "bcd") return core::SolverKind::kBcd;
   if (name == "dp") return core::SolverKind::kDp;
@@ -168,6 +213,8 @@ int CmdTrain(const Flags& flags) {
   if (!solver.ok()) return Fail(solver.status());
   const auto classifier = ParseClassifier(flags.Get("classifier", "rf"));
   if (!classifier.ok()) return Fail(classifier.status());
+  const auto format = io::ParseSnapshotFormat(flags.Get("format", "text"));
+  if (!format.ok()) return Fail(format.status());
 
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
@@ -182,7 +229,7 @@ int CmdTrain(const Flags& flags) {
   std::printf("prefix: %zu arrivals, %zu distinct elements\n",
               trace.value().size(), counts.size());
 
-  ModelBundle bundle;
+  io::ModelBundle bundle;
   bundle.featurizer =
       stream::BagOfWordsFeaturizer(static_cast<size_t>(vocab.value()));
   std::vector<std::pair<std::string, double>> corpus;
@@ -217,9 +264,12 @@ int CmdTrain(const Flags& flags) {
       bundle.estimator->MemoryKb(),
       bundle.estimator->training_info().solve_result.objective.overall);
 
-  const Status saved = SaveBundle(flags.Get("out", ""), bundle);
+  const Status saved =
+      io::SaveModelBundle(flags.Get("out", ""), bundle, format.value());
   if (!saved.ok()) return Fail(saved);
-  std::printf("model written to %s\n", flags.Get("out", "").c_str());
+  std::printf("%s model written to %s\n",
+              io::SnapshotFormatName(format.value()),
+              flags.Get("out", "").c_str());
   return 0;
 }
 
@@ -238,7 +288,15 @@ int CmdApply(const Flags& flags) {
   const Status config_ok = config.Validate();
   if (!config_ok.ok()) return Fail(config_ok);
 
-  auto bundle = LoadBundle(flags.Get("model", ""));
+  // Default output format: whatever the input model already uses.
+  auto format = io::DetectFileFormat(flags.Get("model", ""));
+  if (!format.ok()) return Fail(format.status());
+  if (flags.Has("format")) {
+    format = io::ParseSnapshotFormat(flags.Get("format", ""));
+    if (!format.ok()) return Fail(format.status());
+  }
+
+  auto bundle = io::LoadModelBundle(flags.Get("model", ""));
   if (!bundle.ok()) return Fail(bundle.status());
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
@@ -268,7 +326,8 @@ int CmdApply(const Flags& flags) {
   std::printf("applied %zu arrivals (%zu threads, %.3fs, %.0f items/sec)\n",
               stats.value().num_items, stats.value().threads_used,
               stats.value().seconds, stats.value().ItemsPerSecond());
-  const Status saved = SaveBundle(flags.Get("out", ""), bundle.value());
+  const Status saved = io::SaveModelBundle(flags.Get("out", ""),
+                                           bundle.value(), format.value());
   if (!saved.ok()) return Fail(saved);
   return 0;
 }
@@ -277,7 +336,7 @@ int CmdQuery(const Flags& flags) {
   if (!flags.Has("model") || !flags.Has("trace")) {
     return Fail(Status::InvalidArgument("query needs --model and --trace"));
   }
-  auto bundle = LoadBundle(flags.Get("model", ""));
+  auto bundle = io::LoadModelBundle(flags.Get("model", ""));
   if (!bundle.ok()) return Fail(bundle.status());
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
@@ -300,7 +359,7 @@ int CmdEvaluate(const Flags& flags) {
   if (!flags.Has("model") || !flags.Has("trace")) {
     return Fail(Status::InvalidArgument("evaluate needs --model and --trace"));
   }
-  auto bundle = LoadBundle(flags.Get("model", ""));
+  auto bundle = io::LoadModelBundle(flags.Get("model", ""));
   if (!bundle.ok()) return Fail(bundle.status());
   auto trace = stream::ReadTraceCsv(flags.Get("trace", ""));
   if (!trace.ok()) return Fail(trace.status());
@@ -331,46 +390,293 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// snapshot / restore: durable mid-stream sketch checkpoints.
+
+Result<std::vector<uint64_t>> TraceIds(const std::string& path) {
+  auto trace = stream::ReadTraceCsv(path);
+  if (!trace.ok()) return trace.status();
+  std::vector<uint64_t> ids;
+  ids.reserve(trace.value().size());
+  for (const auto& record : trace.value()) ids.push_back(record.id);
+  return ids;
+}
+
+template <typename Sketch>
+int IngestAndSave(Sketch sketch, Span<const uint64_t> ids,
+                  const std::string& out, const char* kind) {
+  sketch.UpdateBatch(ids);
+  const Status saved = io::SaveSketchSnapshot(out, sketch);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("%s checkpoint: ingested %zu arrivals, written to %s\n", kind,
+              ids.size(), out.c_str());
+  return 0;
+}
+
+template <typename Sketch>
+int ResumeIngestAndSave(const std::string& in, Span<const uint64_t> ids,
+                        const std::string& out, const char* kind) {
+  auto sketch = io::LoadSketchSnapshot<Sketch>(in);
+  if (!sketch.ok()) return Fail(sketch.status());
+  return IngestAndSave(std::move(sketch).value(), ids, out, kind);
+}
+
+int CmdSnapshot(const Flags& flags) {
+  if (!flags.Has("trace") || !flags.Has("out")) {
+    return Fail(Status::InvalidArgument("snapshot needs --trace and --out"));
+  }
+  const auto width = flags.GetUint("width", 1024);
+  if (!width.ok()) return Fail(width.status());
+  const auto depth = flags.GetUint("depth", 4);
+  if (!depth.ok()) return Fail(depth.status());
+  const auto capacity = flags.GetUint("capacity", 256);
+  if (!capacity.ok()) return Fail(capacity.status());
+  const auto heavy = flags.GetUint("heavy", 16);
+  if (!heavy.ok()) return Fail(heavy.status());
+  const auto buckets = flags.GetUint("buckets", 1024);
+  if (!buckets.ok()) return Fail(buckets.status());
+  const auto seed = flags.GetUint("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  const auto conservative = flags.GetUint("conservative", 0);
+  if (!conservative.ok()) return Fail(conservative.status());
+  // Zero geometry would trip the sketch constructors' internal-invariant
+  // aborts; reject it as flag validation like every other bad input.
+  if (width.value() == 0 || depth.value() == 0 || capacity.value() == 0 ||
+      buckets.value() == 0) {
+    return Fail(Status::InvalidArgument(
+        "--width, --depth, --capacity and --buckets must be >= 1"));
+  }
+
+  auto ids = TraceIds(flags.Get("trace", ""));
+  if (!ids.ok()) return Fail(ids.status());
+  const std::string out = flags.Get("out", "");
+
+  // Resume path: the checkpoint's own section decides the sketch kind;
+  // geometry flags apply only to fresh checkpoints.
+  if (flags.Has("in")) {
+    const std::string in = flags.Get("in", "");
+    auto sections = io::ListSnapshotSections(in);
+    if (!sections.ok()) return Fail(sections.status());
+    if (sections.value().size() != 1) {
+      return Fail(Status::InvalidArgument(
+          in + " is not a single-sketch checkpoint"));
+    }
+    switch (sections.value().front()) {
+      case io::SectionType::kCountMinSketch:
+        return ResumeIngestAndSave<sketch::CountMinSketch>(
+            in, ids.value(), out, "count-min");
+      case io::SectionType::kCountSketch:
+        return ResumeIngestAndSave<sketch::CountSketch>(in, ids.value(), out,
+                                                        "count-sketch");
+      case io::SectionType::kAmsSketch:
+        return ResumeIngestAndSave<sketch::AmsSketch>(in, ids.value(), out,
+                                                      "ams");
+      case io::SectionType::kLearnedCountMin:
+        return ResumeIngestAndSave<sketch::LearnedCountMinSketch>(
+            in, ids.value(), out, "learned-count-min");
+      case io::SectionType::kMisraGries:
+        return ResumeIngestAndSave<sketch::MisraGries>(in, ids.value(), out,
+                                                       "misra-gries");
+      case io::SectionType::kSpaceSaving:
+        return ResumeIngestAndSave<sketch::SpaceSaving>(in, ids.value(), out,
+                                                        "space-saving");
+      default:
+        return Fail(Status::InvalidArgument(
+            in + " holds no sketch section (is it a model bundle?)"));
+    }
+  }
+
+  const std::string kind = flags.Get("sketch", "cms");
+  if (kind == "cms") {
+    return IngestAndSave(
+        sketch::CountMinSketch(width.value(), depth.value(), seed.value(),
+                               conservative.value() != 0),
+        ids.value(), out, "count-min");
+  }
+  if (kind == "countsketch") {
+    return IngestAndSave(
+        sketch::CountSketch(width.value(), depth.value(), seed.value()),
+        ids.value(), out, "count-sketch");
+  }
+  if (kind == "ams") {
+    return IngestAndSave(
+        sketch::AmsSketch(depth.value(), capacity.value(), seed.value()),
+        ids.value(), out, "ams");
+  }
+  if (kind == "lcms") {
+    std::unordered_map<uint64_t, uint64_t> counts;
+    for (uint64_t id : ids.value()) ++counts[id];
+    auto lcms = sketch::LearnedCountMinSketch::Create(
+        buckets.value(), depth.value(),
+        sketch::SelectTopKeys(counts, heavy.value()), seed.value());
+    if (!lcms.ok()) return Fail(lcms.status());
+    return IngestAndSave(std::move(lcms).value(), ids.value(), out,
+                         "learned-count-min");
+  }
+  if (kind == "mg") {
+    return IngestAndSave(sketch::MisraGries(capacity.value()), ids.value(),
+                         out, "misra-gries");
+  }
+  if (kind == "ss") {
+    return IngestAndSave(sketch::SpaceSaving(capacity.value()), ids.value(),
+                         out, "space-saving");
+  }
+  return Fail(Status::InvalidArgument("unknown sketch kind: " + kind));
+}
+
+std::vector<uint64_t> DistinctInOrder(const std::vector<uint64_t>& ids) {
+  std::vector<uint64_t> distinct;
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t id : ids) {
+    if (seen.insert(id).second) distinct.push_back(id);
+  }
+  return distinct;
+}
+
+template <typename EstimateFn>
+int PrintEstimates(const std::vector<uint64_t>& ids, EstimateFn estimate) {
+  std::printf("id,estimate\n");
+  for (uint64_t id : DistinctInOrder(ids)) {
+    std::printf("%llu,%.2f\n", static_cast<unsigned long long>(id),
+                estimate(id));
+  }
+  return 0;
+}
+
+int RestoreBundle(const Flags& flags, const std::string& in, bool use_mmap) {
+  if (use_mmap) {
+    auto view = io::MappedEstimatorView::Open(in);
+    if (!view.ok()) return Fail(view.status());
+    if (!flags.Has("trace")) {
+      std::printf(
+          "mapped model bundle: %zu buckets, %zu stored ids (stored-id "
+          "queries only)\n",
+          view.value().num_buckets(), view.value().num_stored_ids());
+      return 0;
+    }
+    auto ids = TraceIds(flags.Get("trace", ""));
+    if (!ids.ok()) return Fail(ids.status());
+    return PrintEstimates(ids.value(), [&view](uint64_t id) {
+      return view.value().Estimate(id);
+    });
+  }
+  auto bundle = io::LoadModelBundle(in);
+  if (!bundle.ok()) return Fail(bundle.status());
+  if (!flags.Has("trace")) {
+    std::printf("model bundle: %zu buckets, %zu stored ids, %.2f KB\n",
+                bundle.value().estimator->num_buckets(),
+                bundle.value().estimator->num_stored_ids(),
+                bundle.value().estimator->MemoryKb());
+    return 0;
+  }
+  // Restored serving answers the same id-keyed queries the checkpointed
+  // estimator would; featureless queries resolve through the stored table.
+  auto ids = TraceIds(flags.Get("trace", ""));
+  if (!ids.ok()) return Fail(ids.status());
+  return PrintEstimates(ids.value(), [&bundle](uint64_t id) {
+    return bundle.value().estimator->Estimate({id, nullptr});
+  });
+}
+
+template <typename Sketch>
+int RestoreSketch(const Flags& flags, const std::string& in,
+                  const char* kind) {
+  auto sketch = io::LoadSketchSnapshot<Sketch>(in);
+  if (!sketch.ok()) return Fail(sketch.status());
+  if (!flags.Has("trace")) {
+    std::printf("%s checkpoint restored from %s\n", kind, in.c_str());
+    return 0;
+  }
+  auto ids = TraceIds(flags.Get("trace", ""));
+  if (!ids.ok()) return Fail(ids.status());
+  return PrintEstimates(ids.value(), [&sketch](uint64_t id) {
+    return static_cast<double>(sketch.value().Estimate(id));
+  });
+}
+
+int CmdRestore(const Flags& flags) {
+  if (!flags.Has("in")) {
+    return Fail(Status::InvalidArgument("restore needs --in"));
+  }
+  const auto mmap_flag = flags.GetUint("mmap", 0);
+  if (!mmap_flag.ok()) return Fail(mmap_flag.status());
+  const bool use_mmap = mmap_flag.value() != 0;
+  const std::string in = flags.Get("in", "");
+
+  auto format = io::DetectFileFormat(in);
+  if (!format.ok()) return Fail(format.status());
+  if (format.value() == io::SnapshotFormat::kText) {
+    if (use_mmap) {
+      return Fail(Status::InvalidArgument(
+          "--mmap needs a binary snapshot; this is a text bundle"));
+    }
+    return RestoreBundle(flags, in, /*use_mmap=*/false);
+  }
+
+  auto sections = io::ListSnapshotSections(in);
+  if (!sections.ok()) return Fail(sections.status());
+  if (sections.value().size() == 1) {
+    switch (sections.value().front()) {
+      case io::SectionType::kCountMinSketch: {
+        if (!use_mmap) {
+          return RestoreSketch<sketch::CountMinSketch>(flags, in,
+                                                       "count-min");
+        }
+        auto view = io::MappedCountMinView::Open(in);
+        if (!view.ok()) return Fail(view.status());
+        if (!flags.Has("trace")) {
+          std::printf(
+              "mapped count-min: %zux%zu counters, %llu arrivals\n",
+              view.value().depth(), view.value().width(),
+              static_cast<unsigned long long>(view.value().total_count()));
+          return 0;
+        }
+        auto ids = TraceIds(flags.Get("trace", ""));
+        if (!ids.ok()) return Fail(ids.status());
+        return PrintEstimates(ids.value(), [&view](uint64_t id) {
+          return static_cast<double>(view.value().Estimate(id));
+        });
+      }
+      case io::SectionType::kCountSketch:
+        if (use_mmap) break;
+        return RestoreSketch<sketch::CountSketch>(flags, in, "count-sketch");
+      case io::SectionType::kAmsSketch: {
+        if (use_mmap) break;
+        auto ams = io::LoadSketchSnapshot<sketch::AmsSketch>(in);
+        if (!ams.ok()) return Fail(ams.status());
+        if (flags.Has("trace")) {
+          std::fprintf(stderr,
+                       "note: ams estimates F2, not per-id counts; "
+                       "--trace ignored\n");
+        }
+        std::printf("ams checkpoint restored from %s\nf2,%.2f\n", in.c_str(),
+                    ams.value().EstimateF2());
+        return 0;
+      }
+      case io::SectionType::kLearnedCountMin:
+        if (use_mmap) break;
+        return RestoreSketch<sketch::LearnedCountMinSketch>(
+            flags, in, "learned-count-min");
+      case io::SectionType::kMisraGries:
+        if (use_mmap) break;
+        return RestoreSketch<sketch::MisraGries>(flags, in, "misra-gries");
+      case io::SectionType::kSpaceSaving:
+        if (use_mmap) break;
+        return RestoreSketch<sketch::SpaceSaving>(flags, in, "space-saving");
+      default:
+        break;
+    }
+    if (use_mmap) {
+      return Fail(Status::InvalidArgument(
+          "--mmap supports binary model bundles and count-min checkpoints"));
+    }
+  }
+  // Multi-section binary files are model bundles.
+  return RestoreBundle(flags, in, use_mmap);
+}
+
 int Usage(std::FILE* out) {
-  std::fprintf(
-      out,
-      "usage: opthash_cli <train|apply|query|evaluate> --flag value ...\n"
-      "  train    --trace prefix.csv --out model.txt [--buckets N]\n"
-      "           [--ratio C] [--lambda L] [--solver bcd|dp|milp]\n"
-      "           [--classifier rf|cart|logreg|none] [--vocab V] [--seed S]\n"
-      "  apply    --model model.txt --trace stream.csv --out model.txt\n"
-      "           [--threads N] [--block-size B]\n"
-      "  query    --model model.txt --trace queries.csv\n"
-      "  evaluate --model model.txt --trace stream.csv\n"
-      "\n"
-      "traces are CSV files with header `id,text`: a numeric (uint64)\n"
-      "element key plus optional free text feeding the bag-of-words\n"
-      "featurizer; the text column may be empty for key-only workloads.\n"
-      "\n"
-      "train flags:\n"
-      "  --buckets N     overall memory budget b_total in 4-byte buckets,\n"
-      "                  split between aggregation buckets and stored ids\n"
-      "                  (default 1000)\n"
-      "  --ratio C       the split ratio c = b/n of paper sec. 7.3; the\n"
-      "                  paper examines 0.03 and 0.3 (default 0.3)\n"
-      "  --lambda L      objective trade-off in [0,1]: 1 = estimation\n"
-      "                  error only, 0 = feature similarity only\n"
-      "                  (default 1.0)\n"
-      "  --solver S      bcd (Algorithm 1), dp (exact for lambda = 1), or\n"
-      "                  milp (exact branch-and-bound, tiny instances\n"
-      "                  only) (default bcd)\n"
-      "  --classifier K  model routing unseen elements: rf, cart, logreg,\n"
-      "                  or none (default rf)\n"
-      "  --vocab V       bag-of-words vocabulary size (default 500)\n"
-      "  --seed S        RNG seed (default 1)\n"
-      "\n"
-      "apply flags:\n"
-      "  --threads N     worker threads for sharded trace ingestion; 0 uses\n"
-      "                  the hardware concurrency. Estimates after the\n"
-      "                  merge are identical at every thread count\n"
-      "                  (default 1)\n"
-      "  --block-size B  trace items per worker dispatch block\n"
-      "                  (default 65536)\n");
+  std::fputs(kUsageText, out);
   return out == stdout ? 0 : 2;
 }
 
@@ -396,6 +702,8 @@ int Main(int argc, char** argv) {
   if (command == "apply") return CmdApply(flags.value());
   if (command == "query") return CmdQuery(flags.value());
   if (command == "evaluate") return CmdEvaluate(flags.value());
+  if (command == "snapshot") return CmdSnapshot(flags.value());
+  if (command == "restore") return CmdRestore(flags.value());
   return Usage(stderr);
 }
 
