@@ -1,0 +1,396 @@
+// bench_query_throughput — serving-side queries/sec of the batched,
+// allocation-free read path (PR 4) against the scalar per-query path it
+// replaces, for both the owned learned estimator and the zero-copy mapped
+// views. Emits machine-readable JSON (like bench_throughput /
+// bench_snapshot_io) so CI can archive the query-latency trajectory.
+//
+//   bench_query_throughput [--quick] [--queries N] [--block B] [--reps R]
+//                          [--out path.json]
+//
+// Workload: a Zipf-shaped query mix over a synthetic id universe with
+// bag-of-words texts — popular elements are queried more, exactly the
+// regime the paper's learned scheme serves. Six measurements:
+//
+//   learned/owned/scalar : per query, featurize (legacy allocating
+//                          Featurize) + OptHashEstimator::Estimate — the
+//                          pre-batch serving loop.
+//   learned/owned/batch  : io::BundleQueryEngine blocks — stored ids skip
+//                          featurization, misses are classified in one
+//                          PredictBatch, all scratch reused.
+//   learned/mmap/scalar  : MappedEstimatorView::Estimate per id
+//                          (stored-id queries, no classifier).
+//   learned/mmap/batch   : MappedEstimatorView::EstimateBatch blocks.
+//   cms/owned/{scalar,batch} and cms/mmap/{scalar,batch}: the same
+//   comparison for the count-min baseline's level-major batch walk.
+//
+// Batch answers are asserted element-wise identical to the scalar path
+// before anything is timed. --quick shrinks the workload for CI smoke.
+// JSON goes to --out (stdout when omitted); a summary goes to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/opt_hash_estimator.h"
+#include "io/model_io.h"
+#include "io/sketch_snapshot.h"
+#include "sketch/count_min_sketch.h"
+#include "stream/features.h"
+#include "stream/trace_io.h"
+
+namespace opthash {
+namespace {
+
+struct Options {
+  size_t queries = 100'000;
+  size_t block = 4096;
+  size_t reps = 3;
+  std::string out;  // Empty = stdout.
+  bool quick = false;
+};
+
+struct ResultRow {
+  std::string path;     // "learned" | "cms"
+  std::string storage;  // "owned" | "mmap"
+  std::string mode;     // "scalar" | "batch"
+  double seconds = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+template <typename Fn>
+double BestOf(size_t reps, Fn fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+// Deterministic bag-of-words text for an element: three words from a
+// small lexicon plus a rank token, so texts are featurizable and distinct
+// ranks get distinct (but overlapping) token sets.
+std::string TextOf(uint64_t id) {
+  static const char* kWords[] = {
+      "alpha",  "beta",   "gamma", "delta", "epsilon", "zeta",  "eta",
+      "theta",  "iota",   "kappa", "lambda", "mu",     "nu",    "xi",
+      "omicron", "pi",    "rho",   "sigma", "tau",     "upsilon"};
+  constexpr uint64_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+  uint64_t state = id + 1;
+  const uint64_t mixed = SplitMix64(state);
+  std::string text = kWords[mixed % kNumWords];
+  text += ' ';
+  text += kWords[(mixed >> 8) % kNumWords];
+  text += ' ';
+  text += kWords[(mixed >> 16) % kNumWords];
+  text += " q";
+  text += std::to_string(id % 97);
+  return text;
+}
+
+void PrintJson(std::FILE* out, const Options& options, double hit_fraction,
+               const std::vector<ResultRow>& rows) {
+  std::fprintf(out, "{\n  \"benchmark\": \"query_throughput\",\n");
+  std::fprintf(out,
+               "  \"queries\": %zu,\n  \"block\": %zu,\n  \"reps\": %zu,\n",
+               options.queries, options.block, options.reps);
+  std::fprintf(out, "  \"stored_id_hit_fraction\": %.4f,\n", hit_fraction);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"path\": \"%s\", \"storage\": \"%s\", "
+                 "\"mode\": \"%s\", \"seconds\": %.6f, "
+                 "\"queries_per_sec\": %.0f}%s\n",
+                 rows[i].path.c_str(), rows[i].storage.c_str(),
+                 rows[i].mode.c_str(), rows[i].seconds,
+                 rows[i].queries_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+      options.queries = 10'000;
+      options.reps = 2;
+    } else if (arg == "--queries" && i + 1 < argc) {
+      options.queries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--block" && i + 1 < argc) {
+      options.block = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      options.reps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_query_throughput [--quick] [--queries N] "
+                   "[--block B] [--reps R] [--out path.json]\n");
+      return 2;
+    }
+  }
+  if (options.queries == 0 || options.block == 0 || options.reps == 0) {
+    std::fprintf(stderr, "error: --queries/--block/--reps must be >= 1\n");
+    return 2;
+  }
+
+  // ---- Workload: Zipf-shaped queries over a synthetic universe. --------
+  // Sized to the paper's serving regime: the learned table keeps the
+  // heavy hitters (~3/4 of Zipf query volume), the classifier handles
+  // the long tail.
+  const size_t universe = options.quick ? 6'000 : 10'000;
+  const size_t prefix_support = 2'000;
+
+  stream::BagOfWordsFeaturizer featurizer(100);
+  {
+    std::vector<std::pair<std::string, double>> corpus;
+    corpus.reserve(prefix_support);
+    for (size_t rank = 0; rank < prefix_support; ++rank) {
+      corpus.push_back(
+          {TextOf(rank), static_cast<double>(universe) / (rank + 1.0)});
+    }
+    featurizer.Fit(corpus);
+  }
+
+  // Prefix: the top prefix_support ranks with Zipf frequencies. The
+  // trained table keeps ~1000 ids (frequency-proportional subsample).
+  std::vector<core::PrefixElement> prefix;
+  prefix.reserve(prefix_support);
+  for (size_t rank = 0; rank < prefix_support; ++rank) {
+    prefix.push_back(
+        {.id = rank,
+         .frequency = static_cast<double>(universe) / (rank + 1.0),
+         .features = featurizer.Featurize(TextOf(rank))});
+  }
+
+  core::OptHashConfig config;
+  config.total_buckets = 1'650;
+  config.id_ratio = 0.1;
+  config.solver = core::SolverKind::kDp;
+  config.classifier = core::ClassifierKind::kCart;
+  config.cart.max_depth = 12;
+  auto trained = core::OptHashEstimator::Train(config, prefix);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "error: %s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  io::ModelBundle bundle;
+  bundle.featurizer = featurizer;
+  bundle.estimator = std::move(trained).value();
+
+  // Queries: rank = floor(U^u) for uniform u — a log-uniform draw whose
+  // density is proportional to 1/rank, i.e. Zipf(1): popular elements are
+  // queried more, so a fat slice of the query volume hits stored ids.
+  Rng rng(17);
+  std::vector<stream::TraceRecord> queries;
+  std::vector<uint64_t> query_ids;
+  queries.reserve(options.queries);
+  query_ids.reserve(options.queries);
+  const double log_universe = std::log(static_cast<double>(universe));
+  size_t stored_hits = 0;
+  const auto& table = bundle.estimator->table();
+  for (size_t q = 0; q < options.queries; ++q) {
+    const double u = rng.NextDouble();
+    const auto rank = static_cast<uint64_t>(std::exp(u * log_universe)) - 1;
+    queries.push_back({rank, TextOf(rank)});
+    query_ids.push_back(rank);
+    if (table.find(rank) != table.end()) ++stored_hits;
+  }
+  const double hit_fraction =
+      static_cast<double>(stored_hits) / static_cast<double>(options.queries);
+
+  // Mapped artifacts.
+  const std::string bundle_path = "/tmp/bench_query_bundle.bin";
+  const std::string cms_path = "/tmp/bench_query_cms.bin";
+  {
+    const Status saved =
+        io::SaveModelBundle(bundle_path, bundle, io::SnapshotFormat::kBinary);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+  sketch::CountMinSketch cms(16'384, 4, 23);
+  cms.UpdateBatch(query_ids);
+  {
+    const Status saved = io::SaveSketchSnapshot(cms_path, cms);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+  auto mapped_bundle = io::MappedEstimatorView::Open(bundle_path);
+  if (!mapped_bundle.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 mapped_bundle.status().ToString().c_str());
+    return 1;
+  }
+  auto mapped_cms = io::MappedCountMinView::Open(cms_path);
+  if (!mapped_cms.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 mapped_cms.status().ToString().c_str());
+    return 1;
+  }
+
+  const core::OptHashEstimator& estimator = *bundle.estimator;
+  const size_t n = queries.size();
+  std::vector<double> scalar_answers(n);
+  std::vector<double> batch_answers(n);
+  // volatile sink so the optimizer cannot drop any measured loop.
+  volatile double sink = 0.0;
+
+  // ---- Correctness gate: batch == scalar before anything is timed. ----
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> features =
+        bundle.featurizer.Featurize(queries[i].text);
+    scalar_answers[i] = estimator.Estimate({queries[i].id, &features});
+  }
+  {
+    io::BundleQueryEngine engine(bundle);
+    for (size_t base = 0; base < n; base += options.block) {
+      const size_t block = std::min(options.block, n - base);
+      engine.EstimateBlock(
+          Span<const stream::TraceRecord>(queries.data() + base, block),
+          Span<double>(batch_answers.data() + base, block));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (scalar_answers[i] != batch_answers[i]) {
+      std::fprintf(stderr,
+                   "error: batch/scalar mismatch at %zu (%f vs %f)\n", i,
+                   batch_answers[i], scalar_answers[i]);
+      return 1;
+    }
+  }
+
+  // ---- Timed runs. -----------------------------------------------------
+  std::vector<ResultRow> rows;
+  const auto add_row = [&](const char* path, const char* storage,
+                           const char* mode, double seconds) {
+    rows.push_back({path, storage, mode, seconds,
+                    static_cast<double>(n) / seconds});
+  };
+
+  add_row("learned", "owned", "scalar", BestOf(options.reps, [&] {
+            double total = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              const std::vector<double> features =
+                  bundle.featurizer.Featurize(queries[i].text);
+              total += estimator.Estimate({queries[i].id, &features});
+            }
+            sink = sink + total;
+          }));
+  {
+    io::BundleQueryEngine engine(bundle);
+    add_row("learned", "owned", "batch", BestOf(options.reps, [&] {
+              double total = 0.0;
+              for (size_t base = 0; base < n; base += options.block) {
+                const size_t block = std::min(options.block, n - base);
+                engine.EstimateBlock(
+                    Span<const stream::TraceRecord>(queries.data() + base,
+                                                    block),
+                    Span<double>(batch_answers.data() + base, block));
+              }
+              for (size_t i = 0; i < n; ++i) total += batch_answers[i];
+              sink = sink + total;
+            }));
+  }
+  add_row("learned", "mmap", "scalar", BestOf(options.reps, [&] {
+            double total = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              total += mapped_bundle.value().Estimate(query_ids[i]);
+            }
+            sink = sink + total;
+          }));
+  add_row("learned", "mmap", "batch", BestOf(options.reps, [&] {
+            double total = 0.0;
+            for (size_t base = 0; base < n; base += options.block) {
+              const size_t block = std::min(options.block, n - base);
+              mapped_bundle.value().EstimateBatch(
+                  Span<const uint64_t>(query_ids.data() + base, block),
+                  Span<double>(batch_answers.data() + base, block));
+            }
+            for (size_t i = 0; i < n; ++i) total += batch_answers[i];
+            sink = sink + total;
+          }));
+
+  std::vector<uint64_t> cms_answers(n);
+  add_row("cms", "owned", "scalar", BestOf(options.reps, [&] {
+            uint64_t total = 0;
+            for (size_t i = 0; i < n; ++i) total += cms.Estimate(query_ids[i]);
+            sink = sink + static_cast<double>(total);
+          }));
+  add_row("cms", "owned", "batch", BestOf(options.reps, [&] {
+            uint64_t total = 0;
+            for (size_t base = 0; base < n; base += options.block) {
+              const size_t block = std::min(options.block, n - base);
+              cms.EstimateBatch(
+                  Span<const uint64_t>(query_ids.data() + base, block),
+                  Span<uint64_t>(cms_answers.data() + base, block));
+            }
+            for (size_t i = 0; i < n; ++i) total += cms_answers[i];
+            sink = sink + static_cast<double>(total);
+          }));
+  add_row("cms", "mmap", "scalar", BestOf(options.reps, [&] {
+            uint64_t total = 0;
+            for (size_t i = 0; i < n; ++i) {
+              total += mapped_cms.value().Estimate(query_ids[i]);
+            }
+            sink = sink + static_cast<double>(total);
+          }));
+  add_row("cms", "mmap", "batch", BestOf(options.reps, [&] {
+            uint64_t total = 0;
+            for (size_t base = 0; base < n; base += options.block) {
+              const size_t block = std::min(options.block, n - base);
+              mapped_cms.value().EstimateBatch(
+                  Span<const uint64_t>(query_ids.data() + base, block),
+                  Span<uint64_t>(cms_answers.data() + base, block));
+            }
+            for (size_t i = 0; i < n; ++i) total += cms_answers[i];
+            sink = sink + static_cast<double>(total);
+          }));
+
+  // ---- Report. --------------------------------------------------------
+  double scalar_qps = 0.0;
+  double batch_qps = 0.0;
+  for (const ResultRow& row : rows) {
+    std::fprintf(stderr, "%-8s %-6s %-7s %10.3f ms  %12.0f queries/sec\n",
+                 row.path.c_str(), row.storage.c_str(), row.mode.c_str(),
+                 row.seconds * 1e3, row.queries_per_sec);
+    if (row.path == "learned" && row.storage == "owned") {
+      if (row.mode == "scalar") scalar_qps = row.queries_per_sec;
+      if (row.mode == "batch") batch_qps = row.queries_per_sec;
+    }
+  }
+  std::fprintf(stderr,
+               "stored-id hit fraction: %.1f%%\n"
+               "learned owned batch speedup over scalar: %.2fx\n",
+               hit_fraction * 100.0, batch_qps / scalar_qps);
+
+  if (options.out.empty()) {
+    PrintJson(stdout, options, hit_fraction, rows);
+  } else {
+    std::FILE* file = std::fopen(options.out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.out.c_str());
+      return 1;
+    }
+    PrintJson(file, options, hit_fraction, rows);
+    std::fclose(file);
+    std::fprintf(stderr, "json written to %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opthash
+
+int main(int argc, char** argv) { return opthash::Main(argc, argv); }

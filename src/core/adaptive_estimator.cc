@@ -44,6 +44,38 @@ double AdaptiveOptHashEstimator::Estimate(
   return bucket_freq_[j] / bucket_count_[j];
 }
 
+void AdaptiveOptHashEstimator::EstimateBatch(
+    Span<const stream::StreamItem> items, Span<double> out) const {
+  OPTHASH_CHECK_EQ(items.size(), out.size());
+  thread_local OptHashQueryWorkspace workspace;
+  thread_local std::vector<stream::StreamItem> filtered;
+  thread_local std::vector<uint8_t> may_contain;
+  // Bloom prefilter, mirroring the scalar short-circuit: a Bloom-negative
+  // item answers 0 no matter where it would route, so strip its features
+  // before routing and the classifier never runs for it (the residual
+  // table probe is cheap and keeps the routing code shared).
+  filtered.resize(items.size());
+  may_contain.resize(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    may_contain[i] = bloom_.MayContain(items[i].id) ? 1 : 0;
+    filtered[i] = may_contain[i] != 0
+                      ? items[i]
+                      : stream::StreamItem{items[i].id, nullptr};
+  }
+  base_.RouteBatch(
+      Span<const stream::StreamItem>(filtered.data(), filtered.size()),
+      workspace);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const int32_t bucket = workspace.buckets[i];
+    if (may_contain[i] == 0 || bucket < 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    const auto j = static_cast<size_t>(bucket);
+    out[i] = bucket_count_[j] <= 0.0 ? 0.0 : bucket_freq_[j] / bucket_count_[j];
+  }
+}
+
 size_t AdaptiveOptHashEstimator::MemoryBuckets() const {
   // Base scheme plus the Bloom filter's bit array (4 bytes per bucket).
   return base_.MemoryBuckets() + (bloom_.MemoryBytes() + 3) / 4;

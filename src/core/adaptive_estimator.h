@@ -42,6 +42,14 @@ class AdaptiveOptHashEstimator : public FrequencyEstimator {
 
   void Update(const stream::StreamItem& item) override;
   double Estimate(const stream::StreamItem& item) const override;
+
+  /// Batched point queries: shares the base estimator's two-pass routing
+  /// (table probes + one batched classifier call), then gathers from the
+  /// adaptive counters gated by the Bloom filter. Element-wise identical
+  /// to a loop of Estimate; allocation-free in steady state.
+  void EstimateBatch(Span<const stream::StreamItem> items,
+                     Span<double> out) const override;
+
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "opt-hash-adaptive"; }
 

@@ -5,6 +5,28 @@
 #include "common/check.h"
 
 namespace opthash::core {
+namespace {
+
+// Shared shape of every sketch-backed batch override: ids and raw sketch
+// answers staged through fixed-size stack chunks (no heap traffic), the
+// sketch's own batch path doing the counter reads, and a caller-supplied
+// convert turning the raw answer into the estimator's double semantics.
+template <typename Raw, typename BatchFn, typename ConvertFn>
+void ChunkedSketchBatch(Span<const stream::StreamItem> items,
+                        Span<double> out, BatchFn batch, ConvertFn convert) {
+  OPTHASH_CHECK_EQ(items.size(), out.size());
+  constexpr size_t kChunk = 256;
+  uint64_t keys[kChunk];
+  Raw raw[kChunk];
+  for (size_t base = 0; base < items.size(); base += kChunk) {
+    const size_t chunk = std::min(kChunk, items.size() - base);
+    for (size_t i = 0; i < chunk; ++i) keys[i] = items[base + i].id;
+    batch(Span<const uint64_t>(keys, chunk), Span<Raw>(raw, chunk));
+    for (size_t i = 0; i < chunk; ++i) out[base + i] = convert(raw[i]);
+  }
+}
+
+}  // namespace
 
 CountMinEstimator::CountMinEstimator(size_t total_buckets, size_t depth,
                                      uint64_t seed, bool conservative_update)
@@ -17,6 +39,16 @@ void CountMinEstimator::Update(const stream::StreamItem& item) {
 
 double CountMinEstimator::Estimate(const stream::StreamItem& item) const {
   return static_cast<double>(sketch_.Estimate(item.id));
+}
+
+void CountMinEstimator::EstimateBatch(Span<const stream::StreamItem> items,
+                                      Span<double> out) const {
+  ChunkedSketchBatch<uint64_t>(
+      items, out,
+      [this](Span<const uint64_t> keys, Span<uint64_t> raw) {
+        sketch_.EstimateBatch(keys, raw);
+      },
+      [](uint64_t raw) { return static_cast<double>(raw); });
 }
 
 size_t CountMinEstimator::MemoryBuckets() const {
@@ -34,6 +66,16 @@ void CountSketchEstimator::Update(const stream::StreamItem& item) {
 
 double CountSketchEstimator::Estimate(const stream::StreamItem& item) const {
   return static_cast<double>(sketch_.EstimateNonNegative(item.id));
+}
+
+void CountSketchEstimator::EstimateBatch(Span<const stream::StreamItem> items,
+                                         Span<double> out) const {
+  ChunkedSketchBatch<uint64_t>(
+      items, out,
+      [this](Span<const uint64_t> keys, Span<uint64_t> raw) {
+        sketch_.EstimateNonNegativeBatch(keys, raw);
+      },
+      [](uint64_t raw) { return static_cast<double>(raw); });
 }
 
 size_t CountSketchEstimator::MemoryBuckets() const {
@@ -58,6 +100,16 @@ void LearnedCmsEstimator::Update(const stream::StreamItem& item) {
 
 double LearnedCmsEstimator::Estimate(const stream::StreamItem& item) const {
   return static_cast<double>(sketch_.Estimate(item.id));
+}
+
+void LearnedCmsEstimator::EstimateBatch(Span<const stream::StreamItem> items,
+                                        Span<double> out) const {
+  ChunkedSketchBatch<uint64_t>(
+      items, out,
+      [this](Span<const uint64_t> keys, Span<uint64_t> raw) {
+        sketch_.EstimateBatch(keys, raw);
+      },
+      [](uint64_t raw) { return static_cast<double>(raw); });
 }
 
 size_t LearnedCmsEstimator::MemoryBuckets() const {

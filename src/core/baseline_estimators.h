@@ -19,6 +19,12 @@ class CountMinEstimator : public FrequencyEstimator {
 
   void Update(const stream::StreamItem& item) override;
   double Estimate(const stream::StreamItem& item) const override;
+
+  /// Batched queries through CountMinSketch::EstimateBatch (level-major
+  /// counter walk) in fixed-size stack chunks; allocation-free.
+  void EstimateBatch(Span<const stream::StreamItem> items,
+                     Span<double> out) const override;
+
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "count-min"; }
 
@@ -35,6 +41,12 @@ class CountSketchEstimator : public FrequencyEstimator {
 
   void Update(const stream::StreamItem& item) override;
   double Estimate(const stream::StreamItem& item) const override;
+
+  /// Batched queries through CountSketch::EstimateNonNegativeBatch in
+  /// fixed-size stack chunks; allocation-free.
+  void EstimateBatch(Span<const stream::StreamItem> items,
+                     Span<double> out) const override;
+
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "count-sketch"; }
 
@@ -51,6 +63,13 @@ class LearnedCmsEstimator : public FrequencyEstimator {
 
   void Update(const stream::StreamItem& item) override;
   double Estimate(const stream::StreamItem& item) const override;
+
+  /// Batched queries through LearnedCountMinSketch::EstimateBatch
+  /// (heavy-table probes + level-major remainder) in fixed-size stack
+  /// chunks; allocation-free.
+  void EstimateBatch(Span<const stream::StreamItem> items,
+                     Span<double> out) const override;
+
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "heavy-hitter"; }
 

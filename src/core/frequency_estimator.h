@@ -2,6 +2,9 @@
 #define OPTHASH_CORE_FREQUENCY_ESTIMATOR_H_
 
 #include <cstddef>
+
+#include "common/check.h"
+#include "common/span.h"
 #include "stream/element.h"
 
 namespace opthash::core {
@@ -22,6 +25,20 @@ class FrequencyEstimator {
 
   /// Estimated frequency of the element.
   virtual double Estimate(const stream::StreamItem& item) const = 0;
+
+  /// Batched point queries: out[i] = Estimate(items[i]). The read-side
+  /// analogue of UpdateBatch — serving answers millions of lookups, and
+  /// the batch form lets implementations amortize per-call overhead,
+  /// batch their table probes cache-friendly, and reuse scratch instead
+  /// of allocating per query. This default is a plain loop so external
+  /// implementations keep compiling (and keep the exact scalar
+  /// semantics); every estimator in this library overrides it.
+  /// items.size() must equal out.size(); an empty batch is a no-op.
+  virtual void EstimateBatch(Span<const stream::StreamItem> items,
+                             Span<double> out) const {
+    OPTHASH_CHECK_EQ(items.size(), out.size());
+    for (size_t i = 0; i < items.size(); ++i) out[i] = Estimate(items[i]);
+  }
 
   /// Memory footprint in 4-byte buckets (stored IDs count as one bucket,
   /// LCMS unique buckets as two; see DESIGN.md §4).

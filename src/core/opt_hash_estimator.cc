@@ -211,12 +211,110 @@ Status OptHashEstimator::ApplyBucketDeltas(const std::vector<double>& deltas) {
   return Status::OK();
 }
 
+void OptHashEstimator::RouteTableOnly(Span<const uint64_t> ids,
+                                      OptHashQueryWorkspace& ws) const {
+  ws.buckets.resize(ids.size());
+  ws.pending.clear();
+  const bool can_classify = classifier_ != nullptr;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto it = table_.find(ids[i]);
+    if (it != table_.end()) {
+      ws.buckets[i] = it->second;
+    } else {
+      ws.buckets[i] = -1;
+      if (can_classify) ws.pending.push_back(i);
+    }
+  }
+}
+
+void OptHashEstimator::ClassifyPendingRows(OptHashQueryWorkspace& ws) const {
+  // One batch call resolves every pending row — the classifier amortizes
+  // its per-call overhead and scratch across the block.
+  ws.predictions.resize(ws.pending.size());
+  classifier_->PredictBatch(ws.features,
+                            Span<int>(ws.predictions.data(),
+                                      ws.predictions.size()));
+  for (size_t p = 0; p < ws.pending.size(); ++p) {
+    const int bucket = ws.predictions[p];
+    OPTHASH_CHECK_GE(bucket, 0);
+    OPTHASH_CHECK_LT(static_cast<size_t>(bucket), bucket_freq_.size());
+    ws.buckets[ws.pending[p]] = bucket;
+  }
+}
+
+void OptHashEstimator::GatherEstimates(const OptHashQueryWorkspace& ws,
+                                       Span<double> out) const {
+  // Pass 2: the bucket counter reads run back to back.
+  for (size_t i = 0; i < out.size(); ++i) {
+    const int32_t bucket = ws.buckets[i];
+    if (bucket < 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    const auto j = static_cast<size_t>(bucket);
+    out[i] = bucket_count_[j] <= 0.0 ? 0.0 : bucket_freq_[j] / bucket_count_[j];
+  }
+}
+
+void OptHashEstimator::RouteBatch(Span<const stream::StreamItem> items,
+                                  OptHashQueryWorkspace& ws) const {
+  ws.buckets.resize(items.size());
+  ws.pending.clear();
+  // Pass 1a: the learned-table probes run back to back; classifier
+  // candidates are only recorded, not predicted yet. Featureless misses
+  // stay -1 — there is nothing to classify them with.
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto it = table_.find(items[i].id);
+    if (it != table_.end()) {
+      ws.buckets[i] = it->second;
+    } else if (classifier_ != nullptr && items[i].features != nullptr) {
+      ws.buckets[i] = -1;
+      ws.pending.push_back(i);
+    } else {
+      ws.buckets[i] = -1;
+    }
+  }
+  if (ws.pending.empty()) return;
+  // Pass 1b: gather the pending feature rows into one matrix (Reshape
+  // leaves cells unspecified; every used row is fully copied here).
+  const size_t dim = items[ws.pending.front()].features->size();
+  ws.features.Reshape(ws.pending.size(), dim);
+  for (size_t p = 0; p < ws.pending.size(); ++p) {
+    const std::vector<double>& row = *items[ws.pending[p]].features;
+    OPTHASH_CHECK_EQ(row.size(), dim);
+    std::copy(row.begin(), row.end(), ws.features.Row(p));
+  }
+  ClassifyPendingRows(ws);
+}
+
+void OptHashEstimator::EstimateBatch(Span<const stream::StreamItem> items,
+                                     Span<double> out,
+                                     OptHashQueryWorkspace& ws) const {
+  OPTHASH_CHECK_EQ(items.size(), out.size());
+  RouteBatch(items, ws);
+  GatherEstimates(ws, out);
+}
+
+namespace {
+// Per-thread workspace of the workspace-free entry points. Thread-local
+// (not per-estimator) so const queries stay thread-safe and the scalar
+// Estimate override is allocation-free in steady state.
+OptHashQueryWorkspace& ThreadQueryWorkspace() {
+  thread_local OptHashQueryWorkspace workspace;
+  return workspace;
+}
+}  // namespace
+
+void OptHashEstimator::EstimateBatch(Span<const stream::StreamItem> items,
+                                     Span<double> out) const {
+  EstimateBatch(items, out, ThreadQueryWorkspace());
+}
+
 double OptHashEstimator::Estimate(const stream::StreamItem& item) const {
-  const int32_t bucket = BucketOf(item);
-  if (bucket < 0) return 0.0;
-  const auto j = static_cast<size_t>(bucket);
-  if (bucket_count_[j] <= 0.0) return 0.0;
-  return bucket_freq_[j] / bucket_count_[j];
+  double estimate = 0.0;
+  EstimateBatch(Span<const stream::StreamItem>(&item, 1),
+                Span<double>(&estimate, 1), ThreadQueryWorkspace());
+  return estimate;
 }
 
 size_t OptHashEstimator::MemoryBuckets() const {

@@ -82,6 +82,18 @@ struct OptHashTrainingInfo {
   double total_train_seconds = 0.0;
 };
 
+/// \brief Reusable scratch for the batched query path (two-pass
+/// route-then-gather, see OptHashEstimator::EstimateBatch). One workspace
+/// per querying thread; every call rewrites the contents, and after a
+/// warm-up call with the largest block size the workspace never
+/// heap-allocates again.
+struct OptHashQueryWorkspace {
+  std::vector<int32_t> buckets;  // Routed bucket per item (-1 = untracked).
+  std::vector<size_t> pending;   // Item indices routed to the classifier.
+  ml::Matrix features;           // Gathered feature rows of pending items.
+  std::vector<int> predictions;  // Classifier output for pending items.
+};
+
 /// \brief The paper's proposed estimator (`opt-hash`).
 ///
 /// Two-phase learning (§3): (1) the prefix elements — subsampled with
@@ -120,13 +132,66 @@ class OptHashEstimator : public FrequencyEstimator {
   /// num_buckets().
   Status ApplyBucketDeltas(const std::vector<double>& deltas);
 
+  /// Scalar point query. Routes through the batch machinery with
+  /// batch = 1 (thread-local workspace), so the learned path performs no
+  /// heap allocation per query in steady state.
   double Estimate(const stream::StreamItem& item) const override;
+
+  /// Batched point queries with a thread-local workspace; see the
+  /// workspace overload below for the mechanics.
+  void EstimateBatch(Span<const stream::StreamItem> items,
+                     Span<double> out) const override;
+
+  /// Batched point queries, two passes over the block:
+  ///   1. route — every id probes the learned table back to back;
+  ///      the misses' feature rows are gathered into ws.features and
+  ///      classified in one PredictBatch call (RouteBatch);
+  ///   2. gather — bucket counters are read back to back into out.
+  /// Element-wise identical to a loop of Estimate; allocation-free once
+  /// `ws` has warmed up. items.size() must equal out.size().
+  void EstimateBatch(Span<const stream::StreamItem> items, Span<double> out,
+                     OptHashQueryWorkspace& ws) const;
+
+  /// Batched point queries with *lazy* featurization, for callers that
+  /// derive features from query payloads on demand (io::BundleQueryEngine
+  /// featurizes query text): the learned table routes every id first and
+  /// `fill_features(i, row)` is invoked exactly once per id the table
+  /// cannot resolve — writing that query's `feature_dim` doubles straight
+  /// into the workspace's gathered feature matrix — so resolved ids never
+  /// pay featurization and each table probe happens once. Without a
+  /// classifier, unresolved ids estimate 0 and `fill_features` is never
+  /// invoked. Answers are element-wise identical to EstimateBatch over
+  /// items carrying the same features.
+  template <typename FeatureFn>
+  void EstimateBatchLazy(Span<const uint64_t> ids, size_t feature_dim,
+                         Span<double> out, OptHashQueryWorkspace& ws,
+                         FeatureFn fill_features) const {
+    OPTHASH_CHECK_EQ(ids.size(), out.size());
+    RouteTableOnly(ids, ws);
+    if (!ws.pending.empty()) {
+      ws.features.Reshape(ws.pending.size(), feature_dim);
+      for (size_t p = 0; p < ws.pending.size(); ++p) {
+        fill_features(ws.pending[p],
+                      Span<double>(ws.features.Row(p), feature_dim));
+      }
+      ClassifyPendingRows(ws);
+    }
+    GatherEstimates(ws, out);
+  }
+
   size_t MemoryBuckets() const override;
   const char* Name() const override { return "opt-hash"; }
 
   /// Bucket the item routes to: hash table first, classifier fallback;
   /// -1 when neither applies (no classifier and unseen ID).
   int32_t BucketOf(const stream::StreamItem& item) const;
+
+  /// Pass 1 of the batched query path: fills ws.buckets (resized to
+  /// items.size()) with BucketOf of every item, batching the table probes
+  /// and the classifier predictions. Exposed so the adaptive extension
+  /// shares the routing machinery.
+  void RouteBatch(Span<const stream::StreamItem> items,
+                  OptHashQueryWorkspace& ws) const;
 
   size_t num_buckets() const { return bucket_freq_.size(); }
   size_t num_stored_ids() const { return table_.size(); }
@@ -166,6 +231,18 @@ class OptHashEstimator : public FrequencyEstimator {
 
  private:
   OptHashEstimator() = default;
+
+  // Shared stages of the batched query paths (see EstimateBatch docs).
+  // RouteTableOnly probes the table for every id, recording classifier
+  // candidates in ws.pending (only when a classifier exists);
+  // ClassifyPendingRows expects ws.features filled with one row per
+  // pending index and resolves them through one PredictBatch call;
+  // GatherEstimates turns ws.buckets into bucket-average answers.
+  void RouteTableOnly(Span<const uint64_t> ids,
+                      OptHashQueryWorkspace& ws) const;
+  void ClassifyPendingRows(OptHashQueryWorkspace& ws) const;
+  void GatherEstimates(const OptHashQueryWorkspace& ws,
+                       Span<double> out) const;
 
   std::unordered_map<uint64_t, int32_t> table_;
   std::vector<double> bucket_freq_;   // phi_j

@@ -1,5 +1,6 @@
 #include "io/model_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -147,6 +148,27 @@ Result<ModelBundle> LoadModelBundle(const std::string& path) {
                                                    : LoadTextBundle(path);
 }
 
+BundleQueryEngine::BundleQueryEngine(const ModelBundle& bundle)
+    : bundle_(bundle) {
+  OPTHASH_CHECK_MSG(bundle.estimator.has_value(),
+                    "BundleQueryEngine needs a bundle with an estimator");
+}
+
+void BundleQueryEngine::EstimateBlock(
+    Span<const stream::TraceRecord> queries, Span<double> out) {
+  OPTHASH_CHECK_EQ(queries.size(), out.size());
+  ids_.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) ids_[i] = queries[i].id;
+  // The lazy path probes the table once per id and calls back only for
+  // the misses, which featurize straight into the workspace's matrix.
+  bundle_.estimator->EstimateBatchLazy(
+      Span<const uint64_t>(ids_.data(), ids_.size()),
+      bundle_.featurizer.FeatureDim(), out, workspace_,
+      [this, &queries](size_t i, Span<double> row) {
+        bundle_.featurizer.Featurize(queries[i].text, row);
+      });
+}
+
 Result<MappedEstimatorView> MappedEstimatorView::Open(
     const std::string& path, bool verify_crc) {
   auto snapshot = MappedSnapshot::Open(path, verify_crc);
@@ -219,6 +241,36 @@ double MappedEstimatorView::Estimate(uint64_t id) const {
   const double count = LoadLittleDouble(bucket_count_ + j * sizeof(double));
   if (count <= 0.0) return 0.0;
   return LoadLittleDouble(bucket_freq_ + j * sizeof(double)) / count;
+}
+
+void MappedEstimatorView::EstimateBatch(Span<const uint64_t> ids,
+                                        Span<double> out) const {
+  OPTHASH_CHECK_EQ(ids.size(), out.size());
+  constexpr size_t kChunk = 256;
+  int32_t buckets[kChunk];
+  for (size_t base = 0; base < ids.size(); base += kChunk) {
+    const size_t chunk = std::min(kChunk, ids.size() - base);
+    // Pass 1: route — the binary searches probe the mapped id column back
+    // to back while its upper levels stay cached.
+    for (size_t i = 0; i < chunk; ++i) {
+      buckets[i] = BucketOf(ids[base + i]);
+    }
+    // Pass 2: gather the bucket counter reads.
+    for (size_t i = 0; i < chunk; ++i) {
+      const int32_t bucket = buckets[i];
+      if (bucket < 0 || static_cast<size_t>(bucket) >= num_buckets_) {
+        out[base + i] = 0.0;  // Untracked, or corrupt entry; fail closed.
+        continue;
+      }
+      const auto j = static_cast<size_t>(bucket);
+      const double count =
+          LoadLittleDouble(bucket_count_ + j * sizeof(double));
+      out[base + i] =
+          count <= 0.0
+              ? 0.0
+              : LoadLittleDouble(bucket_freq_ + j * sizeof(double)) / count;
+    }
+  }
 }
 
 }  // namespace opthash::io

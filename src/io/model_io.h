@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/opt_hash_estimator.h"
 #include "io/snapshot.h"
 #include "stream/features.h"
+#include "stream/trace_io.h"
 
 namespace opthash::io {
 
@@ -50,6 +52,39 @@ Result<SnapshotFormat> DetectFileFormat(const std::string& path);
 /// verification on the binary path.
 Result<ModelBundle> LoadModelBundle(const std::string& path);
 
+/// \brief Batched query pipeline over a loaded model bundle — the serving
+/// read side of the paper's workflow, shared by `opthash_cli query` and
+/// bench_query_throughput.
+///
+/// EstimateBlock answers one block of (id, text) queries through the
+/// estimator's lazy batch path (OptHashEstimator::EstimateBatchLazy).
+/// Two properties make it fast in steady state: each id probes the
+/// learned table exactly once and is featurized only when the table
+/// cannot resolve it (a table hit wins before the classifier is
+/// consulted, so its features would be dead work — under a skewed query
+/// mix most lookups skip the featurizer entirely, and the misses
+/// featurize straight into the workspace's feature matrix), and all
+/// scratch is reused across blocks, so a warm engine performs no heap
+/// allocation per block. Answers are element-wise identical to
+/// featurizing every query and calling Estimate one by one.
+///
+/// Holds a reference to the bundle (which must outlive the engine) and
+/// mutable scratch: one engine per querying thread.
+class BundleQueryEngine {
+ public:
+  explicit BundleQueryEngine(const ModelBundle& bundle);
+
+  /// out[i] = estimate of queries[i]. queries.size() must equal
+  /// out.size(); an empty block is a no-op.
+  void EstimateBlock(Span<const stream::TraceRecord> queries,
+                     Span<double> out);
+
+ private:
+  const ModelBundle& bundle_;
+  std::vector<uint64_t> ids_;
+  core::OptHashQueryWorkspace workspace_;
+};
+
 /// \brief Zero-copy serving view over a *binary* model bundle.
 ///
 /// Open mmaps the snapshot and binary-searches the estimator's sorted id
@@ -74,6 +109,13 @@ class MappedEstimatorView {
   /// is untracked — matching OptHashEstimator::Estimate for items queried
   /// without features.
   double Estimate(uint64_t id) const;
+
+  /// Batched point queries: out[i] = Estimate(ids[i]), allocation-free.
+  /// Two passes per fixed-size stack chunk: the id-table binary searches
+  /// run back to back (keeping the mapped id column hot), then the bucket
+  /// counters are gathered back to back. ids.size() must equal
+  /// out.size().
+  void EstimateBatch(Span<const uint64_t> ids, Span<double> out) const;
 
   size_t num_buckets() const { return num_buckets_; }
   size_t num_stored_ids() const { return table_size_; }

@@ -1,8 +1,10 @@
 #include "io/sketch_snapshot.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
+#include "common/check.h"
 #include "common/random.h"
 
 namespace opthash::io {
@@ -12,6 +14,11 @@ Result<std::vector<SectionType>> ListSnapshotSections(
   // Header/table-only probe: dispatching on the result must not cost a
   // full-file read before the real load does its own verified pass.
   return PeekSectionTypes(path);
+}
+
+bool MmapServingSupported(SectionType type) {
+  return type == SectionType::kCountMinSketch ||
+         type == SectionType::kOptHashEstimator;
 }
 
 namespace {
@@ -87,6 +94,24 @@ uint64_t MappedCountMinView::Estimate(uint64_t key) const {
     best = std::min(best, LoadLittleU64(counters_ + index * sizeof(uint64_t)));
   }
   return best;
+}
+
+void MappedCountMinView::EstimateBatch(Span<const uint64_t> keys,
+                                       Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::numeric_limits<uint64_t>::max();
+  }
+  // Level-major over the mapped rows: the block touches each row's pages
+  // in one run instead of hopping across levels per key.
+  for (size_t level = 0; level < depth_; ++level) {
+    const uint8_t* row = counters_ + level * width_ * sizeof(uint64_t);
+    const hashing::LinearHash& hash = hashes_[level];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const size_t offset = hash(keys[i]) * sizeof(uint64_t);
+      out[i] = std::min(out[i], LoadLittleU64(row + offset));
+    }
+  }
 }
 
 }  // namespace opthash::io

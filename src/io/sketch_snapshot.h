@@ -85,6 +85,14 @@ Result<Sketch> LoadSketchSnapshot(const std::string& path) {
 Result<std::vector<SectionType>> ListSnapshotSections(
     const std::string& path);
 
+/// True when the section type has a zero-copy mapped serving view
+/// (`restore --mmap`): count-min checkpoints (MappedCountMinView) and
+/// model-bundle estimator sections (MappedEstimatorView). Every other
+/// sketch kind must be deserialized fully — callers that were asked for
+/// mmap should say so explicitly and report the mode they actually used
+/// instead of silently downgrading.
+bool MmapServingSupported(SectionType type);
+
 /// \brief Zero-copy point-query view over a count-min snapshot.
 ///
 /// Open mmaps the file, validates header + section table (payload CRC only
@@ -105,6 +113,12 @@ class MappedCountMinView {
   /// Point query: min over levels, identical to CountMinSketch::Estimate
   /// on the snapshotted state.
   uint64_t Estimate(uint64_t key) const;
+
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free.
+  /// Level-major over the mapped counter rows, mirroring
+  /// CountMinSketch::EstimateBatch (and touching each mapped page run
+  /// once per block). keys.size() must equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
 
   size_t width() const { return width_; }
   size_t depth() const { return depth_; }

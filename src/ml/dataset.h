@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/span.h"
+#include "ml/matrix.h"
 
 namespace opthash::ml {
 
@@ -56,6 +58,14 @@ class Classifier {
 
   /// Predicted class for a feature vector.
   virtual int Predict(const std::vector<double>& features) const = 0;
+
+  /// Batched prediction over a row-major feature matrix:
+  /// out[i] = predicted class of row i. Semantically identical to calling
+  /// Predict row by row — the base implementation does exactly that
+  /// (through a copy into a scratch vector), so external classifiers keep
+  /// compiling — while the built-in models override it with
+  /// allocation-free row loops for the batched query hot path.
+  virtual void PredictBatch(const Matrix& rows, Span<int> out) const;
 
   /// Human-readable model name (for experiment tables).
   virtual const char* Name() const = 0;

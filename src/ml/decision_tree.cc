@@ -157,12 +157,26 @@ int32_t DecisionTree::BuildNode(const Dataset& train,
 int DecisionTree::Predict(const std::vector<double>& features) const {
   OPTHASH_CHECK_MSG(fitted_, "Predict before Fit");
   OPTHASH_CHECK_EQ(features.size(), num_features_);
+  return PredictRow(features.data());
+}
+
+int DecisionTree::PredictRow(const double* features) const {
   int32_t node_id = 0;
   while (!nodes_[node_id].is_leaf) {
     const Node& node = nodes_[node_id];
     node_id = features[node.feature] <= node.threshold ? node.left : node.right;
   }
   return nodes_[node_id].label;
+}
+
+void DecisionTree::PredictBatch(const Matrix& rows, Span<int> out) const {
+  OPTHASH_CHECK_MSG(fitted_, "PredictBatch before Fit");
+  OPTHASH_CHECK_EQ(rows.rows(), out.size());
+  if (rows.rows() == 0) return;
+  OPTHASH_CHECK_EQ(rows.cols(), num_features_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    out[i] = PredictRow(rows.Row(i));
+  }
 }
 
 size_t DecisionTree::Depth() const {

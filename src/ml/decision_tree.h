@@ -38,6 +38,16 @@ class DecisionTree : public Classifier {
 
   void Fit(const Dataset& train) override;
   int Predict(const std::vector<double>& features) const override;
+
+  /// Raw-pointer scalar prediction over num_features doubles: one root-to-
+  /// leaf walk, never allocating. Predict and PredictBatch route through
+  /// it; the caller guarantees the row length (unchecked here).
+  int PredictRow(const double* features) const;
+
+  /// Allocation-free row loop over the matrix (see Classifier docs).
+  void PredictBatch(const Matrix& rows, Span<int> out) const override;
+  using Classifier::PredictBatch;
+
   const char* Name() const override { return "cart"; }
 
   /// Number of nodes in the fitted tree (leaves + internal).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -165,9 +166,46 @@ std::vector<double> LogisticRegression::PredictProba(
 }
 
 int LogisticRegression::Predict(const std::vector<double>& features) const {
-  const std::vector<double> probs = PredictProba(features);
-  return static_cast<int>(
-      std::max_element(probs.begin(), probs.end()) - probs.begin());
+  OPTHASH_CHECK_MSG(fitted_, "Predict before Fit");
+  OPTHASH_CHECK_EQ(features.size(), num_features_);
+  return PredictRow(features.data());
+}
+
+int LogisticRegression::PredictRow(const double* features) const {
+  // Standardize once into thread-local scratch; the class loop then only
+  // reads it. Softmax is monotone, so the argmax is taken over raw logits
+  // and neither probabilities nor logits are materialized — the batched
+  // query path calls this once per row with zero heap traffic.
+  thread_local std::vector<double> standardized;
+  standardized.resize(num_features_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    standardized[f] = (features[f] - feature_means_[f]) / feature_stds_[f];
+  }
+  int best_class = 0;
+  double best_logit = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_classes_; ++c) {
+    const double* weight_row = weights_.Row(c);
+    double dot = biases_[c];
+    for (size_t f = 0; f < num_features_; ++f) {
+      dot += weight_row[f] * standardized[f];
+    }
+    if (dot > best_logit) {
+      best_logit = dot;
+      best_class = static_cast<int>(c);
+    }
+  }
+  return best_class;
+}
+
+void LogisticRegression::PredictBatch(const Matrix& rows,
+                                      Span<int> out) const {
+  OPTHASH_CHECK_MSG(fitted_, "PredictBatch before Fit");
+  OPTHASH_CHECK_EQ(rows.rows(), out.size());
+  if (rows.rows() == 0) return;
+  OPTHASH_CHECK_EQ(rows.cols(), num_features_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    out[i] = PredictRow(rows.Row(i));
+  }
 }
 
 namespace {

@@ -36,6 +36,17 @@ class LogisticRegression : public Classifier {
 
   void Fit(const Dataset& train) override;
   int Predict(const std::vector<double>& features) const override;
+
+  /// Raw-pointer scalar prediction over num_features doubles — the
+  /// allocation-free core Predict and PredictBatch both route through
+  /// (standardization scratch is thread-local, logits are never
+  /// materialized: argmax of the logits is argmax of the probabilities).
+  int PredictRow(const double* features) const;
+
+  /// Allocation-free row loop over the matrix (see Classifier docs).
+  void PredictBatch(const Matrix& rows, Span<int> out) const override;
+  using Classifier::PredictBatch;
+
   const char* Name() const override { return "logreg"; }
 
   /// Class probabilities for one example (softmax outputs).

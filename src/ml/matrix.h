@@ -38,6 +38,17 @@ class Matrix {
 
   void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Re-dimensions the matrix to rows x cols, reusing the existing
+  /// allocation whenever its capacity suffices — the batched query path
+  /// reshapes one scratch matrix per block and must not heap-allocate in
+  /// steady state. Cell contents are unspecified after the call (stale
+  /// values may survive); callers overwrite every row they read.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// this += alpha * other (shapes must match).
   void Axpy(double alpha, const Matrix& other) {
     OPTHASH_CHECK_EQ(rows_, other.rows_);

@@ -50,14 +50,30 @@ void RandomForest::Fit(const Dataset& train) {
 
 int RandomForest::Predict(const std::vector<double>& features) const {
   OPTHASH_CHECK_MSG(fitted_, "Predict before Fit");
-  std::vector<size_t> votes(num_classes_, 0);
+  OPTHASH_CHECK_EQ(features.size(), num_features_);
+  return PredictRow(features.data());
+}
+
+int RandomForest::PredictRow(const double* features) const {
+  thread_local std::vector<size_t> votes;
+  votes.assign(num_classes_, 0);
   for (const DecisionTree& tree : trees_) {
-    const int label = tree.Predict(features);
+    const int label = tree.PredictRow(features);
     OPTHASH_CHECK_LT(static_cast<size_t>(label), num_classes_);
     ++votes[static_cast<size_t>(label)];
   }
   return static_cast<int>(
       std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void RandomForest::PredictBatch(const Matrix& rows, Span<int> out) const {
+  OPTHASH_CHECK_MSG(fitted_, "PredictBatch before Fit");
+  OPTHASH_CHECK_EQ(rows.rows(), out.size());
+  if (rows.rows() == 0) return;
+  OPTHASH_CHECK_EQ(rows.cols(), num_features_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    out[i] = PredictRow(rows.Row(i));
+  }
 }
 
 namespace {

@@ -35,6 +35,16 @@ class RandomForest : public Classifier {
 
   void Fit(const Dataset& train) override;
   int Predict(const std::vector<double>& features) const override;
+
+  /// Raw-pointer scalar prediction over num_features doubles: majority
+  /// vote accumulated in thread-local scratch, never allocating in steady
+  /// state. Predict and PredictBatch route through it.
+  int PredictRow(const double* features) const;
+
+  /// Allocation-free row loop over the matrix (see Classifier docs).
+  void PredictBatch(const Matrix& rows, Span<int> out) const override;
+  using Classifier::PredictBatch;
+
   const char* Name() const override { return "rf"; }
 
   /// Average of per-tree impurity importances.

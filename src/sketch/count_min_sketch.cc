@@ -100,6 +100,23 @@ uint64_t CountMinSketch::Estimate(uint64_t key) const {
   return best;
 }
 
+void CountMinSketch::EstimateBatch(Span<const uint64_t> keys,
+                                   Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::numeric_limits<uint64_t>::max();
+  }
+  // Level-major: one counter row at a time, min-folding into out, so the
+  // row's cache lines are touched together (depth_ >= 1 by construction).
+  for (size_t level = 0; level < depth_; ++level) {
+    const uint64_t* row = counters_.data() + level * width_;
+    const hashing::LinearHash& hash = hashes_[level];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = std::min(out[i], row[hash(keys[i])]);
+    }
+  }
+}
+
 double CountMinSketch::Epsilon() const {
   return std::exp(1.0) / static_cast<double>(width_);
 }

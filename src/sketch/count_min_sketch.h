@@ -51,9 +51,23 @@ class CountMinSketch {
   /// identical hash functions the counters of two half-stream sketches add
   /// to exactly the full-stream counters, so for plain updates
   /// Merge(A, B) is bit-identical to ingesting A's and B's streams
-  /// sequentially. With conservative_update the merged sketch still never
-  /// underestimates (min_i(a_i + b_i) >= min_i a_i + min_i b_i) but is no
-  /// longer identical to single-stream conservative ingestion.
+  /// sequentially.
+  ///
+  /// Conservative-update semantics (order-sensitivity): Merge itself is
+  /// plain counter addition, which commutes — merging frozen shards in
+  /// any order yields identical counters. What is order-sensitive is the
+  /// conservative *ingestion* around the merges: a conservative update
+  /// raises only the counters at the current minimum, so the counter
+  /// state depends on how the stream was partitioned across shards and
+  /// on whether updates happen before or after a merge. Consequently a
+  /// merged conservative sketch is generally NOT identical to
+  /// single-stream conservative ingestion, and two shard/merge/ingest
+  /// interleavings of the same arrivals may disagree. What every
+  /// interleaving preserves is the CMS contract: each shard's per-level
+  /// minimum dominates its substream count, and
+  /// min_i(a_i + b_i) >= min_i a_i + min_i b_i, so estimates remain upper
+  /// bounds on the true counts under any merge order (regression-tested
+  /// in tests/sketch_merge_test.cc).
   ///
   /// Fails with InvalidArgument unless both sketches share width, depth,
   /// seed and the conservative flag (same geometry + same hash draws);
@@ -68,6 +82,13 @@ class CountMinSketch {
 
   /// Point query: min over levels, never below the true count.
   uint64_t Estimate(uint64_t key) const;
+
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free.
+  /// Walks the counter matrix level-major, so each level's row is
+  /// traversed once per block instead of the scalar path's per-key level
+  /// hopping — the counter reads batch cache-friendly. keys.size() must
+  /// equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
 
   /// Total updates seen (= ||f||_1 for unit increments).
   uint64_t total_count() const { return total_count_; }

@@ -51,23 +51,58 @@ Status CountSketch::Merge(const CountSketch& other) {
   return Status::OK();
 }
 
+namespace {
+
+// Median of the first `depth` entries of `level_estimates` (sorts them in
+// place): the middle value for odd depth, the truncated mean of the two
+// central values for even depth.
+int64_t MedianOfLevels(int64_t* level_estimates, size_t depth) {
+  std::sort(level_estimates, level_estimates + depth);
+  const size_t mid = depth / 2;
+  if (depth % 2 == 1) return level_estimates[mid];
+  // Even depth: average of the two central values, rounded toward zero.
+  return (level_estimates[mid - 1] + level_estimates[mid]) / 2;
+}
+
+// Practical depth ceiling for the stack scratch; d = ceil(ln(1/delta))
+// never approaches it (64 levels ~= delta 1e-28).
+constexpr size_t kMaxStackDepth = 64;
+
+}  // namespace
+
 int64_t CountSketch::Estimate(uint64_t key) const {
-  std::vector<int64_t> level_estimates(depth_);
+  int64_t stack_scratch[kMaxStackDepth];
+  thread_local std::vector<int64_t> heap_scratch;
+  int64_t* level_estimates = stack_scratch;
+  if (depth_ > kMaxStackDepth) {
+    heap_scratch.resize(depth_);
+    level_estimates = heap_scratch.data();
+  }
   for (size_t level = 0; level < depth_; ++level) {
     const int sign = sign_hashes_[level](key);
     level_estimates[level] =
         sign * counters_[level * width_ + bucket_hashes_[level](key)];
   }
-  std::sort(level_estimates.begin(), level_estimates.end());
-  const size_t mid = depth_ / 2;
-  if (depth_ % 2 == 1) return level_estimates[mid];
-  // Even depth: average of the two central values, rounded toward zero.
-  return (level_estimates[mid - 1] + level_estimates[mid]) / 2;
+  return MedianOfLevels(level_estimates, depth_);
 }
 
 uint64_t CountSketch::EstimateNonNegative(uint64_t key) const {
   const int64_t estimate = Estimate(key);
   return estimate < 0 ? 0 : static_cast<uint64_t>(estimate);
+}
+
+void CountSketch::EstimateBatch(Span<const uint64_t> keys,
+                                Span<int64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = Estimate(keys[i]);
+}
+
+void CountSketch::EstimateNonNegativeBatch(Span<const uint64_t> keys,
+                                           Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = EstimateNonNegative(keys[i]);
+  }
 }
 
 namespace {

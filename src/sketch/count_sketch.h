@@ -39,11 +39,21 @@ class CountSketch {
   CountSketch EmptyClone() const { return CountSketch(width_, depth_, seed_); }
 
   /// Median-of-levels estimate; may be negative on adversarial collisions,
-  /// in which case callers typically clamp at zero.
+  /// in which case callers typically clamp at zero. Allocation-free: the
+  /// median scratch is a stack buffer (thread-local fallback for sketches
+  /// deeper than 64 levels).
   int64_t Estimate(uint64_t key) const;
 
   /// Estimate clamped to be non-negative (frequencies are counts).
   uint64_t EstimateNonNegative(uint64_t key) const;
+
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free.
+  /// keys.size() must equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<int64_t> out) const;
+
+  /// Batched clamped queries: out[i] = EstimateNonNegative(keys[i]).
+  void EstimateNonNegativeBatch(Span<const uint64_t> keys,
+                                Span<uint64_t> out) const;
 
   size_t width() const { return width_; }
   size_t depth() const { return depth_; }

@@ -82,6 +82,37 @@ uint64_t LearnedCountMinSketch::Estimate(uint64_t key) const {
   return remainder_.Estimate(key);
 }
 
+void LearnedCountMinSketch::EstimateBatch(Span<const uint64_t> keys,
+                                          Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  // Chunked two-pass with stack scratch: exact heavy answers first, then
+  // the chunk's misses go through the remainder CMS in one batch.
+  constexpr size_t kChunk = 256;
+  uint64_t miss_keys[kChunk];
+  uint64_t miss_estimates[kChunk];
+  size_t miss_positions[kChunk];
+  for (size_t base = 0; base < keys.size(); base += kChunk) {
+    const size_t chunk = std::min(kChunk, keys.size() - base);
+    size_t misses = 0;
+    for (size_t i = 0; i < chunk; ++i) {
+      auto it = heavy_counts_.find(keys[base + i]);
+      if (it != heavy_counts_.end()) {
+        out[base + i] = it->second;
+      } else {
+        miss_keys[misses] = keys[base + i];
+        miss_positions[misses] = base + i;
+        ++misses;
+      }
+    }
+    if (misses == 0) continue;
+    remainder_.EstimateBatch(Span<const uint64_t>(miss_keys, misses),
+                             Span<uint64_t>(miss_estimates, misses));
+    for (size_t m = 0; m < misses; ++m) {
+      out[miss_positions[m]] = miss_estimates[m];
+    }
+  }
+}
+
 namespace {
 constexpr uint32_t kLcmsPayloadVersion = 1;
 }  // namespace

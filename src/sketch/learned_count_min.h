@@ -55,6 +55,12 @@ class LearnedCountMinSketch {
 
   uint64_t Estimate(uint64_t key) const;
 
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free.
+  /// Two-pass per fixed-size chunk: the heavy-table probes run back to
+  /// back, then the misses are forwarded to the remainder CMS's
+  /// level-major batch path. keys.size() must equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
+
   size_t heavy_bucket_count() const { return heavy_counts_.size(); }
   size_t TotalBuckets() const { return total_buckets_; }
   size_t MemoryBytes() const { return total_buckets_ * sizeof(uint32_t); }

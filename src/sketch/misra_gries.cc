@@ -86,6 +86,12 @@ uint64_t MisraGries::Estimate(uint64_t key) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MisraGries::EstimateBatch(Span<const uint64_t> keys,
+                               Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = Estimate(keys[i]);
+}
+
 std::vector<std::pair<uint64_t, uint64_t>> MisraGries::HeavyEntries(
     uint64_t threshold) const {
   std::vector<std::pair<uint64_t, uint64_t>> entries;

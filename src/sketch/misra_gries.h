@@ -57,6 +57,10 @@ class MisraGries {
   /// Lower-bound estimate: the tracked counter, or 0 if untracked.
   uint64_t Estimate(uint64_t key) const;
 
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free
+  /// (back-to-back table probes). keys.size() must equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
+
   /// True iff the key currently owns a counter.
   bool IsTracked(uint64_t key) const { return counters_.count(key) > 0; }
 

@@ -124,6 +124,12 @@ uint64_t SpaceSaving::Estimate(uint64_t key) const {
   return by_count_.begin()->first;
 }
 
+void SpaceSaving::EstimateBatch(Span<const uint64_t> keys,
+                                Span<uint64_t> out) const {
+  OPTHASH_CHECK_EQ(keys.size(), out.size());
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = Estimate(keys[i]);
+}
+
 uint64_t SpaceSaving::ErrorOf(uint64_t key) const {
   auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second.error;

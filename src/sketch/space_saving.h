@@ -60,6 +60,10 @@ class SpaceSaving {
   /// counter (the tightest valid upper bound) if untracked.
   uint64_t Estimate(uint64_t key) const;
 
+  /// Batched point queries: out[i] = Estimate(keys[i]), allocation-free
+  /// (back-to-back table probes). keys.size() must equal out.size().
+  void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
+
   /// Maximum possible overestimation of a tracked key (0 if it never
   /// inherited a counter); 0 for untracked keys.
   uint64_t ErrorOf(uint64_t key) const;

@@ -56,30 +56,57 @@ void BagOfWordsFeaturizer::Fit(
 
 std::vector<double> BagOfWordsFeaturizer::Featurize(
     const std::string& text) const {
+  std::vector<double> features;
+  Featurize(text, features);
+  return features;
+}
+
+void BagOfWordsFeaturizer::Featurize(const std::string& text,
+                                     std::vector<double>& out) const {
+  // Reuse the caller's buffer: resize only when the dimension changes
+  // (first call) — no per-query allocation afterwards.
+  if (out.size() != FeatureDim()) out.resize(FeatureDim());
+  Featurize(text, Span<double>(out.data(), out.size()));
+}
+
+void BagOfWordsFeaturizer::Featurize(const std::string& text,
+                                     Span<double> out) const {
   OPTHASH_CHECK_MSG(fitted_, "Featurize before Fit");
-  std::vector<double> features(FeatureDim(), 0.0);
-  for (const std::string& token : Tokenize(text)) {
+  OPTHASH_CHECK_EQ(out.size(), FeatureDim());
+  std::fill(out.begin(), out.end(), 0.0);
+  // Inline tokenization: identical token stream to Tokenize(), but the
+  // token lives in one reused local buffer instead of a heap-allocated
+  // vector of strings.
+  std::string token;
+  const auto flush_token = [&] {
+    if (token.empty()) return;
     auto it = token_index_.find(token);
-    if (it != token_index_.end()) features[it->second] += 1.0;
-  }
-  // The four §7.3 count features.
+    if (it != token_index_.end()) out[it->second] += 1.0;
+    token.clear();
+  };
+  // The four §7.3 count features, folded into the same character pass.
   double chars = 0.0;
   double punctuation = 0.0;
   double dots = 0.0;
   double spaces = 0.0;
   for (char ch : text) {
     const auto uch = static_cast<unsigned char>(ch);
+    if (std::isalnum(uch)) {
+      token += static_cast<char>(std::tolower(uch));
+    } else {
+      flush_token();
+    }
     if (uch < 128) chars += 1.0;
     if (std::ispunct(uch)) punctuation += 1.0;
     if (ch == '.') dots += 1.0;
     if (std::isspace(uch)) spaces += 1.0;
   }
+  flush_token();
   const size_t base = vocabulary_.size();
-  features[base + 0] = chars;
-  features[base + 1] = punctuation;
-  features[base + 2] = dots;
-  features[base + 3] = spaces;
-  return features;
+  out[base + 0] = chars;
+  out[base + 1] = punctuation;
+  out[base + 2] = dots;
+  out[base + 3] = spaces;
 }
 
 namespace {

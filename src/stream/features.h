@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "io/bytes.h"
 
@@ -26,6 +27,22 @@ class BagOfWordsFeaturizer {
 
   /// vocabulary token counts followed by the four count features.
   std::vector<double> Featurize(const std::string& text) const;
+
+  /// Out-parameter overload for the batched/hot query path: fills `out`
+  /// (resized to FeatureDim() on first use, reused afterwards) instead of
+  /// returning a fresh dense vector. Tokenization happens inline against
+  /// a small stack buffer rather than through Tokenize's vector of
+  /// strings, so a warm call performs no heap allocation for any token
+  /// that fits the small-string optimization (all Tokenize output is
+  /// lowercase alphanumeric; natural-language tokens virtually always
+  /// fit). Results are identical to the returning overload.
+  void Featurize(const std::string& text, std::vector<double>& out) const;
+
+  /// Raw-row overload: writes exactly FeatureDim() doubles into `out`
+  /// (which must have that size), e.g. one scratch-matrix row of the
+  /// estimator's lazy-featurizing batch path. Never allocates beyond the
+  /// tokenizer's small-string buffer.
+  void Featurize(const std::string& text, Span<double> out) const;
 
   /// Feature dimension = |vocabulary| + 4.
   size_t FeatureDim() const { return vocabulary_.size() + 4; }

@@ -96,6 +96,58 @@ TEST(CountMinMergeTest, ConservativeMergeNeverUnderestimates) {
   }
 }
 
+TEST(CountMinMergeTest, ConservativeMergeUpperBoundUnderPermutedOrders) {
+  // Regression for the PR 2 note on conservative Merge being
+  // order-sensitive (semantics now documented on CountMinSketch::Merge):
+  // the shard counters depend on how the stream was partitioned and on
+  // when updates interleave with merges, but *every* merge order must
+  // keep estimates an upper bound on the true counts, because each
+  // shard's per-level minimum dominates its substream and
+  // min_i(a_i + b_i) >= min_i a_i + min_i b_i.
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(18000, 400, 21, &truth);
+  const size_t third = trace.size() / 3;
+  const auto shard_of = [&](size_t s) {
+    CountMinSketch shard(64, 3, 7, /*conservative_update=*/true);
+    const size_t begin = s * third;
+    const size_t end = s == 2 ? trace.size() : begin + third;
+    shard.UpdateBatch(Span<const uint64_t>(trace.data() + begin, end - begin));
+    return shard;
+  };
+
+  const size_t orders[][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                              {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  uint64_t reference_checksum = 0;
+  for (size_t o = 0; o < 6; ++o) {
+    CountMinSketch merged = shard_of(orders[o][0]);
+    CountMinSketch mid = shard_of(orders[o][1]);
+    CountMinSketch last = shard_of(orders[o][2]);
+    ASSERT_TRUE(merged.Merge(mid).ok());
+    ASSERT_TRUE(merged.Merge(last).ok());
+    uint64_t checksum = 0;
+    for (const auto& [key, count] : truth) {
+      const uint64_t estimate = merged.Estimate(key);
+      ASSERT_GE(estimate, count) << "merge order " << o << " key " << key;
+      checksum += estimate * (key + 1);
+    }
+    // Merging frozen shards is plain counter addition, so the *merge*
+    // order itself commutes; only ingestion interleaving may differ.
+    if (o == 0) reference_checksum = checksum;
+    EXPECT_EQ(checksum, reference_checksum) << "merge order " << o;
+  }
+
+  // The genuinely order-sensitive scenario: keep ingesting conservatively
+  // *after* a merge. The result may differ from any single-stream run,
+  // but the upper bound must still hold for the doubled trace.
+  CountMinSketch resumed = shard_of(0);
+  ASSERT_TRUE(resumed.Merge(shard_of(1)).ok());
+  ASSERT_TRUE(resumed.Merge(shard_of(2)).ok());
+  resumed.UpdateBatch(Span<const uint64_t>(trace));
+  for (const auto& [key, count] : truth) {
+    ASSERT_GE(resumed.Estimate(key), 2 * count) << "post-merge ingest";
+  }
+}
+
 TEST(CountMinMergeTest, EmptyCloneSharesGeometryAndHashes) {
   const auto trace = MakeTrace(5000, 200, 6, nullptr);
   CountMinSketch sketch(128, 4, 11);

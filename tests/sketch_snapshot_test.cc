@@ -287,5 +287,17 @@ TEST(MappedCountMinViewTest, VerifyFlagCatchesCorruption) {
   EXPECT_FALSE(MappedCountMinView::Open(path, /*verify_crc=*/true).ok());
 }
 
+TEST(MmapServingSupportedTest, OnlyCountMinAndEstimatorHaveMappedViews) {
+  // The CLI's `restore --mmap` fallback notice keys off this predicate;
+  // a new mapped view must flip its section here (and drop the notice).
+  EXPECT_TRUE(MmapServingSupported(SectionType::kCountMinSketch));
+  EXPECT_TRUE(MmapServingSupported(SectionType::kOptHashEstimator));
+  EXPECT_FALSE(MmapServingSupported(SectionType::kCountSketch));
+  EXPECT_FALSE(MmapServingSupported(SectionType::kAmsSketch));
+  EXPECT_FALSE(MmapServingSupported(SectionType::kLearnedCountMin));
+  EXPECT_FALSE(MmapServingSupported(SectionType::kMisraGries));
+  EXPECT_FALSE(MmapServingSupported(SectionType::kSpaceSaving));
+}
+
 }  // namespace
 }  // namespace opthash::io
