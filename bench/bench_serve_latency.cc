@@ -1,0 +1,257 @@
+// bench_serve_latency — closed-loop serving throughput/latency: an
+// in-process opthash daemon on a real Unix-domain socket, driven by a
+// real protocol client issuing back-to-back batched query requests (plus
+// an ingest phase), reporting queries/sec and client-observed p50/p99
+// request latency as JSON (like the other bench drivers, so CI archives
+// the serving trajectory per commit).
+//
+//   bench_serve_latency [--quick] [--queries N] [--batch B] [--out path]
+//
+// Two served artifacts are measured with the same workload:
+//   1. a count-min sketch (the mutable serving path, after ingesting a
+//      Zipf-shaped stream through the wire protocol), and
+//   2. the same checkpoint mmap-mapped (the zero-copy read-only path).
+//
+// Latency is measured around each request round-trip on the client
+// thread (encode + socket + server decode/estimate/encode + decode), so
+// the numbers are what a co-located client actually observes.
+// --quick shrinks the workload for the CI bench-smoke job.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "io/sketch_snapshot.h"
+#include "server/client.h"
+#include "server/served_model.h"
+#include "server/server.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace opthash {
+namespace {
+
+struct Options {
+  size_t queries = 200'000;   // Total keys queried per served artifact.
+  size_t batch = 512;         // Keys per request frame.
+  size_t ingest_items = 500'000;
+  bool quick = false;
+  std::string out;  // Empty = stdout.
+};
+
+struct ResultRow {
+  std::string artifact;
+  double seconds = 0.0;
+  size_t requests = 0;
+  size_t keys = 0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+
+  double KeysPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(keys) / seconds : 0.0;
+  }
+  double RequestsPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+std::vector<uint64_t> ZipfishKeys(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto r = static_cast<uint64_t>(rng.NextUint64());
+    keys.push_back(r % ((r % 11 == 0) ? 100'000 : 200));
+  }
+  return keys;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+// Closed loop: one request in flight at a time, every round-trip timed.
+ResultRow DriveQueries(server::Client& client, const std::string& artifact,
+                       const std::vector<uint64_t>& keys, size_t batch) {
+  ResultRow row;
+  row.artifact = artifact;
+  std::vector<double> estimates;
+  std::vector<double> latencies;
+  latencies.reserve((keys.size() + batch - 1) / batch);
+  Timer wall;
+  for (size_t base = 0; base < keys.size(); base += batch) {
+    const size_t block = std::min(batch, keys.size() - base);
+    Timer request;
+    const Status status = client.Query(
+        Span<const uint64_t>(keys.data() + base, block), estimates);
+    if (!status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    latencies.push_back(request.ElapsedSeconds() * 1e6);
+    ++row.requests;
+    row.keys += block;
+  }
+  row.seconds = wall.ElapsedSeconds();
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_micros = PercentileOfSorted(latencies, 0.50);
+  row.p99_micros = PercentileOfSorted(latencies, 0.99);
+  return row;
+}
+
+void PrintJson(std::FILE* out, const Options& options,
+               const std::vector<ResultRow>& rows) {
+  std::fprintf(out, "{\n  \"benchmark\": \"serve_latency\",\n");
+  std::fprintf(out,
+               "  \"queries\": %zu,\n  \"batch\": %zu,\n"
+               "  \"ingest_items\": %zu,\n",
+               options.queries, options.batch, options.ingest_items);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"artifact\": \"%s\", \"seconds\": %.6f, "
+                 "\"requests\": %zu, \"keys\": %zu, "
+                 "\"queries_per_sec\": %.0f, \"requests_per_sec\": %.0f, "
+                 "\"p50_micros\": %.1f, \"p99_micros\": %.1f}%s\n",
+                 rows[i].artifact.c_str(), rows[i].seconds,
+                 rows[i].requests, rows[i].keys, rows[i].KeysPerSecond(),
+                 rows[i].RequestsPerSecond(), rows[i].p50_micros,
+                 rows[i].p99_micros, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+std::string SocketPath() {
+  return "/tmp/opthash_bench_" + std::to_string(::getpid()) + ".sock";
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+      options.queries = 20'000;
+      options.ingest_items = 50'000;
+    } else if (arg == "--queries" && i + 1 < argc) {
+      options.queries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      options.batch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_latency [--quick] [--queries N] "
+                   "[--batch B] [--out path.json]\n");
+      return 2;
+    }
+  }
+  if (options.batch == 0) options.batch = 1;
+
+  const std::vector<uint64_t> stream =
+      ZipfishKeys(options.ingest_items, 31);
+  const std::vector<uint64_t> queries = ZipfishKeys(options.queries, 87);
+  std::vector<ResultRow> rows;
+  const std::string checkpoint = "/tmp/opthash_bench_serve_ckpt.bin";
+
+  // ---- Served artifact 1: mutable count-min (ingest via protocol). ----
+  {
+    server::FreshSketchSpec spec;
+    spec.width = 1 << 15;
+    spec.depth = 4;
+    spec.seed = 7;
+    auto model = server::CreateServedSketch(spec);
+    if (!model.ok()) std::abort();
+    server::ServerConfig config;
+    config.socket_path = SocketPath();
+    server::Server daemon(config, std::move(model).value());
+    if (!daemon.Start().ok()) std::abort();
+    auto client = server::Client::Connect(config.socket_path);
+    if (!client.ok()) std::abort();
+
+    Timer ingest_wall;
+    for (size_t base = 0; base < stream.size(); base += 8192) {
+      const size_t block = std::min<size_t>(8192, stream.size() - base);
+      auto acked = client.value().Ingest(
+          Span<const uint64_t>(stream.data() + base, block));
+      if (!acked.ok()) std::abort();
+    }
+    const double ingest_seconds = ingest_wall.ElapsedSeconds();
+    std::fprintf(stderr, "ingest: %zu items in %.3fs (%.0f items/sec)\n",
+                 stream.size(), ingest_seconds,
+                 static_cast<double>(stream.size()) / ingest_seconds);
+
+    rows.push_back(
+        DriveQueries(client.value(), "cms_owned", queries, options.batch));
+    // Keep the state for the mapped phase.
+    if (!io::SaveSketchSnapshot(
+             checkpoint,
+             // Reach the sketch through a fresh offline build: the
+             // daemon owns its model, so rebuild the identical sketch.
+             [&] {
+               sketch::CountMinSketch cms(1 << 15, 4, 7);
+               cms.UpdateBatch(stream);
+               return cms;
+             }())
+             .ok()) {
+      std::abort();
+    }
+    if (!client.value().Shutdown().ok()) std::abort();
+    daemon.Wait();
+    daemon.RequestShutdown();
+  }
+
+  // ---- Served artifact 2: the same checkpoint, mmap read-only. --------
+  {
+    auto opened = server::OpenServedModel(checkpoint, /*use_mmap=*/true);
+    if (!opened.ok() || !opened.value().mmap_used) std::abort();
+    server::ServerConfig config;
+    config.socket_path = SocketPath();
+    server::Server daemon(config, std::move(opened.value().model));
+    if (!daemon.Start().ok()) std::abort();
+    auto client = server::Client::Connect(config.socket_path);
+    if (!client.ok()) std::abort();
+    rows.push_back(
+        DriveQueries(client.value(), "cms_mmap", queries, options.batch));
+    if (!client.value().Shutdown().ok()) std::abort();
+    daemon.Wait();
+    daemon.RequestShutdown();
+  }
+
+  for (const ResultRow& row : rows) {
+    std::fprintf(stderr,
+                 "%-10s %9.0f q/s  %7.0f req/s  p50 %7.1f us  p99 %7.1f "
+                 "us\n",
+                 row.artifact.c_str(), row.KeysPerSecond(),
+                 row.RequestsPerSecond(), row.p50_micros, row.p99_micros);
+  }
+  if (options.out.empty()) {
+    PrintJson(stdout, options, rows);
+  } else {
+    std::FILE* file = std::fopen(options.out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.out.c_str());
+      return 1;
+    }
+    PrintJson(file, options, rows);
+    std::fclose(file);
+    std::fprintf(stderr, "json written to %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opthash
+
+int main(int argc, char** argv) { return opthash::Main(argc, argv); }

@@ -1,0 +1,78 @@
+#ifndef OPTHASH_SERVER_LATENCY_HISTOGRAM_H_
+#define OPTHASH_SERVER_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace opthash::server {
+
+/// \brief Fixed-size log-linear latency histogram (the HdrHistogram idea
+/// at its smallest): 16 linear sub-buckets per power of two, covering
+/// [0, 2^36) microseconds in 528 counters with <= 6.25% relative bucket
+/// width. Recording is two integer ops and an array increment — cheap
+/// enough for the per-request serving hot path — and percentiles come
+/// from one cumulative walk at stats time, so the server never stores
+/// per-request samples. Not thread-safe; the server guards it with its
+/// stats mutex.
+class LatencyHistogram {
+ public:
+  void Record(double micros) {
+    uint64_t v = micros <= 0.0 ? 0 : static_cast<uint64_t>(micros);
+    if (v > kMaxTracked) v = kMaxTracked;
+    ++buckets_[IndexOf(v)];
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// Value at quantile `q` in (0, 1], as the lower bound of the covering
+  /// bucket (a <= 6.25% underestimate by construction). 0 when empty.
+  double PercentileMicros(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (target == 0) target = 1;
+    if (target > count_) target = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return static_cast<double>(LowerBoundOf(i));
+    }
+    return static_cast<double>(kMaxTracked);
+  }
+
+  void Reset() { *this = LatencyHistogram(); }
+
+ private:
+  static constexpr size_t kMinorBuckets = 16;    // Per power of two.
+  static constexpr size_t kMajorBuckets = 32;    // Powers of two tracked.
+  // Largest value landing in the last bucket: log2 = kMajorBuckets + 3
+  // stays inside the (kMajorBuckets + 1) * kMinorBuckets counter array.
+  static constexpr uint64_t kMaxTracked =
+      (uint64_t{1} << (kMajorBuckets + 4)) - 1;
+
+  static size_t IndexOf(uint64_t v) {
+    if (v < kMinorBuckets) return static_cast<size_t>(v);
+    size_t log2 = 0;
+    for (uint64_t w = v; w > 1; w >>= 1) ++log2;  // Not hot; stays portable.
+    const size_t minor =
+        static_cast<size_t>((v >> (log2 - 4)) & (kMinorBuckets - 1));
+    return (log2 - 3) * kMinorBuckets + minor;
+  }
+
+  static uint64_t LowerBoundOf(size_t index) {
+    if (index < kMinorBuckets) return index;
+    const size_t log2 = index / kMinorBuckets + 3;
+    const uint64_t minor = index % kMinorBuckets;
+    return (uint64_t{1} << log2) + (minor << (log2 - 4));
+  }
+
+  std::array<uint64_t, kMinorBuckets*(kMajorBuckets + 1)> buckets_{};
+  uint64_t count_ = 0;
+};
+
+}  // namespace opthash::server
+
+#endif  // OPTHASH_SERVER_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,413 @@
+#include "server/served_model.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "io/model_io.h"
+#include "io/sketch_snapshot.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/learned_count_min.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "stream/trace_io.h"
+
+namespace opthash::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared adapters.
+
+// Raw-typed sketch batch queries staged into double answers through
+// fixed-size stack chunks (the restore verb's idiom): one chunk loop for
+// every counter type, selected by the overloads below.
+template <typename Raw, typename Sketch>
+void EstimateChunksAsDouble(const Sketch& sketch, Span<const uint64_t> keys,
+                            Span<double> out) {
+  constexpr size_t kChunk = 256;
+  Raw raw[kChunk];
+  for (size_t base = 0; base < keys.size(); base += kChunk) {
+    const size_t chunk = std::min(kChunk, keys.size() - base);
+    sketch.EstimateBatch(keys.subspan(base, chunk), Span<Raw>(raw, chunk));
+    for (size_t i = 0; i < chunk; ++i) {
+      out[base + i] = static_cast<double>(raw[i]);
+    }
+  }
+}
+
+template <typename Sketch>
+void EstimateBlockAsDouble(const Sketch& sketch, Span<const uint64_t> keys,
+                           Span<double> out) {
+  EstimateChunksAsDouble<uint64_t>(sketch, keys, out);
+}
+
+// Count-Sketch keeps its signed median semantics, matching the offline
+// restore path (which prints negatives too).
+void EstimateBlockAsDouble(const sketch::CountSketch& sketch,
+                           Span<const uint64_t> keys, Span<double> out) {
+  EstimateChunksAsDouble<int64_t>(sketch, keys, out);
+}
+
+// total_count() where the sketch tracks one (count-min, misra-gries,
+// space-saving), 0 otherwise — resolved by overload preference.
+template <typename Sketch>
+auto TotalItemsOf(const Sketch& sketch, int) -> decltype(sketch.total_count()) {
+  return sketch.total_count();
+}
+template <typename Sketch>
+uint64_t TotalItemsOf(const Sketch&, long) {  // NOLINT runtime/int
+  return 0;
+}
+
+class EmptyContext : public ServedModel::QueryContext {};
+
+// ---------------------------------------------------------------------------
+// Mutable sketch models.
+
+template <typename Sketch>
+class SketchModel : public ServedModel {
+ public:
+  SketchModel(Sketch sketch, const char* kind, stream::ShardMode mode)
+      : sketch_(std::move(sketch)), kind_(kind), mode_(mode) {}
+
+  const char* Kind() const override { return kind_; }
+  bool ReadOnly() const override { return false; }
+
+  Status Ingest(Span<const uint64_t> keys,
+                const stream::ShardedIngestConfig& config) override {
+    stream::ShardedIngestConfig sharded = config;
+    sharded.mode = mode_;
+    auto stats = stream::ShardedIngest(keys, sharded, sketch_);
+    return stats.ok() ? Status::OK() : stats.status();
+  }
+
+  std::unique_ptr<QueryContext> NewQueryContext() const override {
+    return std::make_unique<EmptyContext>();
+  }
+
+  void EstimateBatch(QueryContext& /*context*/, Span<const uint64_t> keys,
+                     Span<double> out) const override {
+    EstimateBlockAsDouble(sketch_, keys, out);
+  }
+
+  Status SaveSnapshot(const std::string& path) const override {
+    return io::SaveSketchSnapshot(path, sketch_);
+  }
+
+  uint64_t TotalItems() const override { return TotalItemsOf(sketch_, 0); }
+
+ private:
+  Sketch sketch_;
+  const char* kind_;
+  stream::ShardMode mode_;
+};
+
+template <typename Sketch>
+std::unique_ptr<ServedModel> MakeSketchModel(Sketch sketch, const char* kind,
+                                             stream::ShardMode mode) {
+  return std::make_unique<SketchModel<Sketch>>(std::move(sketch), kind, mode);
+}
+
+// ---------------------------------------------------------------------------
+// Model bundles (featurizer + OptHashEstimator + classifier).
+
+class BundleModel : public ServedModel {
+ public:
+  explicit BundleModel(io::ModelBundle bundle)
+      : bundle_(std::make_unique<io::ModelBundle>(std::move(bundle))) {}
+
+  const char* Kind() const override { return "model-bundle"; }
+  bool ReadOnly() const override { return false; }
+
+  Status Ingest(Span<const uint64_t> keys,
+                const stream::ShardedIngestConfig& config) override {
+    // Stream processing only adds to bucket counters through the
+    // read-only learned table, so per-worker delta arrays folded back at
+    // the end are exactly a sequential Update loop (the `apply` verb's
+    // engine invocation).
+    core::OptHashEstimator& estimator = *bundle_->estimator;
+    auto stats = stream::ShardedIngestCustom(
+        keys, config,
+        [&estimator](size_t) {
+          return std::vector<double>(estimator.num_buckets(), 0.0);
+        },
+        [&estimator](std::vector<double>& deltas, size_t /*worker*/,
+                     Span<const uint64_t> block) {
+          estimator.AccumulateUpdates(block, deltas);
+        },
+        [&estimator](std::vector<double>& deltas) {
+          return estimator.ApplyBucketDeltas(deltas);
+        });
+    return stats.ok() ? Status::OK() : stats.status();
+  }
+
+  std::unique_ptr<QueryContext> NewQueryContext() const override {
+    return std::make_unique<Context>(*bundle_);
+  }
+
+  void EstimateBatch(QueryContext& context, Span<const uint64_t> keys,
+                     Span<double> out) const override {
+    // Key-only serving routes through the same BundleQueryEngine as the
+    // offline `query` verb: ids the learned table resolves never touch
+    // the featurizer, misses are featurized as blank-text queries. The
+    // TraceRecord block reuses its storage (ids overwritten in place,
+    // texts stay empty), so a warm session allocates nothing here.
+    auto& ctx = static_cast<Context&>(context);
+    ctx.block.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) ctx.block[i].id = keys[i];
+    ctx.engine.EstimateBlock(
+        Span<const stream::TraceRecord>(ctx.block.data(), ctx.block.size()),
+        out);
+  }
+
+  Status SaveSnapshot(const std::string& path) const override {
+    return io::SaveModelBundle(path, *bundle_, io::SnapshotFormat::kBinary);
+  }
+
+  uint64_t TotalItems() const override { return 0; }
+
+ private:
+  struct Context : QueryContext {
+    explicit Context(const io::ModelBundle& bundle) : engine(bundle) {}
+    io::BundleQueryEngine engine;
+    std::vector<stream::TraceRecord> block;
+  };
+
+  // unique_ptr keeps the bundle's address stable: every session's
+  // BundleQueryEngine holds a reference into it.
+  std::unique_ptr<io::ModelBundle> bundle_;
+};
+
+// ---------------------------------------------------------------------------
+// Zero-copy mmap views (read-only serving).
+
+Status ReadOnlyError(const char* kind, const char* what) {
+  return Status::FailedPrecondition(
+      std::string(kind) + " is served read-only from the mapped file; " +
+      what + " needs a full load (restart without --mmap)");
+}
+
+class MappedCountMinModel : public ServedModel {
+ public:
+  explicit MappedCountMinModel(io::MappedCountMinView view)
+      : view_(std::move(view)) {}
+
+  const char* Kind() const override { return "mapped-count-min"; }
+  bool ReadOnly() const override { return true; }
+
+  Status Ingest(Span<const uint64_t>,
+                const stream::ShardedIngestConfig&) override {
+    return ReadOnlyError(Kind(), "ingest");
+  }
+
+  std::unique_ptr<QueryContext> NewQueryContext() const override {
+    return std::make_unique<EmptyContext>();
+  }
+
+  void EstimateBatch(QueryContext& /*context*/, Span<const uint64_t> keys,
+                     Span<double> out) const override {
+    EstimateChunksAsDouble<uint64_t>(view_, keys, out);
+  }
+
+  Status SaveSnapshot(const std::string& path) const override {
+    (void)path;
+    return ReadOnlyError(Kind(), "snapshot rotation");
+  }
+
+  uint64_t TotalItems() const override { return view_.total_count(); }
+
+ private:
+  io::MappedCountMinView view_;
+};
+
+class MappedBundleModel : public ServedModel {
+ public:
+  explicit MappedBundleModel(io::MappedEstimatorView view)
+      : view_(std::move(view)) {}
+
+  const char* Kind() const override { return "mapped-model-bundle"; }
+  bool ReadOnly() const override { return true; }
+
+  Status Ingest(Span<const uint64_t>,
+                const stream::ShardedIngestConfig&) override {
+    return ReadOnlyError(Kind(), "ingest");
+  }
+
+  std::unique_ptr<QueryContext> NewQueryContext() const override {
+    return std::make_unique<EmptyContext>();
+  }
+
+  void EstimateBatch(QueryContext& /*context*/, Span<const uint64_t> keys,
+                     Span<double> out) const override {
+    view_.EstimateBatch(keys, out);
+  }
+
+  Status SaveSnapshot(const std::string& path) const override {
+    (void)path;
+    return ReadOnlyError(Kind(), "snapshot rotation");
+  }
+
+  uint64_t TotalItems() const override { return 0; }
+
+ private:
+  io::MappedEstimatorView view_;
+};
+
+Status AmsRejected(const std::string& path) {
+  return Status::InvalidArgument(
+      path +
+      " holds an AMS checkpoint, which answers only the stream-wide F2 "
+      "moment — it cannot serve per-key frequency queries (use `restore`)");
+}
+
+Result<OpenedModel> OpenSketch(const std::string& path, io::SectionType type,
+                               bool use_mmap) {
+  OpenedModel opened;
+  switch (type) {
+    case io::SectionType::kCountMinSketch: {
+      if (use_mmap) {
+        auto view = io::MappedCountMinView::Open(path);
+        if (!view.ok()) return view.status();
+        opened.model = std::make_unique<MappedCountMinModel>(
+            std::move(view).value());
+        opened.mmap_used = true;
+        return opened;
+      }
+      auto sketch = io::LoadSketchSnapshot<sketch::CountMinSketch>(path);
+      if (!sketch.ok()) return sketch.status();
+      opened.model =
+          MakeSketchModel(std::move(sketch).value(), "count-min",
+                          stream::ShardMode::kReplicated);
+      return opened;
+    }
+    case io::SectionType::kCountSketch: {
+      auto sketch = io::LoadSketchSnapshot<sketch::CountSketch>(path);
+      if (!sketch.ok()) return sketch.status();
+      opened.model =
+          MakeSketchModel(std::move(sketch).value(), "count-sketch",
+                          stream::ShardMode::kReplicated);
+      return opened;
+    }
+    case io::SectionType::kAmsSketch:
+      return AmsRejected(path);
+    case io::SectionType::kLearnedCountMin: {
+      auto sketch =
+          io::LoadSketchSnapshot<sketch::LearnedCountMinSketch>(path);
+      if (!sketch.ok()) return sketch.status();
+      opened.model =
+          MakeSketchModel(std::move(sketch).value(), "learned-count-min",
+                          stream::ShardMode::kReplicated);
+      return opened;
+    }
+    case io::SectionType::kMisraGries: {
+      auto sketch = io::LoadSketchSnapshot<sketch::MisraGries>(path);
+      if (!sketch.ok()) return sketch.status();
+      opened.model = MakeSketchModel(std::move(sketch).value(), "misra-gries",
+                                     stream::ShardMode::kKeyPartitioned);
+      return opened;
+    }
+    case io::SectionType::kSpaceSaving: {
+      auto sketch = io::LoadSketchSnapshot<sketch::SpaceSaving>(path);
+      if (!sketch.ok()) return sketch.status();
+      opened.model =
+          MakeSketchModel(std::move(sketch).value(), "space-saving",
+                          stream::ShardMode::kKeyPartitioned);
+      return opened;
+    }
+    default:
+      return Status::InvalidArgument(
+          path + " holds no servable sketch section");
+  }
+}
+
+}  // namespace
+
+Result<OpenedModel> OpenServedModel(const std::string& path, bool use_mmap) {
+  auto format = io::DetectFileFormat(path);
+  if (!format.ok()) return format.status();
+
+  if (format.value() == io::SnapshotFormat::kText) {
+    // A text bundle has no mappable layout; like every other unsupported
+    // kind, an mmap request falls back to a full load (reported via
+    // mmap_used) instead of refusing to serve — a daemon that comes up
+    // degraded beats one that stays down. (The offline `restore --mmap`
+    // verb still errors here; serving favors availability.)
+    auto bundle = io::LoadModelBundle(path);
+    if (!bundle.ok()) return bundle.status();
+    OpenedModel opened;
+    opened.model = std::make_unique<BundleModel>(std::move(bundle).value());
+    return opened;
+  }
+
+  auto sections = io::ListSnapshotSections(path);
+  if (!sections.ok()) return sections.status();
+  if (sections.value().size() == 1 &&
+      sections.value().front() < io::SectionType::kLogisticRegression) {
+    return OpenSketch(path, sections.value().front(), use_mmap);
+  }
+
+  // Multi-section binary files are model bundles.
+  if (use_mmap) {
+    auto view = io::MappedEstimatorView::Open(path);
+    if (!view.ok()) return view.status();
+    OpenedModel opened;
+    opened.model =
+        std::make_unique<MappedBundleModel>(std::move(view).value());
+    opened.mmap_used = true;
+    return opened;
+  }
+  auto bundle = io::LoadModelBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  OpenedModel opened;
+  opened.model = std::make_unique<BundleModel>(std::move(bundle).value());
+  return opened;
+}
+
+Result<std::unique_ptr<ServedModel>> CreateServedSketch(
+    const FreshSketchSpec& spec) {
+  if (spec.width == 0 || spec.depth == 0 || spec.capacity == 0 ||
+      spec.buckets == 0) {
+    return Status::InvalidArgument(
+        "--width, --depth, --capacity and --buckets must be >= 1");
+  }
+  if (spec.kind == "cms") {
+    return MakeSketchModel(
+        sketch::CountMinSketch(spec.width, spec.depth, spec.seed,
+                               spec.conservative),
+        "count-min", stream::ShardMode::kReplicated);
+  }
+  if (spec.kind == "countsketch") {
+    return MakeSketchModel(
+        sketch::CountSketch(spec.width, spec.depth, spec.seed),
+        "count-sketch", stream::ShardMode::kReplicated);
+  }
+  if (spec.kind == "lcms") {
+    // A fresh daemon has no prefix to rank heavy keys from, so the
+    // learned sketch starts with an empty oracle set (pure CMS behavior);
+    // serve a checkpoint produced by `snapshot --sketch lcms` to keep a
+    // trained oracle.
+    auto lcms = sketch::LearnedCountMinSketch::Create(spec.buckets,
+                                                      spec.depth, {},
+                                                      spec.seed);
+    if (!lcms.ok()) return lcms.status();
+    return MakeSketchModel(std::move(lcms).value(), "learned-count-min",
+                           stream::ShardMode::kReplicated);
+  }
+  if (spec.kind == "mg") {
+    return MakeSketchModel(sketch::MisraGries(spec.capacity), "misra-gries",
+                           stream::ShardMode::kKeyPartitioned);
+  }
+  if (spec.kind == "ss") {
+    return MakeSketchModel(sketch::SpaceSaving(spec.capacity),
+                           "space-saving",
+                           stream::ShardMode::kKeyPartitioned);
+  }
+  if (spec.kind == "ams") {
+    return Status::InvalidArgument(
+        "ams answers only the F2 moment and cannot be served");
+  }
+  return Status::InvalidArgument("unknown sketch kind: " + spec.kind);
+}
+
+}  // namespace opthash::server

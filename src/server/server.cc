@@ -1,0 +1,348 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "io/bytes.h"
+#include "server/socket_io.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace opthash::server {
+
+Status ServerConfig::Validate() const {
+  if (socket_path.empty()) {
+    return Status::InvalidArgument("server needs a socket path");
+  }
+  OPTHASH_IO_RETURN_IF_ERROR(ingest.Validate());
+  OPTHASH_IO_RETURN_IF_ERROR(rotation.Validate());
+  if (backlog < 1 || accept_poll_millis < 1) {
+    return Status::InvalidArgument(
+        "backlog and accept poll must be >= 1");
+  }
+  return Status::OK();
+}
+
+Server::Server(ServerConfig config, std::unique_ptr<ServedModel> model)
+    : config_(std::move(config)), model_(std::move(model)) {
+  rotator_ = std::make_unique<SnapshotRotator>(
+      config_.rotation, [this] { return items_ingested_.load(); },
+      [this](const std::string& path) {
+        // Serialization shares the read side with queries: rotation never
+        // blocks the read path and never observes a half-applied ingest
+        // block (ingest holds the lock exclusively).
+        std::shared_lock<std::shared_mutex> lock(model_mutex_);
+        return model_->SaveSnapshot(path);
+      });
+}
+
+Server::~Server() { RequestShutdown(); }
+
+Status Server::Start() {
+  OPTHASH_CHECK_MSG(!running_.load(), "Server::Start called twice");
+  OPTHASH_IO_RETURN_IF_ERROR(config_.Validate());
+  if (config_.rotation.enabled() && model_->ReadOnly()) {
+    return Status::FailedPrecondition(
+        "snapshot rotation requires a mutable model; the mapped view is "
+        "read-only (drop --snapshot-dir or --mmap)");
+  }
+  OPTHASH_IO_RETURN_IF_ERROR(rotator_->Start());
+  auto listen_fd = ListenUnix(config_.socket_path, config_.backlog);
+  if (!listen_fd.ok()) {
+    rotator_->Stop();
+    return listen_fd.status();
+  }
+  listen_fd_ = listen_fd.value();
+  stop_.store(false);
+  running_.store(true, std::memory_order_release);
+  uptime_.Restart();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return stop_.load(); });
+}
+
+void Server::SignalStop() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    stop_.store(true);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::RequestShutdown() {
+  // Signal wakers, Wait() callers and the destructor may all race here;
+  // the teardown below must run exactly once at a time.
+  std::lock_guard<std::mutex> call_lock(shutdown_call_mutex_);
+  const bool was_stopped = stop_.load();
+  SignalStop();
+  if (was_stopped && !accept_thread_.joinable() && listen_fd_ < 0) {
+    return;  // Fully shut down already (or never started).
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    CloseSocket(listen_fd_);
+    listen_fd_ = -1;
+#ifndef _WIN32
+    ::unlink(config_.socket_path.c_str());
+#endif
+  }
+  // Unblock sessions parked in read, then join them.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (int fd : session_fds_) ShutdownSocket(fd);
+  }
+  JoinSessions();
+  rotator_->Stop();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::JoinSessions() {
+  std::list<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+    finished_sessions_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::ReapFinishedSessions() {
+  std::vector<std::list<std::thread>::iterator> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    finished.swap(finished_sessions_);
+  }
+  // The threads announced completion as their last act, so these joins
+  // return (almost) immediately.
+  for (auto it : finished) {
+    if (it->joinable()) it->join();
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session_threads_.erase(it);
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    ReapFinishedSessions();
+    auto accepted =
+        AcceptWithTimeout(listen_fd_, config_.accept_poll_millis);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) continue;
+      if (stop_.load()) return;
+      // Transient accept failures (ECONNABORTED on a reset handshake,
+      // EMFILE under fd pressure) must not silently retire the accept
+      // loop — a deaf daemon that still answers Wait() is the worst
+      // failure mode. Log, back off briefly, keep accepting.
+      std::fprintf(stderr, "opthash_serve: accept failed: %s\n",
+                   accepted.status().ToString().c_str());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.accept_poll_millis));
+      continue;
+    }
+    const int fd = accepted.value();
+    sessions_accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (stop_.load()) {
+      CloseSocket(fd);
+      return;
+    }
+    session_fds_.push_back(fd);
+    const auto it = session_threads_.emplace(session_threads_.end());
+    *it = std::thread([this, fd, it] {
+      SessionLoop(fd);
+      std::lock_guard<std::mutex> session_lock(sessions_mutex_);
+      finished_sessions_.push_back(it);
+    });
+  }
+}
+
+void Server::SessionLoop(int fd) {
+  // Per-session reusable state: after the first few requests the session
+  // serves from warmed buffers — the only per-request work proportional
+  // to anything is the model's own batched estimate path.
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> response;
+  std::vector<uint64_t> keys;
+  std::vector<double> estimates;
+  std::unique_ptr<ServedModel::QueryContext> context =
+      model_->NewQueryContext();
+
+  for (;;) {
+    const Status read = ReadFramePayload(fd, payload);
+    if (!read.ok()) {
+      // Clean close (NotFound) ends silently; a malformed frame gets a
+      // best-effort error response before the session dies — the stream
+      // cannot be trusted to be in sync afterwards.
+      if (read.code() != StatusCode::kNotFound && !stop_.load()) {
+        EncodeErrorResponse(read, response);
+        (void)WriteAll(fd, Span<const uint8_t>(response.data(),
+                                               response.size()));
+      }
+      break;
+    }
+    const bool keep_session = HandleRequest(
+        Span<const uint8_t>(payload.data(), payload.size()), *context, keys,
+        estimates, response);
+    const Status written =
+        WriteAll(fd, Span<const uint8_t>(response.data(), response.size()));
+    if (!written.ok() || !keep_session) break;
+  }
+  // Deregister and close under one lock so the shutdown path can never
+  // ShutdownSocket an fd number the kernel has already recycled.
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  session_fds_.erase(
+      std::remove(session_fds_.begin(), session_fds_.end(), fd),
+      session_fds_.end());
+  CloseSocket(fd);
+}
+
+bool Server::HandleRequest(Span<const uint8_t> payload,
+                           ServedModel::QueryContext& context,
+                           std::vector<uint64_t>& keys,
+                           std::vector<double>& estimates,
+                           std::vector<uint8_t>& response) {
+  auto type = PeekMessageType(payload);
+  if (!type.ok()) {
+    EncodeErrorResponse(type.status(), response);
+    return false;
+  }
+  switch (type.value()) {
+    case MessageType::kQuery: {
+      Timer latency;
+      const Status decoded =
+          DecodeKeyRequest(payload, MessageType::kQuery, keys);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      estimates.resize(keys.size());
+      {
+        std::shared_lock<std::shared_mutex> lock(model_mutex_);
+        model_->EstimateBatch(
+            context, Span<const uint64_t>(keys.data(), keys.size()),
+            Span<double>(estimates.data(), estimates.size()));
+      }
+      EncodeEstimatesResponse(
+          Span<const double>(estimates.data(), estimates.size()), response);
+      query_requests_.fetch_add(1);
+      queries_served_.fetch_add(keys.size());
+      {
+        std::lock_guard<std::mutex> lock(latency_mutex_);
+        query_latency_.Record(latency.ElapsedSeconds() * 1e6);
+      }
+      return true;
+    }
+    case MessageType::kIngest: {
+      const Status decoded =
+          DecodeKeyRequest(payload, MessageType::kIngest, keys);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      Status ingested;
+      {
+        std::unique_lock<std::shared_mutex> lock(model_mutex_);
+        ingested = model_->Ingest(
+            Span<const uint64_t>(keys.data(), keys.size()), config_.ingest);
+      }
+      if (!ingested.ok()) {
+        EncodeErrorResponse(ingested, response);
+        return true;  // Semantic failure; the session stays usable.
+      }
+      ingest_requests_.fetch_add(1);
+      const uint64_t total =
+          items_ingested_.fetch_add(keys.size()) + keys.size();
+      EncodeAckResponse(total, response);
+      return true;
+    }
+    case MessageType::kStats: {
+      const Status decoded = DecodeEmptyMessage(payload, MessageType::kStats);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      EncodeStatsResponse(StatsNow(), response);
+      return true;
+    }
+    case MessageType::kPing: {
+      const Status decoded = DecodeEmptyMessage(payload, MessageType::kPing);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      EncodeEmptyMessage(MessageType::kPong, response);
+      return true;
+    }
+    case MessageType::kSnapshot: {
+      const Status decoded =
+          DecodeEmptyMessage(payload, MessageType::kSnapshot);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      auto sequence = rotator_->RotateNow();
+      if (!sequence.ok()) {
+        EncodeErrorResponse(sequence.status(), response);
+        return true;
+      }
+      EncodeAckResponse(sequence.value(), response);
+      return true;
+    }
+    case MessageType::kShutdown: {
+      const Status decoded =
+          DecodeEmptyMessage(payload, MessageType::kShutdown);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      EncodeAckResponse(0, response);
+      // Flag + wake only: the full shutdown (which joins THIS thread)
+      // runs on whoever called Wait().
+      SignalStop();
+      return false;
+    }
+    default: {
+      EncodeErrorResponse(
+          Status::InvalidArgument(
+              std::string("unexpected ") + MessageTypeName(type.value()) +
+              " frame: not a request"),
+          response);
+      return false;
+    }
+  }
+}
+
+ServerStatsSnapshot Server::StatsNow() const {
+  ServerStatsSnapshot stats;
+  stats.items_ingested = items_ingested_.load();
+  stats.queries_served = queries_served_.load();
+  stats.query_requests = query_requests_.load();
+  stats.ingest_requests = ingest_requests_.load();
+  stats.sessions_accepted = sessions_accepted_.load();
+  stats.snapshots_written = rotator_->rotations();
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    stats.query_p50_micros = query_latency_.PercentileMicros(0.50);
+    stats.query_p99_micros = query_latency_.PercentileMicros(0.99);
+  }
+  stats.snapshot_age_seconds = rotator_->LastRotationAgeSeconds();
+  {
+    std::shared_lock<std::shared_mutex> lock(model_mutex_);
+    stats.model_total_items = model_->TotalItems();
+  }
+  return stats;
+}
+
+}  // namespace opthash::server

@@ -1,0 +1,142 @@
+#ifndef OPTHASH_SERVER_SERVER_H_
+#define OPTHASH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "server/latency_histogram.h"
+#include "server/protocol.h"
+#include "server/served_model.h"
+#include "server/snapshot_rotator.h"
+#include "stream/sharded_ingest.h"
+
+namespace opthash::server {
+
+/// \brief Everything one daemon instance needs to run.
+struct ServerConfig {
+  /// Unix-domain socket path clients connect to (required).
+  std::string socket_path;
+  /// Sharded-ingest geometry applied to every ingest request block.
+  stream::ShardedIngestConfig ingest;
+  /// Background snapshot rotation; disabled when `rotation.dir` is empty.
+  RotationConfig rotation;
+  /// listen(2) backlog.
+  int backlog = 16;
+  /// Accept-loop poll cadence; bounds shutdown latency.
+  int accept_poll_millis = 100;
+
+  Status Validate() const;
+};
+
+/// \brief The opthash serving daemon core: accepts sessions on a
+/// Unix-domain socket, answers the wire protocol of server/protocol.h,
+/// and keeps the model durable through background snapshot rotation.
+///
+/// Concurrency model (one writer, many readers):
+///  - every client session runs on its own thread with its own reusable
+///    frame buffers and ServedModel::QueryContext, so query requests from
+///    different sessions execute concurrently under a shared model lock
+///    with zero steady-state allocation;
+///  - ingest requests take the model lock exclusively — one request block
+///    is the unit of atomicity (a snapshot never splits a block);
+///  - snapshot rotation serializes the model under the *shared* lock
+///    (rotation runs concurrently with queries, never with ingest).
+///
+/// The embedded library form (Start/Wait/RequestShutdown) is what the
+/// opthash_serve binary, the in-process tests, and the serving benchmark
+/// all drive — the daemon has no behavior the tests cannot reach.
+class Server {
+ public:
+  Server(ServerConfig config, std::unique_ptr<ServedModel> model);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket, starts the rotator, accept loop and session
+  /// handling. Fails (leaving nothing running) on an invalid config, an
+  /// unbindable socket, or rotation configured on a read-only model.
+  Status Start();
+
+  /// Blocks until shutdown is requested (client `shutdown` request or
+  /// RequestShutdown from another thread, e.g. a signal handler's waker).
+  void Wait();
+
+  /// Initiates shutdown: stop accepting, unblock and join every session,
+  /// stop the rotator. Idempotent, callable from any thread; the
+  /// destructor runs it too.
+  void RequestShutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Current operational counters (the same numbers a kStats request
+  /// returns).
+  ServerStatsSnapshot StatsNow() const;
+
+  const ServedModel& model() const { return *model_; }
+  SnapshotRotator& rotator() { return *rotator_; }
+
+ private:
+  void AcceptLoop();
+  void SessionLoop(int fd);
+  /// Decodes and answers one request; fills `response_frame`. Returns
+  /// false when the session must end (protocol error or shutdown).
+  bool HandleRequest(Span<const uint8_t> payload,
+                     ServedModel::QueryContext& context,
+                     std::vector<uint64_t>& keys,
+                     std::vector<double>& estimates,
+                     std::vector<uint8_t>& response_frame);
+  /// Sets stop_ under shutdown_mutex_ and notifies Wait()ers — the store
+  /// must happen inside the mutex or a waiter between its predicate
+  /// check and re-blocking would miss the notify forever.
+  void SignalStop();
+  /// Joins session threads that announced completion (runs on the accept
+  /// thread between accepts, bounding session_threads_ by the number of
+  /// LIVE sessions instead of total sessions ever accepted).
+  void ReapFinishedSessions();
+  void JoinSessions();
+
+  const ServerConfig config_;
+  std::unique_ptr<ServedModel> model_;
+  std::unique_ptr<SnapshotRotator> rotator_;
+
+  // One writer (ingest) / many readers (queries, rotation serialization).
+  mutable std::shared_mutex model_mutex_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex sessions_mutex_;
+  std::list<std::thread> session_threads_;
+  std::vector<std::list<std::thread>::iterator> finished_sessions_;
+  std::vector<int> session_fds_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  std::mutex shutdown_call_mutex_;  // Serializes RequestShutdown callers.
+
+  // Stats.
+  Timer uptime_;
+  std::atomic<uint64_t> items_ingested_{0};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> query_requests_{0};
+  std::atomic<uint64_t> ingest_requests_{0};
+  std::atomic<uint64_t> sessions_accepted_{0};
+  mutable std::mutex latency_mutex_;
+  LatencyHistogram query_latency_;
+};
+
+}  // namespace opthash::server
+
+#endif  // OPTHASH_SERVER_SERVER_H_

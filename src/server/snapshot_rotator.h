@@ -1,0 +1,129 @@
+#ifndef OPTHASH_SERVER_SNAPSHOT_ROTATOR_H_
+#define OPTHASH_SERVER_SNAPSHOT_ROTATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace opthash::server {
+
+/// \brief When and how the serving daemon checkpoints its model.
+///
+/// Rotation is the daemon's durability story: every rotation serializes
+/// the live model into `dir/snapshot-NNNNNN.bin` via write-temp-then-
+/// rename, so a `kill -9` at any instant leaves either the previous
+/// complete snapshot or the new complete snapshot — never a torn file —
+/// and a restarting daemon resumes from the highest-numbered one.
+struct RotationConfig {
+  /// Snapshot directory (created if missing). Empty disables rotation.
+  std::string dir;
+  /// Rotate after this many newly ingested items (0 = no item trigger).
+  uint64_t every_items = 0;
+  /// Rotate after this many seconds since the last rotation (0 = no time
+  /// trigger). With both triggers zero, only explicit client `snapshot`
+  /// requests rotate.
+  double every_seconds = 0.0;
+  /// Rotated snapshots retained on disk; older ones are deleted after
+  /// each successful rotation.
+  size_t keep = 4;
+  /// Background trigger-check cadence.
+  double poll_seconds = 0.05;
+
+  bool enabled() const { return !dir.empty(); }
+  Status Validate() const;
+};
+
+/// \brief Background snapshot rotation with bounded retention.
+///
+/// The rotator owns a sequence counter and a polling thread; the server
+/// injects two callables so this class stays free of model and locking
+/// concerns: `items()` reports lifetime-ingested items (drives the item
+/// trigger) and `save(path)` must write a *consistent* snapshot to
+/// `path` (the server implements it by serializing under its model read
+/// lock, so rotation runs concurrently with queries and atomically with
+/// respect to ingest blocks).
+///
+/// All rotations — background and explicit RotateNow — are serialized by
+/// an internal mutex; sequence numbers are strictly increasing, continue
+/// across daemon restarts (Start scans `dir` for the highest existing
+/// sequence), and never reuse a live file name.
+class SnapshotRotator {
+ public:
+  using ItemsFn = std::function<uint64_t()>;
+  using SaveFn = std::function<Status(const std::string& path)>;
+
+  SnapshotRotator(RotationConfig config, ItemsFn items, SaveFn save);
+  ~SnapshotRotator();
+
+  SnapshotRotator(const SnapshotRotator&) = delete;
+  SnapshotRotator& operator=(const SnapshotRotator&) = delete;
+
+  /// Creates `dir` if needed, resumes the sequence counter from existing
+  /// snapshots, and spawns the polling thread when a trigger is
+  /// configured. No-op (OK) when rotation is disabled.
+  Status Start();
+
+  /// Stops the polling thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Writes one rotation right now (used by the client `snapshot` request
+  /// and by the polling thread). Returns the sequence number written.
+  Result<uint64_t> RotateNow();
+
+  /// Seconds since the last successful rotation; negative when none has
+  /// happened this run. Never blocks on an in-flight rotation (stats
+  /// probes must stay cheap while a large model serializes).
+  double LastRotationAgeSeconds() const;
+
+  /// Successful rotations this run. Non-blocking, like the age.
+  uint64_t rotations() const;
+
+  const RotationConfig& config() const { return config_; }
+
+  /// Absolute path of the highest-numbered `snapshot-NNNNNN.bin` in
+  /// `dir`, or NotFound when the directory holds none — the daemon's
+  /// crash-recovery probe.
+  static Result<std::string> FindLatestSnapshot(const std::string& dir);
+
+  /// All rotated snapshots in `dir` as (sequence, filename), ascending.
+  static Result<std::vector<std::pair<uint64_t, std::string>>> ListRotated(
+      const std::string& dir);
+
+ private:
+  void PollLoop();
+  Result<uint64_t> RotateLocked();
+
+  const RotationConfig config_;
+  const ItemsFn items_;
+  const SaveFn save_;
+
+  // mutex_ serializes rotations (including the model save) and guards
+  // the sequencing state. The observable counters live outside it so
+  // rotations()/LastRotationAgeSeconds — and thus every stats request —
+  // never stall behind an in-flight multi-second snapshot write.
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  bool started_ = false;
+  uint64_t next_sequence_ = 1;
+  uint64_t items_at_last_rotation_ = 0;
+  std::thread poller_;
+
+  std::atomic<uint64_t> rotations_{0};
+  mutable std::mutex age_mutex_;  // Guards the two fields below only.
+  bool rotated_once_ = false;
+  Timer since_last_rotation_;
+};
+
+}  // namespace opthash::server
+
+#endif  // OPTHASH_SERVER_SNAPSHOT_ROTATOR_H_

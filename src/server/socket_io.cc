@@ -1,0 +1,193 @@
+#include "server/socket_io.h"
+
+#include <cstring>
+
+#include "io/bytes.h"
+#include "server/protocol.h"
+
+#ifndef _WIN32
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace opthash::server {
+
+#ifndef _WIN32
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool UnixSocketsSupported() { return true; }
+
+Result<int> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path must be 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // A previous daemon that crashed leaves its socket file behind; binding
+  // over it is the expected restart path. An *active* daemon is not
+  // protected by this unlink — operators give each daemon its own path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Errno("bind " + path);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = Errno("listen " + path);
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path must be 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        Status::NotFound("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> AcceptWithTimeout(int listen_fd, int timeout_millis) {
+  pollfd poll_fd{};
+  poll_fd.fd = listen_fd;
+  poll_fd.events = POLLIN;
+  const int ready = ::poll(&poll_fd, 1, timeout_millis);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::NotFound("accept interrupted");
+    return Errno("poll");
+  }
+  if (ready == 0) return Status::NotFound("accept timeout");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  return fd;
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void ShutdownSocket(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status WriteAll(int fd, Span<const uint8_t> bytes) {
+  // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE Status,
+  // not a process-killing SIGPIPE — the client library's error contract
+  // cannot depend on every binary remembering to ignore the signal.
+#ifdef MSG_NOSIGNAL
+  constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kSendFlags = 0;
+#endif
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    if (n == 0) return Status::Internal("send returned 0");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Reads exactly `size` bytes. `at_boundary` distinguishes a clean peer
+// close (EOF before any byte of a new frame) from mid-frame truncation.
+Status ReadExact(int fd, uint8_t* out, size_t size, bool at_boundary) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (at_boundary && got == 0) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::InvalidArgument("truncated frame: peer closed mid-read");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFramePayload(int fd, std::vector<uint8_t>& payload) {
+  uint8_t header[kFrameHeaderSize];
+  OPTHASH_IO_RETURN_IF_ERROR(
+      ReadExact(fd, header, sizeof(header), /*at_boundary=*/true));
+  uint32_t length = 0;
+  std::memcpy(&length, header, sizeof(length));
+  if (!io::HostIsLittleEndian()) length = io::ByteSwap32(length);
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte limit");
+  }
+  payload.clear();
+  payload.resize(length);
+  if (length == 0) return Status::OK();
+  return ReadExact(fd, payload.data(), length, /*at_boundary=*/false);
+}
+
+#else  // _WIN32
+
+namespace {
+Status Unsupported() {
+  return Status::FailedPrecondition(
+      "opthash serving requires Unix-domain sockets, unavailable in this "
+      "build");
+}
+}  // namespace
+
+bool UnixSocketsSupported() { return false; }
+Result<int> ListenUnix(const std::string&, int) { return Unsupported(); }
+Result<int> ConnectUnix(const std::string&) { return Unsupported(); }
+Result<int> AcceptWithTimeout(int, int) { return Unsupported(); }
+void CloseSocket(int) {}
+void ShutdownSocket(int) {}
+Status WriteAll(int, Span<const uint8_t>) { return Unsupported(); }
+Status ReadFramePayload(int, std::vector<uint8_t>&) { return Unsupported(); }
+
+#endif  // _WIN32
+
+}  // namespace opthash::server

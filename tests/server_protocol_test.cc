@@ -1,0 +1,201 @@
+// Wire-protocol round-trips and hostile-input rejection: every frame
+// kind encodes/decodes losslessly, and truncated, oversized, garbage or
+// type-confused payloads come back as a clean Status — never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace opthash::server {
+namespace {
+
+Span<const uint8_t> PayloadOf(const std::vector<uint8_t>& frame) {
+  // Strip the length prefix: decoders consume payloads, not frames.
+  return Span<const uint8_t>(frame.data() + kFrameHeaderSize,
+                             frame.size() - kFrameHeaderSize);
+}
+
+uint32_t LengthPrefixOf(const std::vector<uint8_t>& frame) {
+  return static_cast<uint32_t>(frame[0]) |
+         (static_cast<uint32_t>(frame[1]) << 8) |
+         (static_cast<uint32_t>(frame[2]) << 16) |
+         (static_cast<uint32_t>(frame[3]) << 24);
+}
+
+TEST(ServerProtocolTest, KeyRequestRoundTripsBothTypes) {
+  const std::vector<uint64_t> keys = {0, 1, 42, ~uint64_t{0}, 1ull << 63};
+  for (const MessageType type :
+       {MessageType::kQuery, MessageType::kIngest}) {
+    std::vector<uint8_t> frame;
+    EncodeKeyRequest(type, keys, frame);
+    EXPECT_EQ(LengthPrefixOf(frame), frame.size() - kFrameHeaderSize);
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(DecodeKeyRequest(PayloadOf(frame), type, decoded).ok());
+    EXPECT_EQ(decoded, keys);
+  }
+}
+
+TEST(ServerProtocolTest, EmptyKeyRequestRoundTrips) {
+  std::vector<uint8_t> frame;
+  EncodeKeyRequest(MessageType::kQuery, {}, frame);
+  std::vector<uint64_t> decoded = {99};
+  ASSERT_TRUE(
+      DecodeKeyRequest(PayloadOf(frame), MessageType::kQuery, decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServerProtocolTest, EstimatesResponseRoundTrips) {
+  const std::vector<double> estimates = {0.0, 1.5, -3.25, 1e300};
+  std::vector<uint8_t> frame;
+  EncodeEstimatesResponse(estimates, frame);
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeEstimatesResponse(PayloadOf(frame), decoded).ok());
+  EXPECT_EQ(decoded, estimates);  // Bit-exact through the u64 pattern.
+}
+
+TEST(ServerProtocolTest, AckAndPongAndEmptyRequestsRoundTrip) {
+  std::vector<uint8_t> frame;
+  EncodeAckResponse(77, frame);
+  auto ack = DecodeAckResponse(PayloadOf(frame));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value(), 77u);
+
+  for (const MessageType type :
+       {MessageType::kStats, MessageType::kPing, MessageType::kSnapshot,
+        MessageType::kShutdown, MessageType::kPong}) {
+    EncodeEmptyMessage(type, frame);
+    EXPECT_TRUE(DecodeEmptyMessage(PayloadOf(frame), type).ok());
+  }
+}
+
+TEST(ServerProtocolTest, StatsResponseRoundTripsEveryField) {
+  ServerStatsSnapshot stats;
+  stats.items_ingested = 1;
+  stats.queries_served = 2;
+  stats.query_requests = 3;
+  stats.ingest_requests = 4;
+  stats.sessions_accepted = 5;
+  stats.snapshots_written = 6;
+  stats.model_total_items = 7;
+  stats.uptime_seconds = 8.5;
+  stats.query_p50_micros = 9.25;
+  stats.query_p99_micros = 10.125;
+  stats.snapshot_age_seconds = -1.0;
+  std::vector<uint8_t> frame;
+  EncodeStatsResponse(stats, frame);
+  auto decoded = DecodeStatsResponse(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().items_ingested, 1u);
+  EXPECT_EQ(decoded.value().queries_served, 2u);
+  EXPECT_EQ(decoded.value().query_requests, 3u);
+  EXPECT_EQ(decoded.value().ingest_requests, 4u);
+  EXPECT_EQ(decoded.value().sessions_accepted, 5u);
+  EXPECT_EQ(decoded.value().snapshots_written, 6u);
+  EXPECT_EQ(decoded.value().model_total_items, 7u);
+  EXPECT_DOUBLE_EQ(decoded.value().uptime_seconds, 8.5);
+  EXPECT_DOUBLE_EQ(decoded.value().query_p50_micros, 9.25);
+  EXPECT_DOUBLE_EQ(decoded.value().query_p99_micros, 10.125);
+  EXPECT_DOUBLE_EQ(decoded.value().snapshot_age_seconds, -1.0);
+}
+
+TEST(ServerProtocolTest, ErrorResponseRoundTripsCodeAndMessage) {
+  std::vector<uint8_t> frame;
+  EncodeErrorResponse(Status::FailedPrecondition("read-only model"), frame);
+  Status remote;
+  ASSERT_TRUE(DecodeErrorResponse(PayloadOf(frame), remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(remote.message(), "read-only model");
+}
+
+TEST(ServerProtocolTest, UnknownWireCodeDecodesAsInternal) {
+  // A newer server may send codes this client does not know; they must
+  // still surface as errors.
+  std::vector<uint8_t> frame;
+  EncodeErrorResponse(Status::Internal("future"), frame);
+  std::vector<uint8_t> payload(PayloadOf(frame).begin(),
+                               PayloadOf(frame).end());
+  payload[1] = 200;  // Unassigned wire code.
+  Status remote;
+  ASSERT_TRUE(
+      DecodeErrorResponse(Span<const uint8_t>(payload.data(), payload.size()),
+                          remote)
+          .ok());
+  EXPECT_EQ(remote.code(), StatusCode::kInternal);
+}
+
+TEST(ServerProtocolTest, EmptyPayloadRejected) {
+  EXPECT_FALSE(PeekMessageType(Span<const uint8_t>(nullptr, 0)).ok());
+}
+
+TEST(ServerProtocolTest, GarbageTypeByteRejected) {
+  const uint8_t garbage[] = {73, 0, 0};
+  EXPECT_FALSE(PeekMessageType(Span<const uint8_t>(garbage, 3)).ok());
+}
+
+TEST(ServerProtocolTest, TruncatedKeyRequestRejected) {
+  std::vector<uint8_t> frame;
+  const std::vector<uint64_t> keys = {1, 2, 3};
+  EncodeKeyRequest(MessageType::kQuery, keys, frame);
+  std::vector<uint64_t> decoded;
+  // Chop bytes off the tail: every prefix must fail cleanly.
+  for (size_t keep = 0; keep + kFrameHeaderSize < frame.size(); ++keep) {
+    const Status status = DecodeKeyRequest(
+        Span<const uint8_t>(frame.data() + kFrameHeaderSize, keep),
+        MessageType::kQuery, decoded);
+    EXPECT_FALSE(status.ok()) << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(ServerProtocolTest, OversizedCountRejected) {
+  // Declared count larger than the body actually carries.
+  std::vector<uint8_t> frame;
+  const std::vector<uint64_t> keys = {1, 2};
+  EncodeKeyRequest(MessageType::kQuery, keys, frame);
+  frame[kFrameHeaderSize + 1] = 200;  // count LSB: claims 200 keys.
+  std::vector<uint64_t> decoded;
+  EXPECT_FALSE(
+      DecodeKeyRequest(PayloadOf(frame), MessageType::kQuery, decoded).ok());
+}
+
+TEST(ServerProtocolTest, TrailingBytesOnEmptyRequestRejected) {
+  std::vector<uint8_t> frame;
+  EncodeEmptyMessage(MessageType::kPing, frame);
+  frame.push_back(0);  // Unexpected body byte.
+  EXPECT_FALSE(
+      DecodeEmptyMessage(Span<const uint8_t>(frame.data() + kFrameHeaderSize,
+                                             frame.size() - kFrameHeaderSize),
+                         MessageType::kPing)
+          .ok());
+}
+
+TEST(ServerProtocolTest, TypeConfusionRejected) {
+  std::vector<uint8_t> frame;
+  const std::vector<uint64_t> keys = {1};
+  EncodeKeyRequest(MessageType::kQuery, keys, frame);
+  std::vector<uint64_t> decoded;
+  EXPECT_FALSE(
+      DecodeKeyRequest(PayloadOf(frame), MessageType::kIngest, decoded).ok());
+  EXPECT_FALSE(DecodeEmptyMessage(PayloadOf(frame), MessageType::kPing).ok());
+  EXPECT_FALSE(DecodeAckResponse(PayloadOf(frame)).ok());
+  std::vector<double> estimates;
+  EXPECT_FALSE(DecodeEstimatesResponse(PayloadOf(frame), estimates).ok());
+  auto stats = DecodeStatsResponse(PayloadOf(frame));
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(ServerProtocolTest, ErrorMessageClampedToFrameLimit) {
+  // A pathologically long message must not breach kMaxFramePayload.
+  const std::string huge(kMaxFramePayload + 1000, 'x');
+  std::vector<uint8_t> frame;
+  EncodeErrorResponse(Status::Internal(huge), frame);
+  EXPECT_LE(frame.size() - kFrameHeaderSize, kMaxFramePayload);
+  Status remote;
+  ASSERT_TRUE(DecodeErrorResponse(PayloadOf(frame), remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace opthash::server

@@ -14,9 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +28,7 @@
 #include "stream/features.h"
 #include "stream/sharded_ingest.h"
 #include "stream/trace_io.h"
+#include "tool_flags.h"
 
 namespace opthash::cli {
 namespace {
@@ -133,60 +132,16 @@ constexpr const char* kUsageText =
     "                  mode actually used is always reported as a\n"
     "                  `load mode:` stderr line\n"
     "  --block-size B  query ids per batched estimator call\n"
-    "                  (default 4096)\n";
-
-struct Flags {
-  std::map<std::string, std::string> values;
-
-  std::string Get(const std::string& name, const std::string& fallback) const {
-    auto it = values.find(name);
-    return it == values.end() ? fallback : it->second;
-  }
-  Result<double> GetDouble(const std::string& name, double fallback) const {
-    auto it = values.find(name);
-    if (it == values.end()) return fallback;
-    try {
-      size_t consumed = 0;
-      const double parsed = std::stod(it->second, &consumed);
-      if (consumed != it->second.size()) throw std::invalid_argument("");
-      return parsed;
-    } catch (const std::exception&) {
-      return Status::InvalidArgument("--" + name +
-                                     " needs a number, got: " + it->second);
-    }
-  }
-  Result<uint64_t> GetUint(const std::string& name, uint64_t fallback) const {
-    auto it = values.find(name);
-    if (it == values.end()) return fallback;
-    // Digits only: stoull would silently wrap negatives modulo 2^64.
-    const bool digits_only =
-        !it->second.empty() &&
-        it->second.find_first_not_of("0123456789") == std::string::npos;
-    try {
-      if (!digits_only) throw std::invalid_argument("");
-      return std::stoull(it->second);
-    } catch (const std::exception&) {
-      return Status::InvalidArgument(
-          "--" + name + " needs a non-negative integer, got: " + it->second);
-    }
-  }
-  bool Has(const std::string& name) const { return values.count(name) > 0; }
-};
-
-Result<Flags> ParseFlags(int argc, char** argv, int first) {
-  Flags flags;
-  for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      return Status::InvalidArgument("expected --flag, got: " + arg);
-    }
-    if (i + 1 >= argc) {
-      return Status::InvalidArgument("flag needs a value: " + arg);
-    }
-    flags.values[arg.substr(2)] = argv[++i];
-  }
-  return flags;
-}
+    "                  (default 4096)\n"
+    "\n"
+    "serving (separate binaries, same artifacts):\n"
+    "  opthash_serve   long-running daemon: loads any artifact this CLI\n"
+    "                  writes, ingests live arrivals, answers batched\n"
+    "                  queries over a Unix socket, rotates durable\n"
+    "                  snapshots (see opthash_serve --help)\n"
+    "  opthash_client  scripting client for the daemon (ping/query/\n"
+    "                  ingest/stats/snapshot/shutdown)\n"
+    "operations manual + wire protocol: docs/OPERATIONS.md\n";
 
 Result<core::SolverKind> ParseSolver(const std::string& name) {
   if (name == "bcd") return core::SolverKind::kBcd;

@@ -1,0 +1,125 @@
+#!/bin/sh
+# End-to-end serving acceptance test (registered as ctest
+# opthash_serve_e2e), proving the two contracts the daemon is for:
+#
+#  1. Served answers == offline answers: a trained model bundle queried
+#     through the daemon is byte-identical (same id,estimate CSV) to the
+#     offline `opthash_cli query` verb.
+#  2. Crash recovery: ingest part A, snapshot, ingest part B, kill -9;
+#     a daemon restarted from the rotated snapshot that re-ingests part B
+#     answers exactly like one unbroken ingestion of A+B (checked against
+#     the offline `snapshot`/`restore` verbs with identical geometry).
+#
+# Usage: serve_e2e_test.sh CLI SERVE CLIENT WORKDIR
+set -eu
+
+CLI="$1"; SERVE="$2"; CLIENT="$3"; WORK="$4"
+SOCK="/tmp/opthash_e2e_$$.sock"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+trap 'kill -9 $SERVE_PID 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+wait_ready() {
+  i=0
+  while ! "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: daemon never became ready"; exit 1; }
+    sleep 0.1
+  done
+}
+
+# ---------------------------------------------------------------------------
+echo "== part 1: served bundle answers == offline query verb"
+
+awk 'BEGIN {
+  print "id,text";
+  for (i = 0; i < 400; i++) {
+    id = (i % 13 == 0) ? i % 7 : 100 + i % 90;
+    printf "%d,item %d words\n", id, id;
+  }
+}' > "$WORK/prefix.csv"
+# Key-only queries (empty text): the wire protocol is key-only, so the
+# offline reference must be too.
+awk 'BEGIN { print "id,text"; for (i = 0; i < 160; i++) printf "%d,\n", i; }' \
+  > "$WORK/queries.csv"
+
+"$CLI" train --trace "$WORK/prefix.csv" --out "$WORK/model.bin" \
+  --buckets 120 --solver dp --classifier cart --format binary \
+  > /dev/null
+
+"$CLI" query --model "$WORK/model.bin" --trace "$WORK/queries.csv" \
+  > "$WORK/offline.csv"
+
+"$SERVE" --socket "$SOCK" --in "$WORK/model.bin" \
+  > "$WORK/serve_bundle.log" 2>&1 &
+SERVE_PID=$!
+wait_ready
+"$CLIENT" --socket "$SOCK" query --trace "$WORK/queries.csv" \
+  > "$WORK/served.csv"
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+
+diff "$WORK/offline.csv" "$WORK/served.csv" || {
+  echo "FAIL: served bundle answers differ from offline query verb"
+  exit 1
+}
+echo "ok: served answers byte-identical to offline query"
+
+# ---------------------------------------------------------------------------
+echo "== part 2: kill -9 + resume from rotated snapshot == unbroken ingest"
+
+awk 'BEGIN {
+  print "id,text";
+  srand(42);
+  for (i = 0; i < 3000; i++) printf "%d,\n", int(rand() * 500);
+}' > "$WORK/full.csv"
+head -n 2001 "$WORK/full.csv" > "$WORK/part_a.csv"          # header + 2000
+{ head -n 1 "$WORK/full.csv"; tail -n +2002 "$WORK/full.csv"; } \
+  > "$WORK/part_b.csv"                                       # header + 1000
+awk 'BEGIN { print "id,text"; for (i = 0; i < 500; i++) printf "%d,\n", i; }' \
+  > "$WORK/keys.csv"
+
+# Unbroken offline reference with the daemon's default cms geometry.
+"$CLI" snapshot --trace "$WORK/full.csv" --out "$WORK/ref.bin" \
+  --sketch cms > /dev/null
+"$CLI" restore --in "$WORK/ref.bin" --trace "$WORK/keys.csv" \
+  2>/dev/null > "$WORK/unbroken.csv"
+
+"$SERVE" --socket "$SOCK" --sketch cms --snapshot-dir "$WORK/snaps" \
+  > "$WORK/serve_a.log" 2>&1 &
+SERVE_PID=$!
+wait_ready
+"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_a.csv" > /dev/null
+"$CLIENT" --socket "$SOCK" snapshot > /dev/null
+# Ingested but never snapshotted: these arrivals die with the process and
+# are re-sent after the restart.
+"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_b.csv" > /dev/null
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+[ -f "$WORK/snaps/snapshot-000001.bin" ] || {
+  echo "FAIL: no rotated snapshot on disk after kill -9"
+  exit 1
+}
+
+"$SERVE" --socket "$SOCK" --sketch cms --snapshot-dir "$WORK/snaps" \
+  > "$WORK/serve_b.log" 2>&1 &
+SERVE_PID=$!
+wait_ready
+grep -q "resuming from" "$WORK/serve_b.log" || {
+  echo "FAIL: restarted daemon did not resume from the rotated snapshot"
+  exit 1
+}
+"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_b.csv" > /dev/null
+"$CLIENT" --socket "$SOCK" query --trace "$WORK/keys.csv" \
+  > "$WORK/resumed.csv"
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+
+diff "$WORK/unbroken.csv" "$WORK/resumed.csv" || {
+  echo "FAIL: resumed counts differ from unbroken ingestion"
+  exit 1
+}
+echo "ok: crash recovery matches unbroken ingestion exactly"
+echo "PASS"

@@ -1,0 +1,75 @@
+#ifndef OPTHASH_TOOLS_TOOL_FLAGS_H_
+#define OPTHASH_TOOLS_TOOL_FLAGS_H_
+
+// Shared --flag value parsing for the opthash tools (opthash_cli and
+// opthash_serve speak the identical flag dialect; one copy keeps the
+// validation rules — digits-only uints so stoull can't wrap negatives,
+// fully-consumed doubles — from drifting apart).
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+
+namespace opthash::cli {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+
+  Result<double> GetDouble(const std::string& name, double fallback) const {
+    auto it = values.find(name);
+    if (it == values.end()) return fallback;
+    try {
+      size_t consumed = 0;
+      const double parsed = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument("");
+      return parsed;
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("--" + name +
+                                     " needs a number, got: " + it->second);
+    }
+  }
+
+  Result<uint64_t> GetUint(const std::string& name, uint64_t fallback) const {
+    auto it = values.find(name);
+    if (it == values.end()) return fallback;
+    // Digits only: stoull would silently wrap negatives modulo 2^64.
+    const bool digits_only =
+        !it->second.empty() &&
+        it->second.find_first_not_of("0123456789") == std::string::npos;
+    try {
+      if (!digits_only) throw std::invalid_argument("");
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument(
+          "--" + name + " needs a non-negative integer, got: " + it->second);
+    }
+  }
+
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+};
+
+inline Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag needs a value: " + arg);
+    }
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+}  // namespace opthash::cli
+
+#endif  // OPTHASH_TOOLS_TOOL_FLAGS_H_
