@@ -7,10 +7,15 @@
 //
 //   bench_serve_latency [--quick] [--queries N] [--batch B] [--out path]
 //
-// Two served artifacts are measured with the same workload:
+// Three serving setups are measured with the same workload:
 //   1. a count-min sketch (the mutable serving path, after ingesting a
-//      Zipf-shaped stream through the wire protocol), and
-//   2. the same checkpoint mmap-mapped (the zero-copy read-only path).
+//      Zipf-shaped stream through the wire protocol),
+//   2. the same checkpoint mmap-mapped (the zero-copy read-only path),
+//   3. the TCP event-loop plane under concurrency: the same sketch
+//      served over --listen, driven by 1..256 simultaneous closed-loop
+//      clients — the latency-vs-connection-count curve that shows the
+//      per-core loop pool absorbing connections without a per-session
+//      thread (docs/OPERATIONS.md reproduces this table).
 //
 // Latency is measured around each request round-trip on the client
 // thread (encode + socket + server decode/estimate/encode + decode), so
@@ -18,9 +23,11 @@
 // --quick shrinks the workload for the CI bench-smoke job.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -47,6 +54,7 @@ struct Options {
 
 struct ResultRow {
   std::string artifact;
+  size_t connections = 1;
   double seconds = 0.0;
   size_t requests = 0;
   size_t keys = 0;
@@ -120,11 +128,13 @@ void PrintJson(std::FILE* out, const Options& options,
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
-                 "    {\"artifact\": \"%s\", \"seconds\": %.6f, "
+                 "    {\"artifact\": \"%s\", \"connections\": %zu, "
+                 "\"seconds\": %.6f, "
                  "\"requests\": %zu, \"keys\": %zu, "
                  "\"queries_per_sec\": %.0f, \"requests_per_sec\": %.0f, "
                  "\"p50_micros\": %.1f, \"p99_micros\": %.1f}%s\n",
-                 rows[i].artifact.c_str(), rows[i].seconds,
+                 rows[i].artifact.c_str(), rows[i].connections,
+                 rows[i].seconds,
                  rows[i].requests, rows[i].keys, rows[i].KeysPerSecond(),
                  rows[i].RequestsPerSecond(), rows[i].p50_micros,
                  rows[i].p99_micros, i + 1 < rows.size() ? "," : "");
@@ -134,6 +144,64 @@ void PrintJson(std::FILE* out, const Options& options,
 
 std::string SocketPath() {
   return "/tmp/opthash_bench_" + std::to_string(::getpid()) + ".sock";
+}
+
+// C closed-loop clients on their own threads, each its own connection,
+// splitting the key workload evenly; latencies are pooled across
+// clients, so percentiles describe what any one request experienced at
+// that connection count.
+ResultRow DriveConcurrentTcp(const std::string& target,
+                             const std::vector<uint64_t>& keys,
+                             size_t batch, size_t connections) {
+  ResultRow row;
+  row.artifact = "cms_tcp";
+  row.connections = connections;
+  const size_t shard = keys.size() / connections;
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  Timer wall;
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = server::Client::Connect(target);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      const size_t begin = c * shard;
+      const size_t end = c + 1 == connections ? keys.size() : begin + shard;
+      std::vector<double> estimates;
+      for (size_t base = begin; base < end; base += batch) {
+        const size_t block = std::min(batch, end - base);
+        Timer request;
+        const Status status = client.value().Query(
+            Span<const uint64_t>(keys.data() + base, block), estimates);
+        if (!status.ok()) {
+          failed.store(true);
+          return;
+        }
+        latencies[c].push_back(request.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  row.seconds = wall.ElapsedSeconds();
+  if (failed.load()) {
+    std::fprintf(stderr, "tcp concurrency drive failed at %zu clients\n",
+                 connections);
+    std::abort();
+  }
+  std::vector<double> pooled;
+  for (const std::vector<double>& per_client : latencies) {
+    pooled.insert(pooled.end(), per_client.begin(), per_client.end());
+    row.requests += per_client.size();
+  }
+  row.keys = keys.size();
+  std::sort(pooled.begin(), pooled.end());
+  row.p50_micros = PercentileOfSorted(pooled, 0.50);
+  row.p99_micros = PercentileOfSorted(pooled, 0.99);
+  return row;
 }
 
 int Main(int argc, char** argv) {
@@ -229,11 +297,33 @@ int Main(int argc, char** argv) {
     daemon.RequestShutdown();
   }
 
+  // ---- Serving setup 3: the TCP event-loop plane vs connection count. --
+  {
+    auto opened = server::OpenServedModel(checkpoint, /*use_mmap=*/false);
+    if (!opened.ok()) std::abort();
+    server::ServerConfig config;
+    config.listen_address = "127.0.0.1:0";
+    config.max_connections = 1024;
+    server::Server daemon(config, std::move(opened.value().model));
+    if (!daemon.Start().ok()) std::abort();
+    const std::string target =
+        "127.0.0.1:" + std::to_string(daemon.tcp_port());
+    const std::vector<size_t> sweep =
+        options.quick ? std::vector<size_t>{1, 8, 32}
+                      : std::vector<size_t>{1, 8, 64, 256};
+    for (size_t connections : sweep) {
+      rows.push_back(DriveConcurrentTcp(target, queries, options.batch,
+                                        connections));
+    }
+    daemon.RequestShutdown();
+  }
+
   for (const ResultRow& row : rows) {
     std::fprintf(stderr,
-                 "%-10s %9.0f q/s  %7.0f req/s  p50 %7.1f us  p99 %7.1f "
-                 "us\n",
-                 row.artifact.c_str(), row.KeysPerSecond(),
+                 "%-10s c=%-3zu %9.0f q/s  %7.0f req/s  p50 %7.1f us  "
+                 "p99 %7.1f us\n",
+                 row.artifact.c_str(), row.connections,
+                 row.KeysPerSecond(),
                  row.RequestsPerSecond(), row.p50_micros, row.p99_micros);
   }
   if (options.out.empty()) {

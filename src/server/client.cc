@@ -4,6 +4,7 @@
 
 #include "io/bytes.h"
 #include "server/socket_io.h"
+#include "server/tcp_listener.h"
 
 namespace opthash::server {
 namespace {
@@ -30,8 +31,15 @@ Status RemoteError(Span<const uint8_t> payload) {
 
 }  // namespace
 
-Result<Client> Client::Connect(const std::string& socket_path) {
-  auto fd = ConnectUnix(socket_path);
+Result<Client> Client::Connect(const std::string& target) {
+  if (LooksLikeHostPort(target)) {
+    auto address = ParseHostPort(target);
+    if (!address.ok()) return address.status();
+    auto fd = ConnectTcp(address.value());
+    if (!fd.ok()) return fd.status();
+    return Client(fd.value());
+  }
+  auto fd = ConnectUnix(target);
   if (!fd.ok()) return fd.status();
   return Client(fd.value());
 }

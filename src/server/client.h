@@ -26,7 +26,12 @@ namespace opthash::server {
 /// Move-only; the destructor closes the connection.
 class Client {
  public:
-  static Result<Client> Connect(const std::string& socket_path);
+  /// Connects to a serving daemon. `target` is either a Unix-domain
+  /// socket path ("/run/opthash.sock") or a TCP "host:port"
+  /// ("127.0.0.1:9090") — anything containing '/' or without a parseable
+  /// port is treated as a path. Both transports speak the identical
+  /// protocol; everything below is transport-blind.
+  static Result<Client> Connect(const std::string& target);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;

@@ -8,6 +8,7 @@
 
 #include "io/bytes.h"
 #include "server/socket_io.h"
+#include "server/tcp_listener.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -15,9 +16,27 @@
 
 namespace opthash::server {
 
+namespace {
+
+/// Per-session server-side state living on the owning event loop: the
+/// model's query scratch plus the decode/encode buffers every request
+/// reuses (warm sessions allocate nothing).
+struct ServingSession : EventLoop::SessionState {
+  std::unique_ptr<ServedModel::QueryContext> context;
+  std::vector<uint64_t> keys;
+  std::vector<double> estimates;
+};
+
+}  // namespace
+
 Status ServerConfig::Validate() const {
-  if (socket_path.empty()) {
-    return Status::InvalidArgument("server needs a socket path");
+  if (socket_path.empty() && listen_address.empty()) {
+    return Status::InvalidArgument(
+        "server needs a transport: a Unix socket path and/or a TCP "
+        "host:port listen address");
+  }
+  if (!listen_address.empty()) {
+    OPTHASH_IO_RETURN_IF_ERROR(ParseHostPort(listen_address).status());
   }
   OPTHASH_IO_RETURN_IF_ERROR(ingest.Validate());
   OPTHASH_IO_RETURN_IF_ERROR(rotation.Validate());
@@ -25,7 +44,14 @@ Status ServerConfig::Validate() const {
     return Status::InvalidArgument(
         "backlog and accept poll must be >= 1");
   }
-  return Status::OK();
+  if (max_connections < 1) {
+    return Status::InvalidArgument("connection limit must be >= 1");
+  }
+  EventLoopConfig loop;
+  loop.poll_millis = accept_poll_millis;
+  loop.idle_timeout_seconds = idle_timeout_seconds;
+  loop.max_write_buffer = max_write_buffer;
+  return loop.Validate();
 }
 
 Server::Server(ServerConfig config, std::unique_ptr<ServedModel> model)
@@ -52,12 +78,58 @@ Status Server::Start() {
         "read-only (drop --snapshot-dir or --mmap)");
   }
   OPTHASH_IO_RETURN_IF_ERROR(rotator_->Start());
-  auto listen_fd = ListenUnix(config_.socket_path, config_.backlog);
-  if (!listen_fd.ok()) {
+
+  // Bind whatever transports the config asked for; failure past this
+  // point must unwind everything already started.
+  auto fail = [this](Status status) {
+    if (listen_fd_ >= 0) {
+      CloseSocket(listen_fd_);
+      listen_fd_ = -1;
+#ifndef _WIN32
+      ::unlink(config_.socket_path.c_str());
+#endif
+    }
+    if (tcp_listen_fd_ >= 0) {
+      CloseSocket(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
     rotator_->Stop();
-    return listen_fd.status();
+    return status;
+  };
+  if (!config_.socket_path.empty()) {
+    auto unix_fd = ListenUnix(config_.socket_path, config_.backlog);
+    if (!unix_fd.ok()) return fail(unix_fd.status());
+    listen_fd_ = unix_fd.value();
   }
-  listen_fd_ = listen_fd.value();
+  if (!config_.listen_address.empty()) {
+    auto address = ParseHostPort(config_.listen_address);
+    if (!address.ok()) return fail(address.status());
+    auto tcp = ListenTcp(address.value(), config_.backlog);
+    if (!tcp.ok()) return fail(tcp.status());
+    tcp_listen_fd_ = tcp.value().fd;
+    tcp_port_ = tcp.value().port;
+  }
+
+  EventLoopConfig loop_config;
+  loop_config.poll_millis = config_.accept_poll_millis;
+  loop_config.idle_timeout_seconds = config_.idle_timeout_seconds;
+  loop_config.max_write_buffer = config_.max_write_buffer;
+  pool_ = std::make_unique<EventLoopPool>(
+      config_.event_threads, loop_config,
+      [this]() -> std::unique_ptr<EventLoop::SessionState> {
+        auto session = std::make_unique<ServingSession>();
+        session->context = model_->NewQueryContext();
+        return session;
+      },
+      [this](EventLoop::SessionState& state, Span<const uint8_t> payload,
+             std::vector<uint8_t>& response) {
+        auto& session = static_cast<ServingSession&>(state);
+        return HandleRequest(payload, *session.context, session.keys,
+                             session.estimates, response);
+      });
+  const Status pool_started = pool_->Start();
+  if (!pool_started.ok()) return fail(pool_started);
+
   stop_.store(false);
   running_.store(true, std::memory_order_release);
   uptime_.Restart();
@@ -84,7 +156,8 @@ void Server::RequestShutdown() {
   std::lock_guard<std::mutex> call_lock(shutdown_call_mutex_);
   const bool was_stopped = stop_.load();
   SignalStop();
-  if (was_stopped && !accept_thread_.joinable() && listen_fd_ < 0) {
+  if (was_stopped && !accept_thread_.joinable() && listen_fd_ < 0 &&
+      tcp_listen_fd_ < 0) {
     return;  // Fully shut down already (or never started).
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -95,48 +168,41 @@ void Server::RequestShutdown() {
     ::unlink(config_.socket_path.c_str());
 #endif
   }
-  // Unblock sessions parked in read, then join them.
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    for (int fd : session_fds_) ShutdownSocket(fd);
+  if (tcp_listen_fd_ >= 0) {
+    CloseSocket(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
   }
-  JoinSessions();
+  // The pool flushes pending replies best-effort, closes every session
+  // and joins its loop threads.
+  if (pool_) pool_->Stop();
   rotator_->Stop();
   running_.store(false, std::memory_order_release);
 }
 
-void Server::JoinSessions() {
-  std::list<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    threads.swap(session_threads_);
-    finished_sessions_.clear();
-  }
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
-  }
+size_t Server::connections() const {
+  return pool_ ? pool_->connections() : 0;
 }
 
-void Server::ReapFinishedSessions() {
-  std::vector<std::list<std::thread>::iterator> finished;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    finished.swap(finished_sessions_);
-  }
-  // The threads announced completion as their last act, so these joins
-  // return (almost) immediately.
-  for (auto it : finished) {
-    if (it->joinable()) it->join();
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    session_threads_.erase(it);
-  }
+uint64_t Server::sessions_closed_idle() const {
+  return pool_ ? pool_->closed_idle() : 0;
+}
+
+uint64_t Server::sessions_closed_backpressure() const {
+  return pool_ ? pool_->closed_backpressure() : 0;
 }
 
 void Server::AcceptLoop() {
+  int listeners[2];
+  size_t listener_count = 0;
+  if (listen_fd_ >= 0) listeners[listener_count++] = listen_fd_;
+  const size_t tcp_index = listener_count;
+  if (tcp_listen_fd_ >= 0) listeners[listener_count++] = tcp_listen_fd_;
+  std::vector<uint8_t> reject_frame;
+
   while (!stop_.load(std::memory_order_acquire)) {
-    ReapFinishedSessions();
-    auto accepted =
-        AcceptWithTimeout(listen_fd_, config_.accept_poll_millis);
+    auto accepted = AcceptAnyWithTimeout(
+        Span<const int>(listeners, listener_count),
+        config_.accept_poll_millis);
     if (!accepted.ok()) {
       if (accepted.status().code() == StatusCode::kNotFound) continue;
       if (stop_.load()) return;
@@ -150,61 +216,30 @@ void Server::AcceptLoop() {
           std::chrono::milliseconds(config_.accept_poll_millis));
       continue;
     }
-    const int fd = accepted.value();
-    sessions_accepted_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const int fd = accepted.value().fd;
     if (stop_.load()) {
       CloseSocket(fd);
       return;
     }
-    session_fds_.push_back(fd);
-    const auto it = session_threads_.emplace(session_threads_.end());
-    *it = std::thread([this, fd, it] {
-      SessionLoop(fd);
-      std::lock_guard<std::mutex> session_lock(sessions_mutex_);
-      finished_sessions_.push_back(it);
-    });
-  }
-}
-
-void Server::SessionLoop(int fd) {
-  // Per-session reusable state: after the first few requests the session
-  // serves from warmed buffers — the only per-request work proportional
-  // to anything is the model's own batched estimate path.
-  std::vector<uint8_t> payload;
-  std::vector<uint8_t> response;
-  std::vector<uint64_t> keys;
-  std::vector<double> estimates;
-  std::unique_ptr<ServedModel::QueryContext> context =
-      model_->NewQueryContext();
-
-  for (;;) {
-    const Status read = ReadFramePayload(fd, payload);
-    if (!read.ok()) {
-      // Clean close (NotFound) ends silently; a malformed frame gets a
-      // best-effort error response before the session dies — the stream
-      // cannot be trusted to be in sync afterwards.
-      if (read.code() != StatusCode::kNotFound && !stop_.load()) {
-        EncodeErrorResponse(read, response);
-        (void)WriteAll(fd, Span<const uint8_t>(response.data(),
-                                               response.size()));
-      }
-      break;
+    sessions_accepted_.fetch_add(1);
+    if (pool_->connections() >= config_.max_connections) {
+      // Clean rejection, not a hang: the over-limit client gets one
+      // kError frame explaining itself, then the connection closes.
+      sessions_rejected_.fetch_add(1);
+      EncodeErrorResponse(
+          Status::FailedPrecondition(
+              "connection limit of " +
+              std::to_string(config_.max_connections) + " reached"),
+          reject_frame);
+      (void)WriteAll(fd, Span<const uint8_t>(reject_frame.data(),
+                                             reject_frame.size()));
+      CloseSocket(fd);
+      continue;
     }
-    const bool keep_session = HandleRequest(
-        Span<const uint8_t>(payload.data(), payload.size()), *context, keys,
-        estimates, response);
-    const Status written =
-        WriteAll(fd, Span<const uint8_t>(response.data(), response.size()));
-    if (!written.ok() || !keep_session) break;
+    if (accepted.value().listener_index == tcp_index) SetTcpNoDelay(fd);
+    const Status adopted = pool_->Adopt(fd);
+    if (!adopted.ok()) CloseSocket(fd);
   }
-  // Deregister and close under one lock so the shutdown path can never
-  // ShutdownSocket an fd number the kernel has already recycled.
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
-  session_fds_.erase(
-      std::remove(session_fds_.begin(), session_fds_.end(), fd),
-      session_fds_.end());
-  CloseSocket(fd);
 }
 
 bool Server::HandleRequest(Span<const uint8_t> payload,
@@ -307,8 +342,8 @@ bool Server::HandleRequest(Span<const uint8_t> payload,
         return false;
       }
       EncodeAckResponse(0, response);
-      // Flag + wake only: the full shutdown (which joins THIS thread)
-      // runs on whoever called Wait().
+      // Flag + wake only: the full shutdown (which joins the loop thread
+      // this handler runs on) runs on whoever called Wait().
       SignalStop();
       return false;
     }

@@ -3,7 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "server/event_loop.h"
 #include "server/latency_histogram.h"
 #include "server/protocol.h"
 #include "server/served_model.h"
@@ -23,37 +24,58 @@ namespace opthash::server {
 
 /// \brief Everything one daemon instance needs to run.
 struct ServerConfig {
-  /// Unix-domain socket path clients connect to (required).
+  /// Unix-domain socket path (empty = no Unix listener). At least one of
+  /// socket_path / listen_address must be set.
   std::string socket_path;
+  /// TCP listen target as "host:port" (empty = no TCP listener). Port 0
+  /// lets the kernel pick; Server::tcp_port() reports the bound port.
+  std::string listen_address;
   /// Sharded-ingest geometry applied to every ingest request block.
   stream::ShardedIngestConfig ingest;
   /// Background snapshot rotation; disabled when `rotation.dir` is empty.
   RotationConfig rotation;
-  /// listen(2) backlog.
-  int backlog = 16;
-  /// Accept-loop poll cadence; bounds shutdown latency.
+  /// listen(2) backlog (shared by both listeners).
+  int backlog = 128;
+  /// Accept-loop and event-loop poll cadence; bounds shutdown latency
+  /// and the idle-timeout sweep granularity.
   int accept_poll_millis = 100;
+  /// Live sessions across both transports; one past the limit is
+  /// answered with a kError(FailedPrecondition) frame and closed.
+  size_t max_connections = 1024;
+  /// Sessions with no read/write progress for this long are closed
+  /// (0 = never). Also disconnects peers that stop reading replies.
+  double idle_timeout_seconds = 0.0;
+  /// Event-loop threads (0 = one per hardware thread). Connections are
+  /// spread round-robin; each runs on exactly one loop.
+  size_t event_threads = 0;
+  /// Per-session cap on buffered unread reply bytes; a session exceeding
+  /// it (a reader that stopped reading) is disconnected.
+  size_t max_write_buffer = 32u << 20;
 
   Status Validate() const;
 };
 
 /// \brief The opthash serving daemon core: accepts sessions on a
-/// Unix-domain socket, answers the wire protocol of server/protocol.h,
-/// and keeps the model durable through background snapshot rotation.
+/// Unix-domain socket and/or a TCP listener, answers the wire protocol
+/// of server/protocol.h through an epoll-driven event-loop pool (one
+/// thread per core, not per connection), and keeps the model durable
+/// through background snapshot rotation.
 ///
 /// Concurrency model (one writer, many readers):
-///  - every client session runs on its own thread with its own reusable
-///    frame buffers and ServedModel::QueryContext, so query requests from
-///    different sessions execute concurrently under a shared model lock
+///  - sessions are spread over the event-loop pool; each session's
+///    buffers and ServedModel::QueryContext belong to one loop thread,
+///    so query requests execute concurrently under a shared model lock
 ///    with zero steady-state allocation;
-///  - ingest requests take the model lock exclusively — one request block
-///    is the unit of atomicity (a snapshot never splits a block);
+///  - ingest requests take the model lock exclusively — one request
+///    block is the unit of atomicity (a snapshot never splits a block);
 ///  - snapshot rotation serializes the model under the *shared* lock
 ///    (rotation runs concurrently with queries, never with ingest).
 ///
-/// The embedded library form (Start/Wait/RequestShutdown) is what the
-/// opthash_serve binary, the in-process tests, and the serving benchmark
-/// all drive — the daemon has no behavior the tests cannot reach.
+/// Both transports speak the identical framing and error contract: the
+/// TCP plane answers byte-identically to Unix-socket mode. The embedded
+/// library form (Start/Wait/RequestShutdown) is what the opthash_serve
+/// binary, the in-process tests, and the serving benchmarks all drive —
+/// the daemon has no behavior the tests cannot reach.
 class Server {
  public:
   Server(ServerConfig config, std::unique_ptr<ServedModel> model);
@@ -62,21 +84,34 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the socket, starts the rotator, accept loop and session
-  /// handling. Fails (leaving nothing running) on an invalid config, an
-  /// unbindable socket, or rotation configured on a read-only model.
+  /// Binds the listener(s), starts the rotator and the event-loop pool.
+  /// Fails (leaving nothing running) on an invalid config, an unbindable
+  /// socket, or rotation configured on a read-only model.
   Status Start();
 
   /// Blocks until shutdown is requested (client `shutdown` request or
   /// RequestShutdown from another thread, e.g. a signal handler's waker).
   void Wait();
 
-  /// Initiates shutdown: stop accepting, unblock and join every session,
+  /// Initiates shutdown: stop accepting, flush and close every session,
   /// stop the rotator. Idempotent, callable from any thread; the
   /// destructor runs it too.
   void RequestShutdown();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Port the TCP listener actually bound (0 when TCP is off) — the
+  /// connect target when `listen_address` asked for port 0.
+  uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Live sessions across both transports.
+  size_t connections() const;
+  /// Sessions the daemon cut loose: idle past the timeout, or buffering
+  /// more than max_write_buffer of unread replies.
+  uint64_t sessions_closed_idle() const;
+  uint64_t sessions_closed_backpressure() const;
+  /// Connections answered with the over-limit error and closed.
+  uint64_t sessions_rejected() const { return sessions_rejected_.load(); }
 
   /// Current operational counters (the same numbers a kStats request
   /// returns).
@@ -87,7 +122,6 @@ class Server {
 
  private:
   void AcceptLoop();
-  void SessionLoop(int fd);
   /// Decodes and answers one request; fills `response_frame`. Returns
   /// false when the session must end (protocol error or shutdown).
   bool HandleRequest(Span<const uint8_t> payload,
@@ -99,28 +133,21 @@ class Server {
   /// must happen inside the mutex or a waiter between its predicate
   /// check and re-blocking would miss the notify forever.
   void SignalStop();
-  /// Joins session threads that announced completion (runs on the accept
-  /// thread between accepts, bounding session_threads_ by the number of
-  /// LIVE sessions instead of total sessions ever accepted).
-  void ReapFinishedSessions();
-  void JoinSessions();
 
   const ServerConfig config_;
   std::unique_ptr<ServedModel> model_;
   std::unique_ptr<SnapshotRotator> rotator_;
+  std::unique_ptr<EventLoopPool> pool_;
 
   // One writer (ingest) / many readers (queries, rotation serialization).
   mutable std::shared_mutex model_mutex_;
 
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;      // Unix transport, -1 when off.
+  int tcp_listen_fd_ = -1;  // TCP transport, -1 when off.
+  uint16_t tcp_port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
-
-  std::mutex sessions_mutex_;
-  std::list<std::thread> session_threads_;
-  std::vector<std::list<std::thread>::iterator> finished_sessions_;
-  std::vector<int> session_fds_;
 
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;
@@ -133,6 +160,7 @@ class Server {
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> ingest_requests_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
   mutable std::mutex latency_mutex_;
   LatencyHistogram query_latency_;
 };

@@ -7,6 +7,7 @@
 
 #ifndef _WIN32
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -92,6 +93,42 @@ Result<int> AcceptWithTimeout(int listen_fd, int timeout_millis) {
   const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) return Errno("accept");
   return fd;
+}
+
+Result<AcceptedSocket> AcceptAnyWithTimeout(Span<const int> listen_fds,
+                                            int timeout_millis) {
+  pollfd poll_fds[8];
+  const size_t count = listen_fds.size() < 8 ? listen_fds.size() : 8;
+  for (size_t i = 0; i < count; ++i) {
+    poll_fds[i] = pollfd{};
+    poll_fds[i].fd = listen_fds[i];
+    poll_fds[i].events = POLLIN;
+  }
+  const int ready =
+      ::poll(poll_fds, static_cast<nfds_t>(count), timeout_millis);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::NotFound("accept interrupted");
+    return Errno("poll");
+  }
+  if (ready == 0) return Status::NotFound("accept timeout");
+  for (size_t i = 0; i < count; ++i) {
+    if ((poll_fds[i].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(poll_fds[i].fd, nullptr, nullptr);
+    if (fd < 0) return Errno("accept");
+    AcceptedSocket accepted;
+    accepted.fd = fd;
+    accepted.listener_index = i;
+    return accepted;
+  }
+  return Status::NotFound("accept timeout");
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return Status::OK();
 }
 
 void CloseSocket(int fd) {
@@ -183,6 +220,10 @@ bool UnixSocketsSupported() { return false; }
 Result<int> ListenUnix(const std::string&, int) { return Unsupported(); }
 Result<int> ConnectUnix(const std::string&) { return Unsupported(); }
 Result<int> AcceptWithTimeout(int, int) { return Unsupported(); }
+Result<AcceptedSocket> AcceptAnyWithTimeout(Span<const int>, int) {
+  return Unsupported();
+}
+Status SetNonBlocking(int) { return Unsupported(); }
 void CloseSocket(int) {}
 void ShutdownSocket(int) {}
 Status WriteAll(int, Span<const uint8_t>) { return Unsupported(); }

@@ -33,6 +33,24 @@ Result<int> ConnectUnix(const std::string& path);
 /// or an error Status.
 Result<int> AcceptWithTimeout(int listen_fd, int timeout_millis);
 
+/// One accepted connection plus which listener produced it (the daemon
+/// polls its Unix and TCP listeners together; the index tells it which
+/// transport the session arrived on).
+struct AcceptedSocket {
+  int fd = -1;
+  size_t listener_index = 0;
+};
+
+/// accept(2) across several listening sockets with one poll timeout;
+/// accept(2) itself is transport-agnostic, so the fds may mix AF_UNIX
+/// and AF_INET listeners. NotFound on timeout, like AcceptWithTimeout.
+Result<AcceptedSocket> AcceptAnyWithTimeout(Span<const int> listen_fds,
+                                            int timeout_millis);
+
+/// O_NONBLOCK via fcntl — the event loop's sockets must never park a
+/// loop thread in read(2)/send(2).
+Status SetNonBlocking(int fd);
+
 void CloseSocket(int fd);
 
 /// shutdown(2) both directions — unblocks a peer thread parked in read.

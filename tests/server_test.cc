@@ -20,6 +20,7 @@
 #include "server/client.h"
 #include "server/server.h"
 #include "server/socket_io.h"
+#include "server/tcp_listener.h"
 #include "sketch/count_min_sketch.h"
 
 #ifndef _WIN32
@@ -489,6 +490,76 @@ TEST(ServerTest, ShutdownRequestStopsTheServer) {
   EXPECT_FALSE(running.server().running());
   // New connections are refused once the socket is gone.
   EXPECT_FALSE(Client::Connect(running.socket()).ok());
+}
+
+TEST(ServerTest, TcpServesByteIdenticalToUnix) {
+  // One daemon, both transports. Every answer — including the error
+  // payload for a hostile frame — must be the same bytes on TCP as on
+  // the Unix socket.
+  ServerConfig config;
+  config.socket_path = FreshSocketPath();
+  config.listen_address = "127.0.0.1:0";  // Kernel-picked port.
+  Server server(config, FreshCms());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.tcp_port(), 0);
+  const std::string tcp_target =
+      "127.0.0.1:" + std::to_string(server.tcp_port());
+
+  auto over_unix = Client::Connect(config.socket_path);
+  ASSERT_TRUE(over_unix.ok()) << over_unix.status().ToString();
+  auto over_tcp = Client::Connect(tcp_target);
+  ASSERT_TRUE(over_tcp.ok()) << over_tcp.status().ToString();
+
+  // Ingest over TCP; both transports then see the same model.
+  const std::vector<uint64_t> keys = ZipfishKeys(20000, 31);
+  auto acked = over_tcp.value().Ingest(keys);
+  ASSERT_TRUE(acked.ok()) << acked.status().ToString();
+  EXPECT_EQ(acked.value(), keys.size());
+
+  std::vector<uint64_t> queries;
+  for (uint64_t key = 0; key < 300; ++key) queries.push_back(key);
+  std::vector<double> unix_answers;
+  std::vector<double> tcp_answers;
+  ASSERT_TRUE(over_unix.value().Query(queries, unix_answers).ok());
+  ASSERT_TRUE(over_tcp.value().Query(queries, tcp_answers).ok());
+  EXPECT_EQ(unix_answers, tcp_answers);
+
+  // Raw bytes: the identical garbage frame draws the identical error
+  // payload, then the hangup, on both transports.
+  const uint8_t garbage_frame[] = {1, 0, 0, 0, 73};
+  std::vector<uint8_t> unix_error;
+  std::vector<uint8_t> tcp_error;
+  {
+    auto fd = ConnectUnix(config.socket_path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        WriteAll(fd.value(), Span<const uint8_t>(garbage_frame, 5)).ok());
+    ASSERT_TRUE(ReadFramePayload(fd.value(), unix_error).ok());
+    std::vector<uint8_t> extra;
+    EXPECT_EQ(ReadFramePayload(fd.value(), extra).code(),
+              StatusCode::kNotFound);
+    CloseSocket(fd.value());
+  }
+  {
+    auto address = ParseHostPort(tcp_target);
+    ASSERT_TRUE(address.ok());
+    auto fd = ConnectTcp(address.value());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        WriteAll(fd.value(), Span<const uint8_t>(garbage_frame, 5)).ok());
+    ASSERT_TRUE(ReadFramePayload(fd.value(), tcp_error).ok());
+    std::vector<uint8_t> extra;
+    EXPECT_EQ(ReadFramePayload(fd.value(), extra).code(),
+              StatusCode::kNotFound);
+    CloseSocket(fd.value());
+  }
+  EXPECT_EQ(unix_error, tcp_error);
+
+  // Shutdown over TCP works like shutdown over Unix.
+  ASSERT_TRUE(over_tcp.value().Shutdown().ok());
+  server.Wait();
+  server.RequestShutdown();
+  EXPECT_FALSE(Client::Connect(tcp_target).ok());
 }
 
 TEST(ServerTest, ConcurrentQueriesWhileIngesting) {

@@ -1,8 +1,9 @@
 // opthash_client — scripting/testing companion of opthash_serve: one
 // shot per invocation, speaking the length-prefixed binary protocol of
-// docs/OPERATIONS.md over the daemon's Unix-domain socket. Query output
-// is the same `id,estimate` CSV the offline `query`/`restore` verbs
-// print, so offline and served answers diff cleanly.
+// docs/OPERATIONS.md over the daemon's Unix-domain socket or TCP
+// listener. Query output is the same `id,estimate` CSV the offline
+// `query`/`restore` verbs print, so offline and served answers diff
+// cleanly.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,7 +21,8 @@ namespace opthash::cli {
 namespace {
 
 constexpr const char* kUsageText =
-    "usage: opthash_client --socket /path/daemon.sock <verb> [flags]\n"
+    "usage: opthash_client (--socket /path/daemon.sock |\n"
+    "                       --connect host:port) <verb> [flags]\n"
     "  ping                       liveness probe (exit 0 iff serving)\n"
     "  query    --ids 1,2,3 | --trace queries.csv [--batch B]\n"
     "                             prints id,estimate CSV (distinct ids,\n"
@@ -35,7 +37,10 @@ constexpr const char* kUsageText =
     "  shutdown                   asks the daemon to exit cleanly\n"
     "\n"
     "flags:\n"
-    "  --socket PATH   daemon socket (required)\n"
+    "  --socket PATH   daemon Unix-domain socket\n"
+    "  --connect H:P   daemon TCP address, e.g. 127.0.0.1:9090 (exactly\n"
+    "                  one of --socket/--connect; same protocol, same\n"
+    "                  answers on both transports)\n"
     "  --ids LIST      comma-separated uint64 keys for query\n"
     "  --trace CSV     `id,text` trace; ids feed the request (text is\n"
     "                  not transmitted — serving is key-only)\n"
@@ -55,7 +60,7 @@ int Usage(std::FILE* out) {
 
 struct Args {
   std::string verb;
-  std::string socket;
+  std::string target;  // Unix socket path or TCP host:port.
   std::string ids;
   std::string trace;
   size_t batch = 4096;
@@ -72,10 +77,14 @@ Result<Args> Parse(int argc, char** argv) {
       }
       return std::string(argv[++i]);
     };
-    if (arg == "--socket") {
-      auto value = need_value("--socket");
+    if (arg == "--socket" || arg == "--connect") {
+      auto value = need_value(arg.c_str());
       if (!value.ok()) return value.status();
-      args.socket = value.value();
+      if (!args.target.empty()) {
+        return Status::InvalidArgument(
+            "pass exactly one of --socket / --connect");
+      }
+      args.target = value.value();
     } else if (arg == "--ids") {
       auto value = need_value("--ids");
       if (!value.ok()) return value.status();
@@ -101,8 +110,8 @@ Result<Args> Parse(int argc, char** argv) {
     }
   }
   if (args.verb.empty()) return Status::InvalidArgument("missing verb");
-  if (args.socket.empty()) {
-    return Status::InvalidArgument("--socket is required");
+  if (args.target.empty()) {
+    return Status::InvalidArgument("--socket or --connect is required");
   }
   return args;
 }
@@ -171,7 +180,7 @@ int Main(int argc, char** argv) {
     args.batch = server::kMaxKeysPerFrame;
   }
 
-  auto client = server::Client::Connect(args.socket);
+  auto client = server::Client::Connect(args.target);
   if (!client.ok()) return Fail(client.status());
 
   if (args.verb == "ping") {

@@ -30,17 +30,19 @@ namespace opthash::cli {
 namespace {
 
 constexpr const char* kUsageText =
-    "usage: opthash_serve --socket /path/daemon.sock\n"
+    "usage: opthash_serve (--socket /path/daemon.sock | --listen host:port)\n"
     "           (--in artifact | --sketch cms|countsketch|lcms|mg|ss)\n"
     "           [--mmap 1] [--snapshot-dir DIR] [--snapshot-keep K]\n"
     "           [--snapshot-every-items N] [--snapshot-every-seconds S]\n"
     "           [--threads N] [--block-size B]\n"
+    "           [--max-connections N] [--idle-timeout S] [--event-threads N]\n"
     "           [--width W] [--depth D] [--capacity K] [--buckets N]\n"
     "           [--seed S] [--conservative 1]\n"
     "\n"
     "Long-running frequency-estimation daemon: concurrent ingest +\n"
-    "batched queries over a Unix-domain socket, durable through rotated\n"
-    "snapshots. Protocol spec and operations manual: docs/OPERATIONS.md.\n"
+    "batched queries over a Unix-domain socket and/or a TCP listener\n"
+    "(identical protocol on both), durable through rotated snapshots.\n"
+    "Protocol spec and operations manual: docs/OPERATIONS.md.\n"
     "Drive it with opthash_client; stop it with SIGINT/SIGTERM or a\n"
     "client shutdown request.\n"
     "\n"
@@ -55,9 +57,20 @@ constexpr const char* kUsageText =
     "  wins over both (crash recovery); --in/--sketch then only describe\n"
     "  the cold-start state.\n"
     "\n"
-    "serving flags:\n"
-    "  --socket PATH   Unix-domain socket to listen on (required;\n"
-    "                  <= 107 bytes)\n"
+    "serving flags (at least one of --socket / --listen):\n"
+    "  --socket PATH   Unix-domain socket to listen on (<= 107 bytes)\n"
+    "  --listen H:P    TCP listen address, e.g. 127.0.0.1:9090 — port 0\n"
+    "                  lets the kernel pick; the bound port is printed as\n"
+    "                  a `listening on tcp:` line. No auth, no TLS: bind\n"
+    "                  loopback or a trusted network only\n"
+    "  --max-connections N  live sessions across both transports; one\n"
+    "                  past the limit gets an error frame and is closed\n"
+    "                  (default 1024)\n"
+    "  --idle-timeout S  disconnect sessions with no protocol progress\n"
+    "                  for S seconds, including peers that stop reading\n"
+    "                  replies (default 0 = never)\n"
+    "  --event-threads N  event-loop threads serving the sessions\n"
+    "                  (default 0 = one per hardware thread)\n"
     "  --mmap 1        zero-copy read-only serving straight from the\n"
     "                  mapped file (binary bundles: stored-id queries\n"
     "                  only; cms checkpoints: all point queries). Kinds\n"
@@ -167,14 +180,26 @@ int Main(int argc, char** argv) {
     std::fputs(kUsageText, stderr);
     return 2;
   }
-  if (!flags.value().Has("socket")) {
-    std::fputs("error: --socket is required\n", stderr);
+  if (!flags.value().Has("socket") && !flags.value().Has("listen")) {
+    std::fputs("error: pass --socket PATH and/or --listen host:port\n",
+               stderr);
     std::fputs(kUsageText, stderr);
     return 2;
   }
 
   server::ServerConfig config;
   config.socket_path = flags.value().Get("socket", "");
+  config.listen_address = flags.value().Get("listen", "");
+  const auto max_connections =
+      flags.value().GetUint("max-connections", 1024);
+  if (!max_connections.ok()) return Fail(max_connections.status());
+  config.max_connections = static_cast<size_t>(max_connections.value());
+  const auto idle_timeout = flags.value().GetDouble("idle-timeout", 0.0);
+  if (!idle_timeout.ok()) return Fail(idle_timeout.status());
+  config.idle_timeout_seconds = idle_timeout.value();
+  const auto event_threads = flags.value().GetUint("event-threads", 0);
+  if (!event_threads.ok()) return Fail(event_threads.status());
+  config.event_threads = static_cast<size_t>(event_threads.value());
   const auto threads = flags.value().GetUint("threads", 1);
   if (!threads.ok()) return Fail(threads.status());
   const auto block_size = flags.value().GetUint("block-size", 1 << 16);
@@ -210,9 +235,19 @@ int Main(int argc, char** argv) {
   server::Server daemon(config, std::move(opened.value().model));
   const Status started = daemon.Start();
   if (!started.ok()) return Fail(started);
-  std::fprintf(stderr, "serving %s on %s%s\n", daemon.model().Kind(),
-               config.socket_path.c_str(),
-               daemon.model().ReadOnly() ? " (read-only)" : "");
+  if (!config.socket_path.empty()) {
+    std::fprintf(stderr, "serving %s on %s%s\n", daemon.model().Kind(),
+                 config.socket_path.c_str(),
+                 daemon.model().ReadOnly() ? " (read-only)" : "");
+  }
+  if (!config.listen_address.empty()) {
+    // The resolved port matters when --listen asked for port 0; scripts
+    // parse this line to find the connect target.
+    std::fprintf(stderr, "listening on tcp: %s (port %u)%s\n",
+                 config.listen_address.c_str(),
+                 static_cast<unsigned>(daemon.tcp_port()),
+                 daemon.model().ReadOnly() ? " (read-only)" : "");
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

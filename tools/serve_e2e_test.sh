@@ -10,19 +10,47 @@
 #     answers exactly like one unbroken ingestion of A+B (checked against
 #     the offline `snapshot`/`restore` verbs with identical geometry).
 #
-# Usage: serve_e2e_test.sh CLI SERVE CLIENT WORKDIR
+# Both transports run the identical script: MODE=unix drives the daemon
+# over --socket, MODE=tcp over --listen 127.0.0.1:0 with the
+# kernel-picked port parsed from the daemon's "listening on tcp:" line.
+#
+# Usage: serve_e2e_test.sh CLI SERVE CLIENT WORKDIR [unix|tcp]
 set -eu
 
-CLI="$1"; SERVE="$2"; CLIENT="$3"; WORK="$4"
+CLI="$1"; SERVE="$2"; CLIENT="$3"; WORK="$4"; MODE="${5:-unix}"
 SOCK="/tmp/opthash_e2e_$$.sock"
+
+if [ "$MODE" = "tcp" ]; then
+  SERVE_LISTEN="--listen 127.0.0.1:0"
+else
+  SERVE_LISTEN="--socket $SOCK"
+fi
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
 trap 'kill -9 $SERVE_PID 2>/dev/null || true; rm -f "$SOCK"' EXIT
 
+# Sets TARGET to the client's connect flags for the daemon whose log is
+# $1 — in tcp mode that means waiting for the listen line and parsing
+# the ephemeral port out of it (a new port every daemon start).
+resolve_target() {
+  if [ "$MODE" = "tcp" ]; then
+    i=0
+    while ! grep -q "listening on tcp:" "$1" 2>/dev/null; do
+      i=$((i + 1))
+      [ "$i" -lt 100 ] || { echo "FAIL: daemon never printed its port"; exit 1; }
+      sleep 0.1
+    done
+    PORT=$(sed -n 's/.*(port \([0-9][0-9]*\)).*/\1/p' "$1" | head -n 1)
+    TARGET="--connect 127.0.0.1:$PORT"
+  else
+    TARGET="--socket $SOCK"
+  fi
+}
+
 wait_ready() {
   i=0
-  while ! "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1; do
+  while ! "$CLIENT" $TARGET ping >/dev/null 2>&1; do
     i=$((i + 1))
     [ "$i" -lt 100 ] || { echo "FAIL: daemon never became ready"; exit 1; }
     sleep 0.1
@@ -51,13 +79,14 @@ awk 'BEGIN { print "id,text"; for (i = 0; i < 160; i++) printf "%d,\n", i; }' \
 "$CLI" query --model "$WORK/model.bin" --trace "$WORK/queries.csv" \
   > "$WORK/offline.csv"
 
-"$SERVE" --socket "$SOCK" --in "$WORK/model.bin" \
+"$SERVE" $SERVE_LISTEN --in "$WORK/model.bin" \
   > "$WORK/serve_bundle.log" 2>&1 &
 SERVE_PID=$!
+resolve_target "$WORK/serve_bundle.log"
 wait_ready
-"$CLIENT" --socket "$SOCK" query --trace "$WORK/queries.csv" \
+"$CLIENT" $TARGET query --trace "$WORK/queries.csv" \
   > "$WORK/served.csv"
-"$CLIENT" --socket "$SOCK" shutdown > /dev/null
+"$CLIENT" $TARGET shutdown > /dev/null
 wait "$SERVE_PID"
 
 diff "$WORK/offline.csv" "$WORK/served.csv" || {
@@ -86,15 +115,16 @@ awk 'BEGIN { print "id,text"; for (i = 0; i < 500; i++) printf "%d,\n", i; }' \
 "$CLI" restore --in "$WORK/ref.bin" --trace "$WORK/keys.csv" \
   2>/dev/null > "$WORK/unbroken.csv"
 
-"$SERVE" --socket "$SOCK" --sketch cms --snapshot-dir "$WORK/snaps" \
+"$SERVE" $SERVE_LISTEN --sketch cms --snapshot-dir "$WORK/snaps" \
   > "$WORK/serve_a.log" 2>&1 &
 SERVE_PID=$!
+resolve_target "$WORK/serve_a.log"
 wait_ready
-"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_a.csv" > /dev/null
-"$CLIENT" --socket "$SOCK" snapshot > /dev/null
+"$CLIENT" $TARGET ingest --trace "$WORK/part_a.csv" > /dev/null
+"$CLIENT" $TARGET snapshot > /dev/null
 # Ingested but never snapshotted: these arrivals die with the process and
 # are re-sent after the restart.
-"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_b.csv" > /dev/null
+"$CLIENT" $TARGET ingest --trace "$WORK/part_b.csv" > /dev/null
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 
@@ -103,18 +133,19 @@ wait "$SERVE_PID" 2>/dev/null || true
   exit 1
 }
 
-"$SERVE" --socket "$SOCK" --sketch cms --snapshot-dir "$WORK/snaps" \
+"$SERVE" $SERVE_LISTEN --sketch cms --snapshot-dir "$WORK/snaps" \
   > "$WORK/serve_b.log" 2>&1 &
 SERVE_PID=$!
+resolve_target "$WORK/serve_b.log"
 wait_ready
 grep -q "resuming from" "$WORK/serve_b.log" || {
   echo "FAIL: restarted daemon did not resume from the rotated snapshot"
   exit 1
 }
-"$CLIENT" --socket "$SOCK" ingest --trace "$WORK/part_b.csv" > /dev/null
-"$CLIENT" --socket "$SOCK" query --trace "$WORK/keys.csv" \
+"$CLIENT" $TARGET ingest --trace "$WORK/part_b.csv" > /dev/null
+"$CLIENT" $TARGET query --trace "$WORK/keys.csv" \
   > "$WORK/resumed.csv"
-"$CLIENT" --socket "$SOCK" shutdown > /dev/null
+"$CLIENT" $TARGET shutdown > /dev/null
 wait "$SERVE_PID"
 
 diff "$WORK/unbroken.csv" "$WORK/resumed.csv" || {
