@@ -6,8 +6,9 @@
 // the serving trajectory per commit).
 //
 //   bench_serve_latency [--quick] [--queries N] [--batch B] [--out path]
+//                       [--topk-out path]
 //
-// Three serving setups are measured with the same workload:
+// Four serving setups are measured with the same workload:
 //   1. a count-min sketch (the mutable serving path, after ingesting a
 //      Zipf-shaped stream through the wire protocol),
 //   2. the same checkpoint mmap-mapped (the zero-copy read-only path),
@@ -15,7 +16,12 @@
 //      served over --listen, driven by 1..256 simultaneous closed-loop
 //      clients — the latency-vs-connection-count curve that shows the
 //      per-core loop pool absorbing connections without a per-session
-//      thread (docs/OPERATIONS.md reproduces this table).
+//      thread (docs/OPERATIONS.md reproduces this table),
+//   4. the top-k analytics path: a space-saving summary ingested over
+//      the wire, then hammered with closed-loop kTopK requests (each
+//      answer re-ranks every tracked counter under the model read lock).
+//      Reported separately via --topk-out so CI can archive the top-k
+//      trajectory without disturbing the query-latency JSON schema.
 //
 // Latency is measured around each request round-trip on the client
 // thread (encode + socket + server decode/estimate/encode + decode), so
@@ -36,6 +42,7 @@
 #include "server/client.h"
 #include "server/served_model.h"
 #include "server/server.h"
+#include "sketch/top_k.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -48,8 +55,10 @@ struct Options {
   size_t queries = 200'000;   // Total keys queried per served artifact.
   size_t batch = 512;         // Keys per request frame.
   size_t ingest_items = 500'000;
+  size_t topk_requests = 20'000;  // Closed-loop kTopK round-trips.
   bool quick = false;
-  std::string out;  // Empty = stdout.
+  std::string out;       // Empty = stdout.
+  std::string topk_out;  // Empty = skip writing the top-k JSON.
 };
 
 struct ResultRow {
@@ -118,6 +127,34 @@ ResultRow DriveQueries(server::Client& client, const std::string& artifact,
   return row;
 }
 
+// Closed loop over the top-k verb: every round-trip re-ranks the whole
+// summary server-side; `keys` counts hitters returned.
+ResultRow DriveTopK(server::Client& client, const std::string& artifact,
+                    size_t requests, uint32_t k) {
+  ResultRow row;
+  row.artifact = artifact;
+  std::vector<sketch::HeavyHitter> hitters;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  Timer wall;
+  for (size_t i = 0; i < requests; ++i) {
+    Timer request;
+    const Status status = client.TopK(k, hitters);
+    if (!status.ok()) {
+      std::fprintf(stderr, "topk failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+    latencies.push_back(request.ElapsedSeconds() * 1e6);
+    ++row.requests;
+    row.keys += hitters.size();
+  }
+  row.seconds = wall.ElapsedSeconds();
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_micros = PercentileOfSorted(latencies, 0.50);
+  row.p99_micros = PercentileOfSorted(latencies, 0.99);
+  return row;
+}
+
 void PrintJson(std::FILE* out, const Options& options,
                const std::vector<ResultRow>& rows) {
   std::fprintf(out, "{\n  \"benchmark\": \"serve_latency\",\n");
@@ -136,6 +173,28 @@ void PrintJson(std::FILE* out, const Options& options,
                  rows[i].artifact.c_str(), rows[i].connections,
                  rows[i].seconds,
                  rows[i].requests, rows[i].keys, rows[i].KeysPerSecond(),
+                 rows[i].RequestsPerSecond(), rows[i].p50_micros,
+                 rows[i].p99_micros, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+void PrintTopKJson(std::FILE* out, const Options& options, uint32_t k,
+                   const std::vector<ResultRow>& rows) {
+  std::fprintf(out, "{\n  \"benchmark\": \"serve_topk_latency\",\n");
+  std::fprintf(out,
+               "  \"topk_requests\": %zu,\n  \"k\": %u,\n"
+               "  \"ingest_items\": %zu,\n",
+               options.topk_requests, k, options.ingest_items);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"artifact\": \"%s\", \"seconds\": %.6f, "
+                 "\"requests\": %zu, \"hitters\": %zu, "
+                 "\"requests_per_sec\": %.0f, "
+                 "\"p50_micros\": %.1f, \"p99_micros\": %.1f}%s\n",
+                 rows[i].artifact.c_str(), rows[i].seconds,
+                 rows[i].requests, rows[i].keys,
                  rows[i].RequestsPerSecond(), rows[i].p50_micros,
                  rows[i].p99_micros, i + 1 < rows.size() ? "," : "");
   }
@@ -212,16 +271,19 @@ int Main(int argc, char** argv) {
       options.quick = true;
       options.queries = 20'000;
       options.ingest_items = 50'000;
+      options.topk_requests = 2'000;
     } else if (arg == "--queries" && i + 1 < argc) {
       options.queries = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--batch" && i + 1 < argc) {
       options.batch = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--out" && i + 1 < argc) {
       options.out = argv[++i];
+    } else if (arg == "--topk-out" && i + 1 < argc) {
+      options.topk_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve_latency [--quick] [--queries N] "
-                   "[--batch B] [--out path.json]\n");
+                   "[--batch B] [--out path.json] [--topk-out path.json]\n");
       return 2;
     }
   }
@@ -316,6 +378,53 @@ int Main(int argc, char** argv) {
                                         connections));
     }
     daemon.RequestShutdown();
+  }
+
+  // ---- Serving setup 4: top-k over a space-saving summary. ------------
+  constexpr uint32_t kTopKSize = 32;
+  std::vector<ResultRow> topk_rows;
+  {
+    server::FreshSketchSpec spec;
+    spec.kind = "ss";
+    spec.capacity = 4096;
+    auto model = server::CreateServedSketch(spec);
+    if (!model.ok()) std::abort();
+    server::ServerConfig config;
+    config.socket_path = SocketPath();
+    server::Server daemon(config, std::move(model).value());
+    if (!daemon.Start().ok()) std::abort();
+    auto client = server::Client::Connect(config.socket_path);
+    if (!client.ok()) std::abort();
+    for (size_t base = 0; base < stream.size(); base += 8192) {
+      const size_t block = std::min<size_t>(8192, stream.size() - base);
+      auto acked = client.value().Ingest(
+          Span<const uint64_t>(stream.data() + base, block));
+      if (!acked.ok()) std::abort();
+    }
+    topk_rows.push_back(DriveTopK(client.value(), "ss_topk",
+                                  options.topk_requests, kTopKSize));
+    if (!client.value().Shutdown().ok()) std::abort();
+    daemon.Wait();
+    daemon.RequestShutdown();
+  }
+
+  for (const ResultRow& row : topk_rows) {
+    std::fprintf(stderr,
+                 "%-10s k=%-3u %9.0f req/s  p50 %7.1f us  p99 %7.1f us\n",
+                 row.artifact.c_str(), kTopKSize, row.RequestsPerSecond(),
+                 row.p50_micros, row.p99_micros);
+  }
+  if (!options.topk_out.empty()) {
+    std::FILE* file = std::fopen(options.topk_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.topk_out.c_str());
+      return 1;
+    }
+    PrintTopKJson(file, options, kTopKSize, topk_rows);
+    std::fclose(file);
+    std::fprintf(stderr, "top-k json written to %s\n",
+                 options.topk_out.c_str());
   }
 
   for (const ResultRow& row : rows) {

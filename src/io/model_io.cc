@@ -233,6 +233,10 @@ int32_t MappedEstimatorView::BucketOf(uint64_t id) const {
   return -1;
 }
 
+uint64_t MappedEstimatorView::StoredId(size_t index) const {
+  return LoadLittleU64(ids_ + index * sizeof(uint64_t));
+}
+
 double MappedEstimatorView::Estimate(uint64_t id) const {
   const int32_t bucket = BucketOf(id);
   if (bucket < 0) return 0.0;

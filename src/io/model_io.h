@@ -120,6 +120,11 @@ class MappedEstimatorView {
   size_t num_buckets() const { return num_buckets_; }
   size_t num_stored_ids() const { return table_size_; }
 
+  /// The index-th stored id, in the on-disk ascending order. Lets callers
+  /// enumerate the learned table (e.g. heavy-hitter candidate scans)
+  /// without materializing it. index must be < num_stored_ids().
+  uint64_t StoredId(size_t index) const;
+
  private:
   MappedEstimatorView() = default;
 

@@ -46,7 +46,9 @@ Result<Client> Client::Connect(const std::string& target) {
 
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
+      model_id_(other.model_id_),
       request_frame_(std::move(other.request_frame_)),
+      scoped_frame_(std::move(other.scoped_frame_)),
       response_payload_(std::move(other.response_payload_)) {
   other.fd_ = -1;
 }
@@ -55,7 +57,9 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     CloseSocket(fd_);
     fd_ = other.fd_;
+    model_id_ = other.model_id_;
     request_frame_ = std::move(other.request_frame_);
+    scoped_frame_ = std::move(other.scoped_frame_);
     response_payload_ = std::move(other.response_payload_);
     other.fd_ = -1;
   }
@@ -71,13 +75,31 @@ Status Client::RoundTrip() {
   return ReadFramePayload(fd_, response_payload_);
 }
 
-Status Client::Ping() {
-  EncodeEmptyMessage(MessageType::kPing, request_frame_);
+Result<Span<const uint8_t>> Client::Call() {
+  if (model_id_ != 0) {
+    // Wrap the already-encoded request in a scoped envelope. The swap
+    // keeps both buffers' capacity alive across calls, so a warm scoped
+    // session still encodes without heap allocation.
+    RequestHeader header;
+    header.model_id = model_id_;
+    EncodeScopedRequest(
+        header,
+        Span<const uint8_t>(request_frame_.data() + kFrameHeaderSize,
+                            request_frame_.size() - kFrameHeaderSize),
+        scoped_frame_);
+    request_frame_.swap(scoped_frame_);
+  }
   OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
   const Span<const uint8_t> payload(response_payload_.data(),
                                     response_payload_.size());
   OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
   if (type == MessageType::kError) return RemoteError(payload);
+  return payload;
+}
+
+Status Client::Ping() {
+  EncodeEmptyMessage(MessageType::kPing, request_frame_);
+  OPTHASH_IO_ASSIGN(payload, Call());
   return DecodeEmptyMessage(payload, MessageType::kPong);
 }
 
@@ -88,16 +110,11 @@ Status Client::Query(Span<const uint64_t> keys, std::vector<double>& out) {
   // Transparent chunking: spans beyond one frame's key capacity become
   // several requests (the encoder would otherwise trip its frame-size
   // invariant — an abort, not a Status).
-  for (size_t base = 0; base < keys.size() || base == 0;
-       base += kMaxKeysPerFrame) {
-    const Span<const uint64_t> chunk =
-        keys.subspan(base, kMaxKeysPerFrame);
+  const size_t max_keys = MaxKeysPerRequest();
+  for (size_t base = 0; base < keys.size() || base == 0; base += max_keys) {
+    const Span<const uint64_t> chunk = keys.subspan(base, max_keys);
     EncodeKeyRequest(MessageType::kQuery, chunk, request_frame_);
-    OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
-    const Span<const uint8_t> payload(response_payload_.data(),
-                                      response_payload_.size());
-    OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
-    if (type == MessageType::kError) return RemoteError(payload);
+    OPTHASH_IO_ASSIGN(payload, Call());
     OPTHASH_IO_RETURN_IF_ERROR(
         DecodeEstimatesResponse(payload, chunk_estimates));
     if (chunk_estimates.size() != chunk.size()) {
@@ -113,16 +130,11 @@ Status Client::Query(Span<const uint64_t> keys, std::vector<double>& out) {
 
 Result<uint64_t> Client::Ingest(Span<const uint64_t> keys) {
   uint64_t total = 0;
-  for (size_t base = 0; base < keys.size() || base == 0;
-       base += kMaxKeysPerFrame) {
-    const Span<const uint64_t> chunk =
-        keys.subspan(base, kMaxKeysPerFrame);
+  const size_t max_keys = MaxKeysPerRequest();
+  for (size_t base = 0; base < keys.size() || base == 0; base += max_keys) {
+    const Span<const uint64_t> chunk = keys.subspan(base, max_keys);
     EncodeKeyRequest(MessageType::kIngest, chunk, request_frame_);
-    OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
-    const Span<const uint8_t> payload(response_payload_.data(),
-                                      response_payload_.size());
-    OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
-    if (type == MessageType::kError) return RemoteError(payload);
+    OPTHASH_IO_ASSIGN(payload, Call());
     OPTHASH_IO_ASSIGN(acked, DecodeAckResponse(payload));
     total = acked;
     if (keys.empty()) break;
@@ -132,31 +144,31 @@ Result<uint64_t> Client::Ingest(Span<const uint64_t> keys) {
 
 Result<ServerStatsSnapshot> Client::Stats() {
   EncodeEmptyMessage(MessageType::kStats, request_frame_);
-  OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
-  const Span<const uint8_t> payload(response_payload_.data(),
-                                    response_payload_.size());
-  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
-  if (type == MessageType::kError) return RemoteError(payload);
+  OPTHASH_IO_ASSIGN(payload, Call());
   return DecodeStatsResponse(payload);
+}
+
+Status Client::TopK(uint32_t k, std::vector<sketch::HeavyHitter>& out) {
+  EncodeTopKRequest(k, request_frame_);
+  OPTHASH_IO_ASSIGN(payload, Call());
+  return DecodeTopKReply(payload, out);
+}
+
+Status Client::Metrics(std::string& text) {
+  EncodeEmptyMessage(MessageType::kMetrics, request_frame_);
+  OPTHASH_IO_ASSIGN(payload, Call());
+  return DecodeMetricsReply(payload, text);
 }
 
 Result<uint64_t> Client::Snapshot() {
   EncodeEmptyMessage(MessageType::kSnapshot, request_frame_);
-  OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
-  const Span<const uint8_t> payload(response_payload_.data(),
-                                    response_payload_.size());
-  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
-  if (type == MessageType::kError) return RemoteError(payload);
+  OPTHASH_IO_ASSIGN(payload, Call());
   return DecodeAckResponse(payload);
 }
 
 Status Client::Shutdown() {
   EncodeEmptyMessage(MessageType::kShutdown, request_frame_);
-  OPTHASH_IO_RETURN_IF_ERROR(RoundTrip());
-  const Span<const uint8_t> payload(response_payload_.data(),
-                                    response_payload_.size());
-  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
-  if (type == MessageType::kError) return RemoteError(payload);
+  OPTHASH_IO_ASSIGN(payload, Call());
   OPTHASH_IO_ASSIGN(ack, DecodeAckResponse(payload));
   (void)ack;
   return Status::OK();

@@ -55,11 +55,27 @@ class Client {
 
   Result<ServerStatsSnapshot> Stats();
 
+  /// The server's k heaviest keys, heaviest first, in the shared
+  /// HeavyHitter vocabulary. `out` is cleared and refilled (capacity
+  /// reused). Fails with the server's FailedPrecondition when the served
+  /// artifact kind cannot answer top-k.
+  Status TopK(uint32_t k, std::vector<sketch::HeavyHitter>& out);
+
+  /// The server's Prometheus text-exposition scrape body.
+  Status Metrics(std::string& text);
+
   /// Forces one snapshot rotation; returns the sequence number written.
   Result<uint64_t> Snapshot();
 
   /// Asks the daemon to shut down cleanly (acknowledged before it does).
   Status Shutdown();
+
+  /// Addresses every subsequent request to this model id by wrapping it
+  /// in a kScopedRequest envelope. Id 0 (the default) sends bare frames
+  /// — byte-identical to a client predating the envelope. Non-zero ids
+  /// are answered NotFound until the multi-bundle registry lands.
+  void set_model_id(uint32_t id) { model_id_ = id; }
+  uint32_t model_id() const { return model_id_; }
 
  private:
   explicit Client(int fd) : fd_(fd) {}
@@ -68,8 +84,22 @@ class Client {
   /// response_payload_; decodes a kError response into the remote Status.
   Status RoundTrip();
 
+  /// The single request/reply path every verb funnels through: wraps
+  /// request_frame_ in a scoped envelope when model_id_ != 0, round-trips
+  /// it, surfaces a kError reply as the remote Status, and returns the
+  /// reply payload for the verb to decode.
+  Result<Span<const uint8_t>> Call();
+
+  /// Keys per request frame: one fewer than the frame maximum when the
+  /// scoped envelope's 6 header bytes ride along.
+  size_t MaxKeysPerRequest() const {
+    return model_id_ == 0 ? kMaxKeysPerFrame : kMaxKeysPerFrame - 1;
+  }
+
   int fd_ = -1;
+  uint32_t model_id_ = 0;
   std::vector<uint8_t> request_frame_;
+  std::vector<uint8_t> scoped_frame_;
   std::vector<uint8_t> response_payload_;
 };
 

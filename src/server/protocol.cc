@@ -75,6 +75,12 @@ const char* MessageTypeName(MessageType type) {
       return "snapshot";
     case MessageType::kShutdown:
       return "shutdown";
+    case MessageType::kTopK:
+      return "topk";
+    case MessageType::kMetrics:
+      return "metrics";
+    case MessageType::kScopedRequest:
+      return "scoped-request";
     case MessageType::kEstimates:
       return "estimates";
     case MessageType::kAck:
@@ -83,6 +89,10 @@ const char* MessageTypeName(MessageType type) {
       return "stats-reply";
     case MessageType::kPong:
       return "pong";
+    case MessageType::kTopKReply:
+      return "topk-reply";
+    case MessageType::kMetricsReply:
+      return "metrics-reply";
     case MessageType::kError:
       return "error";
   }
@@ -159,6 +169,48 @@ void EncodeErrorResponse(const Status& error, std::vector<uint8_t>& frame) {
   SealFrame(frame);
 }
 
+void EncodeTopKRequest(uint32_t k, std::vector<uint8_t>& frame) {
+  BeginFrame(frame, MessageType::kTopK);
+  AppendU32(frame, k);
+  SealFrame(frame);
+}
+
+void EncodeTopKReply(Span<const sketch::HeavyHitter> hitters,
+                     std::vector<uint8_t>& frame) {
+  OPTHASH_CHECK_LE(hitters.size(), kMaxHittersPerFrame);
+  BeginFrame(frame, MessageType::kTopKReply);
+  AppendU32(frame, static_cast<uint32_t>(hitters.size()));
+  for (const sketch::HeavyHitter& hitter : hitters) {
+    AppendU64(frame, hitter.id);
+    AppendDouble(frame, hitter.estimate);
+    AppendDouble(frame, hitter.error_bound);
+    AppendU8(frame, hitter.guaranteed ? 1 : 0);
+  }
+  SealFrame(frame);
+}
+
+void EncodeMetricsReply(const std::string& text,
+                        std::vector<uint8_t>& frame) {
+  BeginFrame(frame, MessageType::kMetricsReply);
+  // Clamp like error messages: a scrape body must never burst the frame.
+  const size_t length =
+      std::min(text.size(), kMaxFramePayload - frame.size());
+  AppendU32(frame, static_cast<uint32_t>(length));
+  frame.insert(frame.end(), text.data(), text.data() + length);
+  SealFrame(frame);
+}
+
+void EncodeScopedRequest(const RequestHeader& header,
+                         Span<const uint8_t> inner_payload,
+                         std::vector<uint8_t>& frame) {
+  OPTHASH_CHECK_MSG(!inner_payload.empty(), "empty scoped inner payload");
+  BeginFrame(frame, MessageType::kScopedRequest);
+  AppendU8(frame, header.version);
+  AppendU32(frame, header.model_id);
+  frame.insert(frame.end(), inner_payload.begin(), inner_payload.end());
+  SealFrame(frame);
+}
+
 Result<MessageType> PeekMessageType(Span<const uint8_t> payload) {
   if (payload.empty()) {
     return Status::InvalidArgument("empty frame payload");
@@ -171,10 +223,15 @@ Result<MessageType> PeekMessageType(Span<const uint8_t> payload) {
     case MessageType::kPing:
     case MessageType::kSnapshot:
     case MessageType::kShutdown:
+    case MessageType::kTopK:
+    case MessageType::kMetrics:
+    case MessageType::kScopedRequest:
     case MessageType::kEstimates:
     case MessageType::kAck:
     case MessageType::kStatsReply:
     case MessageType::kPong:
+    case MessageType::kTopKReply:
+    case MessageType::kMetricsReply:
     case MessageType::kError:
       return type;
   }
@@ -283,6 +340,100 @@ Result<ServerStatsSnapshot> DecodeStatsResponse(Span<const uint8_t> payload) {
   stats.query_p99_micros = io::LoadLittleDouble(at + 72);
   stats.snapshot_age_seconds = io::LoadLittleDouble(at + 80);
   return stats;
+}
+
+Result<uint32_t> DecodeTopKRequest(Span<const uint8_t> payload) {
+  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
+  if (type != MessageType::kTopK) {
+    return Status::InvalidArgument(std::string("expected topk, got ") +
+                                   MessageTypeName(type));
+  }
+  if (payload.size() != 1 + sizeof(uint32_t)) return ShortPayload("topk");
+  const uint32_t k = io::LoadLittleU32(payload.data() + 1);
+  if (k == 0) return Status::InvalidArgument("topk k must be positive");
+  return k;
+}
+
+Status DecodeTopKReply(Span<const uint8_t> payload,
+                       std::vector<sketch::HeavyHitter>& hitters) {
+  hitters.clear();
+  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
+  if (type != MessageType::kTopKReply) {
+    return Status::InvalidArgument(std::string("expected topk-reply, got ") +
+                                   MessageTypeName(type));
+  }
+  if (payload.size() < 1 + sizeof(uint32_t)) return ShortPayload("topk-reply");
+  const uint32_t count = io::LoadLittleU32(payload.data() + 1);
+  const size_t body = payload.size() - 1 - sizeof(uint32_t);
+  if (body != static_cast<size_t>(count) * kWireHitterSize) {
+    return Status::InvalidArgument(
+        "topk-reply declares " + std::to_string(count) +
+        " hitters but carries " + std::to_string(body) + " body bytes");
+  }
+  hitters.reserve(count);
+  const uint8_t* at = payload.data() + 1 + sizeof(uint32_t);
+  for (uint32_t i = 0; i < count; ++i) {
+    sketch::HeavyHitter hitter;
+    hitter.id = io::LoadLittleU64(at);
+    hitter.estimate = io::LoadLittleDouble(at + 8);
+    hitter.error_bound = io::LoadLittleDouble(at + 16);
+    const uint8_t flag = at[24];
+    if (flag > 1) {
+      return Status::InvalidArgument(
+          "topk-reply guaranteed flag must be 0 or 1, got " +
+          std::to_string(flag));
+    }
+    hitter.guaranteed = flag == 1;
+    hitters.push_back(hitter);
+    at += kWireHitterSize;
+  }
+  return Status::OK();
+}
+
+Status DecodeMetricsReply(Span<const uint8_t> payload, std::string& text) {
+  text.clear();
+  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
+  if (type != MessageType::kMetricsReply) {
+    return Status::InvalidArgument(
+        std::string("expected metrics-reply, got ") + MessageTypeName(type));
+  }
+  if (payload.size() < 1 + sizeof(uint32_t)) {
+    return ShortPayload("metrics-reply");
+  }
+  const uint32_t length = io::LoadLittleU32(payload.data() + 1);
+  if (payload.size() != 1 + sizeof(uint32_t) + length) {
+    return Status::InvalidArgument("metrics-reply payload length mismatch");
+  }
+  text.assign(
+      reinterpret_cast<const char*>(payload.data() + 1 + sizeof(uint32_t)),
+      length);
+  return Status::OK();
+}
+
+Status DecodeScopedRequest(Span<const uint8_t> payload, RequestHeader& header,
+                           Span<const uint8_t>& inner) {
+  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
+  if (type != MessageType::kScopedRequest) {
+    return Status::InvalidArgument(
+        std::string("expected scoped-request, got ") + MessageTypeName(type));
+  }
+  constexpr size_t kHeaderBytes = 1 + 1 + sizeof(uint32_t);
+  if (payload.size() < kHeaderBytes + 1) {
+    return ShortPayload("scoped-request");
+  }
+  header.version = payload[1];
+  if (header.version != kRequestHeaderVersion) {
+    return Status::InvalidArgument(
+        "unsupported request-header version " +
+        std::to_string(header.version));
+  }
+  header.model_id = io::LoadLittleU32(payload.data() + 2);
+  inner = Span<const uint8_t>(payload.data() + kHeaderBytes,
+                              payload.size() - kHeaderBytes);
+  if (static_cast<MessageType>(inner[0]) == MessageType::kScopedRequest) {
+    return Status::InvalidArgument("scoped-request envelopes cannot nest");
+  }
+  return Status::OK();
 }
 
 Status DecodeErrorResponse(Span<const uint8_t> payload, Status& remote) {

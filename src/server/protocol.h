@@ -7,6 +7,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "sketch/top_k.h"
 
 namespace opthash::server {
 
@@ -33,6 +34,12 @@ inline constexpr size_t kFrameHeaderSize = 4;
 /// Keys fitting one query/ingest frame (type byte + u32 count + 8/key).
 inline constexpr size_t kMaxKeysPerFrame =
     (kMaxFramePayload - 1 - sizeof(uint32_t)) / sizeof(uint64_t);
+/// Bytes of one serialized heavy hitter in a kTopKReply body.
+inline constexpr size_t kWireHitterSize =
+    sizeof(uint64_t) + 2 * sizeof(double) + 1;
+/// Hitters fitting one topk-reply frame (type byte + u32 count + 25/entry).
+inline constexpr size_t kMaxHittersPerFrame =
+    (kMaxFramePayload - 1 - sizeof(uint32_t)) / kWireHitterSize;
 
 /// Stable on-wire message identifiers — never renumber.
 enum class MessageType : uint8_t {
@@ -43,15 +50,37 @@ enum class MessageType : uint8_t {
   kPing = 4,      // (empty)                     -> kPong
   kSnapshot = 5,  // (empty)                     -> kAck(rotation sequence)
   kShutdown = 6,  // (empty)                     -> kAck(0), then shutdown
+  kTopK = 7,      // u32 k                       -> kTopKReply
+  kMetrics = 8,   // (empty)                     -> kMetricsReply
+  // Envelope: u8 header version, u32 model id, then one complete inner
+  // request payload (type byte onward). The model-id field is the hook
+  // for the future multi-bundle registry; today only id 0 is served.
+  kScopedRequest = 9,
   // Responses.
   kEstimates = 129,  // u32 count, count x f64
   kAck = 130,        // u64 value
   kStatsReply = 131, // ServerStatsSnapshot body
   kPong = 132,       // (empty)
+  kTopKReply = 133,    // u32 count, count x (u64 id, f64 est, f64 err, u8 g)
+  kMetricsReply = 134, // u32 length + Prometheus text exposition bytes
   kError = 255,      // u8 wire code, u32 length + message bytes
 };
 
 const char* MessageTypeName(MessageType type);
+
+/// Current (and only) scoped-request header version.
+inline constexpr uint8_t kRequestHeaderVersion = 1;
+
+/// The versioned request header carried by a kScopedRequest envelope.
+/// PR-5 reserved a model-id request form without defining it; this struct
+/// is that definition. The server resolves `model_id` before dispatching
+/// the inner request — non-default ids are rejected with kError(NotFound)
+/// until the multi-bundle registry lands, at which point the same header
+/// routes requests to named bundles without a wire change.
+struct RequestHeader {
+  uint8_t version = kRequestHeaderVersion;
+  uint32_t model_id = 0;
+};
 
 /// Operational counters served by the kStats request; also the
 /// human-readable output of `opthash_client stats`.
@@ -87,6 +116,25 @@ void EncodeStatsResponse(const ServerStatsSnapshot& stats,
                          std::vector<uint8_t>& frame);
 void EncodeErrorResponse(const Status& error, std::vector<uint8_t>& frame);
 
+/// kTopK request: ask for the k heaviest keys of the served model.
+void EncodeTopKRequest(uint32_t k, std::vector<uint8_t>& frame);
+
+/// kTopKReply: hitters.size() must be <= kMaxHittersPerFrame (the server
+/// clamps k before answering, so a reply always fits one frame).
+void EncodeTopKReply(Span<const sketch::HeavyHitter> hitters,
+                     std::vector<uint8_t>& frame);
+
+/// kMetricsReply: the rendered Prometheus text exposition. Clamped at the
+/// frame cap like error messages (a scrape body never comes close).
+void EncodeMetricsReply(const std::string& text, std::vector<uint8_t>& frame);
+
+/// kScopedRequest envelope around one complete inner request payload
+/// (type byte onward — NOT a length-prefixed frame). The inner payload
+/// must itself fit the enveloped frame within kMaxFramePayload.
+void EncodeScopedRequest(const RequestHeader& header,
+                         Span<const uint8_t> inner_payload,
+                         std::vector<uint8_t>& frame);
+
 // --------------------------------------------------------------------------
 // Decoding. Input is one frame payload (the bytes after the length
 // prefix). Every decoder rejects a short, oversized, or inconsistent body
@@ -108,6 +156,23 @@ Status DecodeEstimatesResponse(Span<const uint8_t> payload,
                                std::vector<double>& estimates);
 Result<uint64_t> DecodeAckResponse(Span<const uint8_t> payload);
 Result<ServerStatsSnapshot> DecodeStatsResponse(Span<const uint8_t> payload);
+
+/// Decodes a kTopK body; rejects k == 0.
+Result<uint32_t> DecodeTopKRequest(Span<const uint8_t> payload);
+
+/// Decodes a kTopKReply body into `hitters` (cleared, capacity reused).
+/// The guaranteed byte must be strictly 0 or 1.
+Status DecodeTopKReply(Span<const uint8_t> payload,
+                       std::vector<sketch::HeavyHitter>& hitters);
+
+/// Decodes a kMetricsReply body into `text`.
+Status DecodeMetricsReply(Span<const uint8_t> payload, std::string& text);
+
+/// Decodes a kScopedRequest envelope. `inner` aliases `payload` (no
+/// copy) and holds one complete inner request payload. Rejects unknown
+/// header versions, empty inner payloads, and nested envelopes.
+Status DecodeScopedRequest(Span<const uint8_t> payload, RequestHeader& header,
+                           Span<const uint8_t>& inner);
 
 /// Reconstructs the remote Status carried by a kError payload into
 /// `remote`; the return value reports whether the payload itself decoded.

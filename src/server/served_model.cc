@@ -1,6 +1,7 @@
 #include "server/served_model.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,25 @@ uint64_t TotalItemsOf(const Sketch&, long) {  // NOLINT runtime/int
 
 class EmptyContext : public ServedModel::QueryContext {};
 
+// Detects a native sketch-layer top-k accessor: the free function
+// sketch::TopK(sketch, k) exists for the heavy-hitter summaries
+// (misra-gries, space-saving) and the learned count-min's oracle table;
+// plain cms/countsketch store no candidate ids and resolve to the base
+// class's FailedPrecondition.
+template <typename Sketch, typename = void>
+struct HasNativeTopK : std::false_type {};
+template <typename Sketch>
+struct HasNativeTopK<Sketch,
+                     std::void_t<decltype(sketch::TopK(
+                         std::declval<const Sketch&>(), size_t{0}))>>
+    : std::true_type {};
+
+void SortAndTruncateHitters(std::vector<sketch::HeavyHitter>& hitters,
+                            size_t k) {
+  sketch::SortHeavyHitters(hitters);
+  if (hitters.size() > k) hitters.resize(k);
+}
+
 // ---------------------------------------------------------------------------
 // Mutable sketch models.
 
@@ -89,6 +109,18 @@ class SketchModel : public ServedModel {
   void EstimateBatch(QueryContext& /*context*/, Span<const uint64_t> keys,
                      Span<double> out) const override {
     EstimateBlockAsDouble(sketch_, keys, out);
+  }
+
+  bool SupportsTopK() const override { return HasNativeTopK<Sketch>::value; }
+
+  Status TopK(QueryContext& context, size_t k,
+              std::vector<sketch::HeavyHitter>& out) const override {
+    if constexpr (HasNativeTopK<Sketch>::value) {
+      out = sketch::TopK(sketch_, k);
+      return Status::OK();
+    } else {
+      return ServedModel::TopK(context, k, out);
+    }
   }
 
   Status SaveSnapshot(const std::string& path) const override {
@@ -159,6 +191,38 @@ class BundleModel : public ServedModel {
     ctx.engine.EstimateBlock(
         Span<const stream::TraceRecord>(ctx.block.data(), ctx.block.size()),
         out);
+  }
+
+  bool SupportsTopK() const override { return true; }
+
+  Status TopK(QueryContext& context, size_t k,
+              std::vector<sketch::HeavyHitter>& out) const override {
+    // Candidate set: the learned table's stored ids — the only keys the
+    // bundle distinguishes individually (everything else shares classifier
+    // buckets). Ascending id order makes the scan deterministic; every
+    // candidate resolves in the table, so the classifier never runs. The
+    // bucket-average estimates carry no deterministic per-key bound.
+    std::vector<uint64_t> ids;
+    ids.reserve(bundle_->estimator->table().size());
+    for (const auto& [id, bucket] : bundle_->estimator->table()) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    out.clear();
+    out.reserve(ids.size());
+    constexpr size_t kChunk = 256;
+    double estimates[kChunk];
+    for (size_t base = 0; base < ids.size(); base += kChunk) {
+      const size_t chunk = std::min(kChunk, ids.size() - base);
+      EstimateBatch(context,
+                    Span<const uint64_t>(ids.data() + base, chunk),
+                    Span<double>(estimates, chunk));
+      for (size_t i = 0; i < chunk; ++i) {
+        out.push_back({ids[base + i], estimates[i], 0.0, false});
+      }
+    }
+    SortAndTruncateHitters(out, k);
+    return Status::OK();
   }
 
   Status SaveSnapshot(const std::string& path) const override {
@@ -243,6 +307,34 @@ class MappedBundleModel : public ServedModel {
     view_.EstimateBatch(keys, out);
   }
 
+  bool SupportsTopK() const override { return true; }
+
+  Status TopK(QueryContext& /*context*/, size_t k,
+              std::vector<sketch::HeavyHitter>& out) const override {
+    // Same candidate set as BundleModel — the stored-id table, already
+    // ascending on disk — through the view's batch path, so the mapped
+    // answers are bit-identical to the full-load bundle's.
+    const size_t stored = view_.num_stored_ids();
+    out.clear();
+    out.reserve(stored);
+    constexpr size_t kChunk = 256;
+    uint64_t ids[kChunk];
+    double estimates[kChunk];
+    for (size_t base = 0; base < stored; base += kChunk) {
+      const size_t chunk = std::min(kChunk, stored - base);
+      for (size_t i = 0; i < chunk; ++i) {
+        ids[i] = view_.StoredId(base + i);
+      }
+      view_.EstimateBatch(Span<const uint64_t>(ids, chunk),
+                          Span<double>(estimates, chunk));
+      for (size_t i = 0; i < chunk; ++i) {
+        out.push_back({ids[i], estimates[i], 0.0, false});
+      }
+    }
+    SortAndTruncateHitters(out, k);
+    return Status::OK();
+  }
+
   Status SaveSnapshot(const std::string& path) const override {
     (void)path;
     return ReadOnlyError(Kind(), "snapshot rotation");
@@ -322,6 +414,16 @@ Result<OpenedModel> OpenSketch(const std::string& path, io::SectionType type,
 }
 
 }  // namespace
+
+Status ServedModel::TopK(QueryContext& /*context*/, size_t /*k*/,
+                         std::vector<sketch::HeavyHitter>& out) const {
+  out.clear();
+  return Status::FailedPrecondition(
+      std::string(Kind()) +
+      " stores no candidate ids and cannot answer top-k; supported kinds: "
+      "misra-gries, space-saving, learned-count-min, model-bundle, "
+      "mapped-model-bundle");
+}
 
 Result<OpenedModel> OpenServedModel(const std::string& path, bool use_mmap) {
   auto format = io::DetectFileFormat(path);

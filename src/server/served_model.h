@@ -7,6 +7,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "sketch/top_k.h"
 #include "stream/sharded_ingest.h"
 
 namespace opthash::server {
@@ -62,6 +63,22 @@ class ServedModel {
   /// classifier on the featurized empty payload).
   virtual void EstimateBatch(QueryContext& context, Span<const uint64_t> keys,
                              Span<double> out) const = 0;
+
+  /// True when this artifact kind can answer TopK — the capability flag
+  /// the server checks before dispatching a kTopK frame, mirroring the
+  /// ReadOnly/mmap capability pattern. Heavy-hitter summaries (mg, ss),
+  /// the learned count-min and model bundles report their internal
+  /// candidate tables; plain cms/countsketch artifacts store no ids and
+  /// cannot (the offline CLI rejects them the same way).
+  virtual bool SupportsTopK() const { return false; }
+
+  /// The k heaviest keys of the artifact, heaviest first, in the shared
+  /// HeavyHitter vocabulary (canonical order: estimate desc, id asc).
+  /// Same threading contract as EstimateBatch: const, concurrent-safe
+  /// with per-thread contexts. Default: FailedPrecondition naming the
+  /// kinds that support the verb.
+  virtual Status TopK(QueryContext& context, size_t k,
+                      std::vector<sketch::HeavyHitter>& out) const;
 
   /// Writes a checkpoint loadable by OpenServedModel (and by the offline
   /// `restore` verb) to `path`. The rotator wraps this in

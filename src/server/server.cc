@@ -25,6 +25,7 @@ struct ServingSession : EventLoop::SessionState {
   std::unique_ptr<ServedModel::QueryContext> context;
   std::vector<uint64_t> keys;
   std::vector<double> estimates;
+  std::vector<sketch::HeavyHitter> hitters;
 };
 
 }  // namespace
@@ -125,7 +126,7 @@ Status Server::Start() {
              std::vector<uint8_t>& response) {
         auto& session = static_cast<ServingSession&>(state);
         return HandleRequest(payload, *session.context, session.keys,
-                             session.estimates, response);
+                             session.estimates, session.hitters, response);
       });
   const Status pool_started = pool_->Start();
   if (!pool_started.ok()) return fail(pool_started);
@@ -246,6 +247,7 @@ bool Server::HandleRequest(Span<const uint8_t> payload,
                            ServedModel::QueryContext& context,
                            std::vector<uint64_t>& keys,
                            std::vector<double>& estimates,
+                           std::vector<sketch::HeavyHitter>& hitters,
                            std::vector<uint8_t>& response) {
   auto type = PeekMessageType(payload);
   if (!type.ok()) {
@@ -334,6 +336,72 @@ bool Server::HandleRequest(Span<const uint8_t> payload,
       EncodeAckResponse(sequence.value(), response);
       return true;
     }
+    case MessageType::kTopK: {
+      Timer latency;
+      auto k = DecodeTopKRequest(payload);
+      if (!k.ok()) {
+        EncodeErrorResponse(k.status(), response);
+        return false;
+      }
+      // Clamp so the reply always fits one frame; the top of the order
+      // is the same either way.
+      const size_t want =
+          std::min<size_t>(k.value(), kMaxHittersPerFrame);
+      Status answered;
+      {
+        std::shared_lock<std::shared_mutex> lock(model_mutex_);
+        answered = model_->TopK(context, want, hitters);
+      }
+      if (!answered.ok()) {
+        // Unsupported artifact kind (or other semantic failure): the
+        // session stays usable, exactly like a rejected ingest.
+        EncodeErrorResponse(answered, response);
+        return true;
+      }
+      EncodeTopKReply(
+          Span<const sketch::HeavyHitter>(hitters.data(), hitters.size()),
+          response);
+      topk_requests_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(latency_mutex_);
+        query_latency_.Record(latency.ElapsedSeconds() * 1e6);
+      }
+      return true;
+    }
+    case MessageType::kMetrics: {
+      const Status decoded =
+          DecodeEmptyMessage(payload, MessageType::kMetrics);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      EncodeMetricsReply(RenderPrometheusMetrics(), response);
+      return true;
+    }
+    case MessageType::kScopedRequest: {
+      RequestHeader header;
+      Span<const uint8_t> inner;
+      const Status decoded = DecodeScopedRequest(payload, header, inner);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      if (header.model_id != 0) {
+        // The header is the hook for the future multi-bundle registry;
+        // until it lands only the default model exists. Clean semantic
+        // error, session survives.
+        EncodeErrorResponse(
+            Status::NotFound(
+                "no model with id " + std::to_string(header.model_id) +
+                ": this daemon serves a single default model (id 0)"),
+            response);
+        return true;
+      }
+      // The decoder rejects nested envelopes, so this recursion is one
+      // level deep at most.
+      return HandleRequest(inner, context, keys, estimates, hitters,
+                           response);
+    }
     case MessageType::kShutdown: {
       const Status decoded =
           DecodeEmptyMessage(payload, MessageType::kShutdown);
@@ -356,6 +424,105 @@ bool Server::HandleRequest(Span<const uint8_t> payload,
       return false;
     }
   }
+}
+
+std::string Server::RenderPrometheusMetrics() const {
+  std::string out;
+  out.reserve(4096);
+  const auto counter = [&out](const char* name, const char* help,
+                              uint64_t value) {
+    out += "# HELP opthash_";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE opthash_";
+    out += name;
+    out += " counter\nopthash_";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  const auto gauge = [&out](const char* name, const char* help,
+                            double value) {
+    char number[32];
+    std::snprintf(number, sizeof(number), "%.6f", value);
+    out += "# HELP opthash_";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE opthash_";
+    out += name;
+    out += " gauge\nopthash_";
+    out += name;
+    out += ' ';
+    out += number;
+    out += '\n';
+  };
+
+  counter("items_ingested_total", "Arrivals accepted by this process.",
+          items_ingested_.load());
+  counter("queries_served_total", "Individual keys answered.",
+          queries_served_.load());
+  counter("query_requests_total", "Query frames handled.",
+          query_requests_.load());
+  counter("ingest_requests_total", "Ingest frames handled.",
+          ingest_requests_.load());
+  counter("topk_requests_total", "Top-k frames handled.",
+          topk_requests_.load());
+  counter("sessions_accepted_total", "Connections accepted.",
+          sessions_accepted_.load());
+  counter("sessions_rejected_total",
+          "Connections rejected at the connection limit.",
+          sessions_rejected_.load());
+  counter("sessions_closed_idle_total",
+          "Sessions closed by the idle timeout.", sessions_closed_idle());
+  counter("sessions_closed_backpressure_total",
+          "Sessions closed for unread reply backpressure.",
+          sessions_closed_backpressure());
+  counter("snapshots_written_total", "Snapshot rotations this run.",
+          rotator_->rotations());
+
+  gauge("connections", "Live sessions across both transports.",
+        static_cast<double>(connections()));
+  gauge("uptime_seconds", "Seconds since the daemon started.",
+        uptime_.ElapsedSeconds());
+  {
+    std::shared_lock<std::shared_mutex> lock(model_mutex_);
+    gauge("model_total_items",
+          "Model-lifetime arrivals (0 when the artifact has no counter).",
+          static_cast<double>(model_->TotalItems()));
+  }
+  gauge("snapshot_age_seconds",
+        "Seconds since the last rotation (negative: none yet this run).",
+        rotator_->LastRotationAgeSeconds());
+
+  double p50 = 0.0;
+  double p99 = 0.0;
+  uint64_t latency_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    p50 = query_latency_.PercentileMicros(0.50);
+    p99 = query_latency_.PercentileMicros(0.99);
+    latency_count = query_latency_.count();
+  }
+  char number[32];
+  out +=
+      "# HELP opthash_query_latency_micros Server-side request latency "
+      "(query and top-k frames).\n"
+      "# TYPE opthash_query_latency_micros summary\n";
+  std::snprintf(number, sizeof(number), "%.6f", p50);
+  out += "opthash_query_latency_micros{quantile=\"0.5\"} ";
+  out += number;
+  out += '\n';
+  std::snprintf(number, sizeof(number), "%.6f", p99);
+  out += "opthash_query_latency_micros{quantile=\"0.99\"} ";
+  out += number;
+  out += '\n';
+  out += "opthash_query_latency_micros_count ";
+  out += std::to_string(latency_count);
+  out += '\n';
+  return out;
 }
 
 ServerStatsSnapshot Server::StatsNow() const {

@@ -117,6 +117,11 @@ class Server {
   /// returns).
   ServerStatsSnapshot StatsNow() const;
 
+  /// The kMetrics scrape body: every operational counter and gauge plus
+  /// the query-latency summary (p50/p99) in Prometheus text exposition
+  /// format. Also what `opthash_client metrics` prints verbatim.
+  std::string RenderPrometheusMetrics() const;
+
   const ServedModel& model() const { return *model_; }
   SnapshotRotator& rotator() { return *rotator_; }
 
@@ -128,6 +133,7 @@ class Server {
                      ServedModel::QueryContext& context,
                      std::vector<uint64_t>& keys,
                      std::vector<double>& estimates,
+                     std::vector<sketch::HeavyHitter>& hitters,
                      std::vector<uint8_t>& response_frame);
   /// Sets stop_ under shutdown_mutex_ and notifies Wait()ers — the store
   /// must happen inside the mutex or a waiter between its predicate
@@ -159,6 +165,7 @@ class Server {
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> ingest_requests_{0};
+  std::atomic<uint64_t> topk_requests_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
   mutable std::mutex latency_mutex_;

@@ -62,6 +62,13 @@ class LearnedCountMinSketch {
   void EstimateBatch(Span<const uint64_t> keys, Span<uint64_t> out) const;
 
   size_t heavy_bucket_count() const { return heavy_counts_.size(); }
+
+  /// The exact per-key counts of the oracle (heavy-table) keys — the
+  /// sketch's internal candidate set for heavy-hitter reporting.
+  const std::unordered_map<uint64_t, uint64_t>& heavy_counts() const {
+    return heavy_counts_;
+  }
+
   size_t TotalBuckets() const { return total_buckets_; }
   size_t MemoryBytes() const { return total_buckets_ * sizeof(uint32_t); }
   const CountMinSketch& remainder_sketch() const { return remainder_; }

@@ -150,6 +150,13 @@ std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::GuaranteedHeavy(
   return heavy;
 }
 
+std::vector<uint64_t> SpaceSaving::TrackedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) keys.push_back(key);
+  return keys;
+}
+
 namespace {
 constexpr uint32_t kSpaceSavingPayloadVersion = 1;
 }  // namespace

@@ -70,6 +70,9 @@ class SpaceSaving {
 
   bool IsTracked(uint64_t key) const { return counters_.count(key) > 0; }
 
+  /// All currently tracked keys (unordered).
+  std::vector<uint64_t> TrackedKeys() const;
+
   /// Tracked keys with guaranteed count (counter - error) >= threshold,
   /// heaviest first.
   std::vector<std::pair<uint64_t, uint64_t>> GuaranteedHeavy(

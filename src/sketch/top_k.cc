@@ -1,0 +1,164 @@
+#include "sketch/top_k.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace opthash::sketch {
+
+namespace {
+
+// Batch width of the candidate scans, matching the EstimateBatch chunk
+// size used throughout the read path.
+constexpr size_t kScanChunk = 256;
+
+void SortAndTruncate(std::vector<HeavyHitter>& hitters, size_t k) {
+  SortHeavyHitters(hitters);
+  if (hitters.size() > k) hitters.resize(k);
+}
+
+std::vector<uint64_t> DistinctCandidates(Span<const uint64_t> candidates) {
+  std::vector<uint64_t> distinct;
+  distinct.reserve(candidates.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(candidates.size());
+  for (uint64_t id : candidates) {
+    if (seen.insert(id).second) distinct.push_back(id);
+  }
+  return distinct;
+}
+
+}  // namespace
+
+void SortHeavyHitters(std::vector<HeavyHitter>& hitters) {
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.id < b.id;
+            });
+}
+
+std::string HeavyHitterCsvRow(const HeavyHitter& hitter) {
+  char row[96];
+  std::snprintf(row, sizeof(row), "%llu,%.2f,%.2f,%d",
+                static_cast<unsigned long long>(hitter.id), hitter.estimate,
+                hitter.error_bound, hitter.guaranteed ? 1 : 0);
+  return std::string(row);
+}
+
+std::vector<HeavyHitter> TopK(const MisraGries& summary, size_t k) {
+  const auto entries = summary.HeavyEntries(1);
+  // Every decrement round removes capacity+1 arrivals from the tracked
+  // sum (one incoming plus one per counter) while lowering any single
+  // key's counter by at most one per round, so the per-key deficit is at
+  // most (total - tracked_sum) / (capacity + 1).
+  uint64_t tracked_sum = 0;
+  for (const auto& [id, counter] : entries) tracked_sum += counter;
+  const uint64_t deficit =
+      (summary.total_count() - tracked_sum) / (summary.capacity() + 1);
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(std::min(k, entries.size()));
+  for (const auto& [id, counter] : entries) {
+    if (hitters.size() == k) break;
+    hitters.push_back({id, static_cast<double>(counter),
+                       static_cast<double>(deficit), deficit == 0});
+  }
+  return hitters;  // HeavyEntries is already in canonical order.
+}
+
+std::vector<HeavyHitter> TopK(const SpaceSaving& summary, size_t k) {
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(summary.size());
+  for (uint64_t id : summary.TrackedKeys()) {
+    const uint64_t error = summary.ErrorOf(id);
+    hitters.push_back({id, static_cast<double>(summary.Estimate(id)),
+                       static_cast<double>(error), error == 0});
+  }
+  SortAndTruncate(hitters, k);
+  return hitters;
+}
+
+std::vector<HeavyHitter> TopK(const LearnedCountMinSketch& sketch, size_t k) {
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(sketch.heavy_counts().size());
+  for (const auto& [id, count] : sketch.heavy_counts()) {
+    hitters.push_back({id, static_cast<double>(count), 0.0, true});
+  }
+  SortAndTruncate(hitters, k);
+  return hitters;
+}
+
+std::vector<HeavyHitter> TopKOverCandidates(const CountMinSketch& sketch,
+                                            Span<const uint64_t> candidates,
+                                            size_t k) {
+  const std::vector<uint64_t> distinct = DistinctCandidates(candidates);
+  const double bound =
+      sketch.Epsilon() * static_cast<double>(sketch.total_count());
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(distinct.size());
+  uint64_t estimates[kScanChunk];
+  for (size_t base = 0; base < distinct.size(); base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, distinct.size() - base);
+    sketch.EstimateBatch(Span<const uint64_t>(distinct.data() + base, n),
+                         Span<uint64_t>(estimates, n));
+    for (size_t i = 0; i < n; ++i) {
+      hitters.push_back(
+          {distinct[base + i], static_cast<double>(estimates[i]), bound,
+           false});
+    }
+  }
+  SortAndTruncate(hitters, k);
+  return hitters;
+}
+
+std::vector<HeavyHitter> TopKOverCandidates(const CountSketch& sketch,
+                                            Span<const uint64_t> candidates,
+                                            size_t k) {
+  const std::vector<uint64_t> distinct = DistinctCandidates(candidates);
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(distinct.size());
+  uint64_t estimates[kScanChunk];
+  for (size_t base = 0; base < distinct.size(); base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, distinct.size() - base);
+    sketch.EstimateNonNegativeBatch(
+        Span<const uint64_t>(distinct.data() + base, n),
+        Span<uint64_t>(estimates, n));
+    for (size_t i = 0; i < n; ++i) {
+      // Count-Sketch's median guarantee is probabilistic: no deterministic
+      // bound to report (error_bound 0, guaranteed false by convention).
+      hitters.push_back(
+          {distinct[base + i], static_cast<double>(estimates[i]), 0.0, false});
+    }
+  }
+  SortAndTruncate(hitters, k);
+  return hitters;
+}
+
+std::vector<HeavyHitter> MergeTopK(Span<const std::vector<HeavyHitter>> shards,
+                                   size_t k) {
+  struct Folded {
+    double estimate = 0.0;
+    double error_bound = 0.0;
+    bool guaranteed = true;
+  };
+  std::unordered_map<uint64_t, Folded> by_id;
+  for (const std::vector<HeavyHitter>& shard : shards) {
+    for (const HeavyHitter& hitter : shard) {
+      Folded& folded = by_id[hitter.id];
+      folded.estimate += hitter.estimate;
+      folded.error_bound += hitter.error_bound;
+      folded.guaranteed = folded.guaranteed && hitter.guaranteed;
+    }
+  }
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(by_id.size());
+  for (const auto& [id, folded] : by_id) {
+    hitters.push_back({id, folded.estimate, folded.error_bound,
+                       folded.guaranteed});
+  }
+  SortAndTruncate(hitters, k);
+  return hitters;
+}
+
+}  // namespace opthash::sketch

@@ -57,9 +57,10 @@ void SetRecvTimeout(int fd, int millis) {
 }
 
 /// Walks the byte stream exactly like the server's frame parser and
-/// reports whether any complete frame in it is a valid kShutdown — the
-/// one mutation outcome the fuzzer must not deliver, or it would stop
-/// the daemon mid-run by *succeeding*.
+/// reports whether any complete frame in it is a valid kShutdown — bare
+/// or wrapped in a scoped envelope the server would unwrap and obey —
+/// the one mutation outcome the fuzzer must not deliver, or it would
+/// stop the daemon mid-run by *succeeding*.
 bool ContainsValidShutdown(const std::vector<uint8_t>& bytes) {
   size_t head = 0;
   while (bytes.size() - head >= kFrameHeaderSize) {
@@ -67,9 +68,18 @@ bool ContainsValidShutdown(const std::vector<uint8_t>& bytes) {
     std::memcpy(&length, bytes.data() + head, sizeof(length));
     if (length > kMaxFramePayload) return false;  // Parser errors here.
     if (bytes.size() - head - kFrameHeaderSize < length) return false;
+    const uint8_t* payload = bytes.data() + head + kFrameHeaderSize;
     if (length == 1 &&
-        bytes[head + kFrameHeaderSize] ==
-            static_cast<uint8_t>(MessageType::kShutdown)) {
+        payload[0] == static_cast<uint8_t>(MessageType::kShutdown)) {
+      return true;
+    }
+    // Scoped envelope (u8 type, u8 version, u32 model id) around a bare
+    // shutdown: a bit flip on an inner type byte can produce one.
+    // Conservatively skip whatever the model id says — NotFound replies
+    // are cheap to forgo, an obeyed shutdown ends the run.
+    if (length == 7 &&
+        payload[0] == static_cast<uint8_t>(MessageType::kScopedRequest) &&
+        payload[6] == static_cast<uint8_t>(MessageType::kShutdown)) {
       return true;
     }
     head += kFrameHeaderSize + length;
@@ -77,10 +87,12 @@ bool ContainsValidShutdown(const std::vector<uint8_t>& bytes) {
   return false;
 }
 
-/// A valid request frame to mutate (never kShutdown as the base).
+/// A valid request frame to mutate (never kShutdown as the base),
+/// covering every request type including the PR-7 additions: top-k,
+/// metrics and scoped-request envelopes.
 std::vector<uint8_t> ValidBaseFrame(Rng& rng) {
   std::vector<uint8_t> frame;
-  switch (rng.NextBounded(5)) {
+  switch (rng.NextBounded(8)) {
     case 0:
       EncodeEmptyMessage(MessageType::kPing, frame);
       break;
@@ -90,6 +102,30 @@ std::vector<uint8_t> ValidBaseFrame(Rng& rng) {
     case 2:
       EncodeEmptyMessage(MessageType::kSnapshot, frame);
       break;
+    case 3:
+      EncodeTopKRequest(1 + static_cast<uint32_t>(rng.NextBounded(64)),
+                        frame);
+      break;
+    case 4:
+      EncodeEmptyMessage(MessageType::kMetrics, frame);
+      break;
+    case 5: {  // Scoped envelope around a harmless inner request.
+      std::vector<uint8_t> inner;
+      if (rng.NextBounded(2) == 0) {
+        EncodeEmptyMessage(MessageType::kPing, inner);
+      } else {
+        EncodeTopKRequest(1 + static_cast<uint32_t>(rng.NextBounded(16)),
+                          inner);
+      }
+      RequestHeader header;
+      header.model_id = static_cast<uint32_t>(rng.NextBounded(3));
+      EncodeScopedRequest(
+          header,
+          Span<const uint8_t>(inner.data() + kFrameHeaderSize,
+                              inner.size() - kFrameHeaderSize),
+          frame);
+      break;
+    }
     default: {
       std::vector<uint64_t> keys(1 + rng.NextBounded(32));
       for (uint64_t& key : keys) key = rng.NextBounded(10000);

@@ -186,6 +186,178 @@ TEST(ServerProtocolTest, TypeConfusionRejected) {
   EXPECT_FALSE(stats.ok());
 }
 
+TEST(ServerProtocolTest, TopKRequestRoundTripsAndRejectsZero) {
+  std::vector<uint8_t> frame;
+  EncodeTopKRequest(123, frame);
+  EXPECT_EQ(LengthPrefixOf(frame), frame.size() - kFrameHeaderSize);
+  auto k = DecodeTopKRequest(PayloadOf(frame));
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k.value(), 123u);
+
+  // k == 0 is a protocol violation, not an empty answer.
+  EncodeTopKRequest(0, frame);
+  EXPECT_FALSE(DecodeTopKRequest(PayloadOf(frame)).ok());
+}
+
+TEST(ServerProtocolTest, TopKReplyRoundTripsEveryField) {
+  const std::vector<sketch::HeavyHitter> hitters = {
+      {42, 1000.5, 12.25, false},
+      {~uint64_t{0}, 3.0, 0.0, true},
+      {0, 0.0, 0.0, false},
+  };
+  std::vector<uint8_t> frame;
+  EncodeTopKReply(Span<const sketch::HeavyHitter>(hitters.data(),
+                                                  hitters.size()),
+                  frame);
+  EXPECT_EQ(frame.size() - kFrameHeaderSize,
+            1 + 4 + hitters.size() * kWireHitterSize);
+  std::vector<sketch::HeavyHitter> decoded;
+  ASSERT_TRUE(DecodeTopKReply(PayloadOf(frame), decoded).ok());
+  EXPECT_EQ(decoded, hitters);
+
+  EncodeTopKReply({}, frame);
+  ASSERT_TRUE(DecodeTopKReply(PayloadOf(frame), decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServerProtocolTest, TopKReplyHostilePayloadsRejected) {
+  const std::vector<sketch::HeavyHitter> hitters = {{1, 2.0, 0.5, true}};
+  std::vector<uint8_t> frame;
+  EncodeTopKReply(Span<const sketch::HeavyHitter>(hitters.data(), 1), frame);
+  std::vector<sketch::HeavyHitter> decoded;
+
+  // Every truncated prefix fails cleanly.
+  for (size_t keep = 0; keep + kFrameHeaderSize < frame.size(); ++keep) {
+    EXPECT_FALSE(
+        DecodeTopKReply(
+            Span<const uint8_t>(frame.data() + kFrameHeaderSize, keep),
+            decoded)
+            .ok())
+        << "prefix of " << keep << " bytes decoded";
+  }
+  // Count claiming more entries than the body carries.
+  std::vector<uint8_t> oversized(PayloadOf(frame).begin(),
+                                 PayloadOf(frame).end());
+  oversized[1] = 200;
+  EXPECT_FALSE(
+      DecodeTopKReply(
+          Span<const uint8_t>(oversized.data(), oversized.size()), decoded)
+          .ok());
+  // The guaranteed flag is strictly 0/1 on the wire.
+  std::vector<uint8_t> bad_flag(PayloadOf(frame).begin(),
+                                PayloadOf(frame).end());
+  bad_flag.back() = 2;
+  EXPECT_FALSE(
+      DecodeTopKReply(Span<const uint8_t>(bad_flag.data(), bad_flag.size()),
+                      decoded)
+          .ok());
+}
+
+TEST(ServerProtocolTest, MetricsFramesRoundTrip) {
+  std::vector<uint8_t> frame;
+  EncodeEmptyMessage(MessageType::kMetrics, frame);
+  EXPECT_TRUE(DecodeEmptyMessage(PayloadOf(frame), MessageType::kMetrics).ok());
+
+  const std::string body =
+      "# HELP opthash_items_ingested_total x\n"
+      "opthash_items_ingested_total 7\n";
+  EncodeMetricsReply(body, frame);
+  std::string decoded;
+  ASSERT_TRUE(DecodeMetricsReply(PayloadOf(frame), decoded).ok());
+  EXPECT_EQ(decoded, body);
+
+  // Pathological scrape bodies clamp to the frame cap instead of
+  // breaching it.
+  EncodeMetricsReply(std::string(kMaxFramePayload + 1000, 'x'), frame);
+  EXPECT_LE(frame.size() - kFrameHeaderSize, kMaxFramePayload);
+  ASSERT_TRUE(DecodeMetricsReply(PayloadOf(frame), decoded).ok());
+}
+
+TEST(ServerProtocolTest, ScopedRequestRoundTripsHeaderAndInnerPayload) {
+  std::vector<uint8_t> inner_frame;
+  EncodeTopKRequest(9, inner_frame);
+  RequestHeader header;
+  header.model_id = 31337;
+  std::vector<uint8_t> frame;
+  EncodeScopedRequest(header, PayloadOf(inner_frame), frame);
+
+  RequestHeader decoded;
+  Span<const uint8_t> inner(nullptr, 0);
+  ASSERT_TRUE(DecodeScopedRequest(PayloadOf(frame), decoded, inner).ok());
+  EXPECT_EQ(decoded.version, kRequestHeaderVersion);
+  EXPECT_EQ(decoded.model_id, 31337u);
+  auto type = PeekMessageType(inner);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.value(), MessageType::kTopK);
+  auto k = DecodeTopKRequest(inner);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k.value(), 9u);
+}
+
+TEST(ServerProtocolTest, ScopedRequestHostilePayloadsRejected) {
+  std::vector<uint8_t> inner_frame;
+  EncodeEmptyMessage(MessageType::kPing, inner_frame);
+  RequestHeader header;
+  header.model_id = 1;
+  std::vector<uint8_t> frame;
+  EncodeScopedRequest(header, PayloadOf(inner_frame), frame);
+
+  RequestHeader decoded;
+  Span<const uint8_t> inner(nullptr, 0);
+  // Truncations: header alone (no inner payload) must fail too.
+  for (size_t keep = 0; keep + kFrameHeaderSize < frame.size(); ++keep) {
+    EXPECT_FALSE(
+        DecodeScopedRequest(
+            Span<const uint8_t>(frame.data() + kFrameHeaderSize, keep),
+            decoded, inner)
+            .ok())
+        << "prefix of " << keep << " bytes decoded";
+  }
+  // Unknown header versions are rejected (forward-compat gate).
+  std::vector<uint8_t> bad_version(PayloadOf(frame).begin(),
+                                   PayloadOf(frame).end());
+  bad_version[1] = kRequestHeaderVersion + 1;
+  EXPECT_FALSE(
+      DecodeScopedRequest(
+          Span<const uint8_t>(bad_version.data(), bad_version.size()),
+          decoded, inner)
+          .ok());
+  // Envelopes cannot nest: a scoped request inside a scoped request is a
+  // protocol violation, not a recursion.
+  std::vector<uint8_t> once;
+  EncodeScopedRequest(header, PayloadOf(inner_frame), once);
+  std::vector<uint8_t> twice;
+  EncodeScopedRequest(header, PayloadOf(once), twice);
+  EXPECT_FALSE(DecodeScopedRequest(PayloadOf(twice), decoded, inner).ok());
+}
+
+TEST(ServerProtocolTest, UnscopedWireBytesUnchangedByEnvelopeIntroduction) {
+  // Golden frames: a client with the default model id must emit exactly
+  // the pre-envelope bytes, or old daemons break. These are the wire
+  // images from before kScopedRequest existed.
+  std::vector<uint8_t> frame;
+  EncodeEmptyMessage(MessageType::kPing, frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{1, 0, 0, 0, 4}));
+  EncodeEmptyMessage(MessageType::kStats, frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{1, 0, 0, 0, 3}));
+  const std::vector<uint64_t> keys = {2};
+  EncodeKeyRequest(MessageType::kQuery,
+                   Span<const uint64_t>(keys.data(), 1), frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{13, 0, 0, 0, 1, 1, 0, 0, 0, 2, 0, 0,
+                                         0, 0, 0, 0, 0}));
+  // And the new request types pin their documented layouts.
+  EncodeTopKRequest(5, frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{5, 0, 0, 0, 7, 5, 0, 0, 0}));
+  EncodeEmptyMessage(MessageType::kMetrics, frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{1, 0, 0, 0, 8}));
+  RequestHeader header;
+  header.model_id = 6;
+  std::vector<uint8_t> ping;
+  EncodeEmptyMessage(MessageType::kPing, ping);
+  EncodeScopedRequest(header, PayloadOf(ping), frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{7, 0, 0, 0, 9, 1, 6, 0, 0, 0, 4}));
+}
+
 TEST(ServerProtocolTest, ErrorMessageClampedToFrameLimit) {
   // A pathologically long message must not breach kMaxFramePayload.
   const std::string huge(kMaxFramePayload + 1000, 'x');

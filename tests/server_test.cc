@@ -22,6 +22,8 @@
 #include "server/socket_io.h"
 #include "server/tcp_listener.h"
 #include "sketch/count_min_sketch.h"
+#include "sketch/space_saving.h"
+#include "sketch/top_k.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -560,6 +562,136 @@ TEST(ServerTest, TcpServesByteIdenticalToUnix) {
   server.Wait();
   server.RequestShutdown();
   EXPECT_FALSE(Client::Connect(tcp_target).ok());
+}
+
+std::unique_ptr<ServedModel> FreshSpaceSaving(size_t capacity = 256) {
+  FreshSketchSpec spec;
+  spec.kind = "ss";
+  spec.capacity = capacity;
+  auto model = CreateServedSketch(spec);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+TEST(ServerTest, ServedTopKMatchesExactCountsOnAmpleSummary) {
+  // Distinct keys well under capacity: every Space-Saving counter is
+  // exact, so the served top-k must report the true counts, all
+  // guaranteed, in canonical order — whatever thread count the server's
+  // sharded ingest used.
+  RunningServer running(FreshSpaceSaving());
+  ASSERT_TRUE(running.Start().ok());
+  Client client = running.MustConnect();
+
+  // Key j (1..50) arrives 101 - j times.
+  std::vector<uint64_t> keys;
+  for (uint64_t key = 1; key <= 50; ++key) {
+    for (uint64_t copy = 0; copy < 101 - key; ++copy) keys.push_back(key);
+  }
+  ASSERT_TRUE(client.Ingest(keys).ok());
+
+  std::vector<sketch::HeavyHitter> hitters;
+  ASSERT_TRUE(client.TopK(10, hitters).ok());
+  ASSERT_EQ(hitters.size(), 10u);
+  for (size_t i = 0; i < hitters.size(); ++i) {
+    EXPECT_EQ(hitters[i].id, i + 1);
+    EXPECT_EQ(hitters[i].estimate, static_cast<double>(100 - i));
+    EXPECT_EQ(hitters[i].error_bound, 0.0);
+    EXPECT_TRUE(hitters[i].guaranteed);
+  }
+
+  // The topk request is its own stats counter, not a query.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().query_requests, 0u);
+}
+
+TEST(ServerTest, TopKOnKindWithoutCandidatesFailsAndSessionSurvives) {
+  RunningServer running(FreshCms());
+  ASSERT_TRUE(running.Start().ok());
+  Client client = running.MustConnect();
+  const std::vector<uint64_t> keys = {1, 1, 2};
+  ASSERT_TRUE(client.Ingest(keys).ok());
+
+  std::vector<sketch::HeavyHitter> hitters;
+  const Status status = client.TopK(5, hitters);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("cannot answer top-k"), std::string::npos);
+
+  // A semantic failure is not a protocol violation: the same connection
+  // keeps serving.
+  EXPECT_TRUE(client.Ping().ok());
+  std::vector<double> estimates;
+  const std::vector<uint64_t> one_key = {1};
+  ASSERT_TRUE(client.Query(one_key, estimates).ok());
+  EXPECT_EQ(estimates[0], 2.0);
+}
+
+TEST(ServerTest, ScopedRequestsServeDefaultIdAndRejectOthers) {
+  RunningServer running(FreshSpaceSaving());
+  ASSERT_TRUE(running.Start().ok());
+  Client client = running.MustConnect();
+  const std::vector<uint64_t> keys = {7, 7, 7, 9};
+  ASSERT_TRUE(client.Ingest(keys).ok());
+
+  // A non-default model id is NotFound until the registry lands...
+  client.set_model_id(31337);
+  std::vector<sketch::HeavyHitter> hitters;
+  Status status = client.TopK(2, hitters);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("31337"), std::string::npos);
+  status = client.Ping();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+
+  // ...and the rejection leaves the session usable: back on the default
+  // id, the same connection answers (enveloped or bare).
+  client.set_model_id(0);
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.TopK(2, hitters).ok());
+  ASSERT_EQ(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0].id, 7u);
+  EXPECT_EQ(hitters[0].estimate, 3.0);
+}
+
+TEST(ServerTest, MetricsRendersPrometheusTextExposition) {
+  RunningServer running(FreshSpaceSaving());
+  ASSERT_TRUE(running.Start().ok());
+  Client client = running.MustConnect();
+  const std::vector<uint64_t> keys = {4, 4, 5};
+  ASSERT_TRUE(client.Ingest(keys).ok());
+  std::vector<double> estimates;
+  const std::vector<uint64_t> one_key = {4};
+  ASSERT_TRUE(client.Query(one_key, estimates).ok());
+  std::vector<sketch::HeavyHitter> hitters;
+  ASSERT_TRUE(client.TopK(1, hitters).ok());
+
+  std::string text;
+  ASSERT_TRUE(client.Metrics(text).ok());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // Counters carry their ingest/query/topk traffic...
+  EXPECT_NE(text.find("# HELP opthash_items_ingested_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE opthash_items_ingested_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_items_ingested_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("opthash_query_requests_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("opthash_topk_requests_total 1\n"), std::string::npos);
+  // ...gauges and the latency summary are present with their types.
+  EXPECT_NE(text.find("# TYPE opthash_model_total_items gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_model_total_items 3.000000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE opthash_query_latency_micros summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_query_latency_micros{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_query_latency_micros{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_query_latency_micros_count"),
+            std::string::npos);
 }
 
 TEST(ServerTest, ConcurrentQueriesWhileIngesting) {

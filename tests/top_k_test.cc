@@ -1,0 +1,347 @@
+// The sketch-layer top-k surface (sketch/top_k.h): soundness of every
+// reported bound against exact oracle counts (guaranteed must mean
+// exact), the canonical ordering and CSV contract every higher layer
+// reuses, the candidate-scan fallbacks for sketches without candidate
+// tables, and MergeTopK composing with key-partitioned sharded
+// ingestion so --threads top-k equals single-thread top-k.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/span.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/learned_count_min.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "sketch/top_k.h"
+#include "stream/sharded_ingest.h"
+
+namespace opthash::sketch {
+namespace {
+
+std::vector<uint64_t> MakeTrace(size_t length, size_t universe, uint64_t seed,
+                                std::unordered_map<uint64_t, uint64_t>* truth) {
+  Rng rng(seed);
+  ZipfSampler zipf(universe, 1.1);
+  std::vector<uint64_t> trace(length);
+  for (auto& key : trace) {
+    key = zipf.Sample(rng);
+    if (truth != nullptr) ++(*truth)[key];
+  }
+  return trace;
+}
+
+// Divisor trace: key j in 1..10 appears once per multiple of j below
+// 500, so exact counts are floor(499/j) — heavily skewed and trivially
+// checkable.
+std::vector<uint64_t> DivisorTrace(
+    std::unordered_map<uint64_t, uint64_t>* truth) {
+  std::vector<uint64_t> trace;
+  for (uint64_t i = 1; i < 500; ++i) {
+    for (uint64_t j = 1; j <= 10; ++j) {
+      if (i % j == 0) {
+        trace.push_back(j);
+        if (truth != nullptr) ++(*truth)[j];
+      }
+    }
+  }
+  return trace;
+}
+
+TEST(HeavyHitterTest, SortIsEstimateDescendingIdAscending) {
+  std::vector<HeavyHitter> hitters = {
+      {5, 10.0, 0.0, true},
+      {9, 30.0, 1.0, false},
+      {2, 10.0, 0.0, true},
+      {1, 20.0, 0.0, true},
+  };
+  SortHeavyHitters(hitters);
+  ASSERT_EQ(hitters.size(), 4u);
+  EXPECT_EQ(hitters[0].id, 9u);
+  EXPECT_EQ(hitters[1].id, 1u);
+  EXPECT_EQ(hitters[2].id, 2u);  // Tie on 10.0: id ascending.
+  EXPECT_EQ(hitters[3].id, 5u);
+}
+
+TEST(HeavyHitterTest, CsvRowAndHeaderAreTheSharedContract) {
+  EXPECT_STREQ(kHeavyHitterCsvHeader, "id,estimate,error_bound,guaranteed");
+  EXPECT_EQ(HeavyHitterCsvRow({7, 1234.5, 2.25, true}), "7,1234.50,2.25,1");
+  EXPECT_EQ(HeavyHitterCsvRow({0, 0.0, 0.0, false}), "0,0.00,0.00,0");
+}
+
+TEST(MisraGriesTopKTest, ExactAndGuaranteedWhenNoDecrementEverRan) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = DivisorTrace(&truth);
+  MisraGries summary(16);  // 10 distinct keys: no counter is ever evicted.
+  summary.UpdateBatch(Span<const uint64_t>(trace));
+
+  const auto hitters = TopK(summary, 5);
+  ASSERT_EQ(hitters.size(), 5u);
+  for (size_t i = 0; i < hitters.size(); ++i) {
+    // Keys 1..5 in order: divisor counts strictly decrease with j.
+    EXPECT_EQ(hitters[i].id, i + 1);
+    EXPECT_EQ(hitters[i].estimate,
+              static_cast<double>(truth[hitters[i].id]));
+    EXPECT_EQ(hitters[i].error_bound, 0.0);
+    EXPECT_TRUE(hitters[i].guaranteed);
+  }
+}
+
+TEST(MisraGriesTopKTest, DeficitBoundBracketsTrueCounts) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 3, &truth);
+  MisraGries summary(32);  // Far fewer counters than distinct keys.
+  summary.UpdateBatch(Span<const uint64_t>(trace));
+
+  const auto hitters = TopK(summary, 32);
+  ASSERT_FALSE(hitters.empty());
+  for (const HeavyHitter& hitter : hitters) {
+    const double exact = static_cast<double>(truth[hitter.id]);
+    // Lower-bound estimate, with f in [estimate, estimate + D].
+    EXPECT_LE(hitter.estimate, exact) << "id " << hitter.id;
+    EXPECT_GE(hitter.estimate + hitter.error_bound, exact)
+        << "id " << hitter.id;
+    if (hitter.guaranteed) {
+      EXPECT_EQ(hitter.estimate, exact) << "id " << hitter.id;
+    }
+  }
+  // All hitters share the one summary-wide deficit, and this overflowing
+  // trace must have a nonzero one.
+  EXPECT_GT(hitters[0].error_bound, 0.0);
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_EQ(hitter.error_bound, hitters[0].error_bound);
+    EXPECT_FALSE(hitter.guaranteed);
+  }
+}
+
+TEST(SpaceSavingTopKTest, GuaranteedMeansExactAndBoundsAreSound) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 5, &truth);
+  SpaceSaving summary(64);
+  summary.UpdateBatch(Span<const uint64_t>(trace));
+
+  const auto hitters = TopK(summary, 64);
+  ASSERT_FALSE(hitters.empty());
+  bool any_guaranteed = false;
+  for (const HeavyHitter& hitter : hitters) {
+    const double exact = static_cast<double>(truth[hitter.id]);
+    // Upper-bound estimate, with f in [estimate - error, estimate].
+    EXPECT_GE(hitter.estimate, exact) << "id " << hitter.id;
+    EXPECT_LE(hitter.estimate - hitter.error_bound, exact)
+        << "id " << hitter.id;
+    EXPECT_EQ(hitter.guaranteed, hitter.error_bound == 0.0);
+    if (hitter.guaranteed) {
+      any_guaranteed = true;
+      EXPECT_EQ(hitter.estimate, exact) << "id " << hitter.id;
+    }
+  }
+  // A Zipf head this heavy must produce some never-evicted counters.
+  EXPECT_TRUE(any_guaranteed);
+}
+
+TEST(SpaceSavingTopKTest, KBeyondTrackedReturnsEveryCounter) {
+  SpaceSaving summary(8);
+  for (uint64_t key = 0; key < 5; ++key) summary.Update(key, key + 1);
+  EXPECT_EQ(TopK(summary, 100).size(), 5u);
+  EXPECT_TRUE(TopK(summary, 0).empty());
+}
+
+TEST(LearnedCountMinTopKTest, OracleKeysReportExactCounts) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 9, &truth);
+  const std::vector<uint64_t> heavy = SelectTopKeys(truth, 20);
+  auto lcms = LearnedCountMinSketch::Create(500, 4, heavy, 17);
+  ASSERT_TRUE(lcms.ok());
+  lcms.value().UpdateBatch(Span<const uint64_t>(trace));
+
+  const auto hitters = TopK(lcms.value(), 10);
+  ASSERT_EQ(hitters.size(), 10u);
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_EQ(hitter.estimate, static_cast<double>(truth[hitter.id]));
+    EXPECT_EQ(hitter.error_bound, 0.0);
+    EXPECT_TRUE(hitter.guaranteed);
+  }
+  for (size_t i = 1; i < hitters.size(); ++i) {
+    EXPECT_GE(hitters[i - 1].estimate, hitters[i].estimate);
+  }
+}
+
+TEST(CountMinCandidateScanTest, UpperBoundsWithSketchWideEpsilonBound) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(30000, 1000, 11, &truth);
+  CountMinSketch sketch(512, 4, 7);
+  sketch.UpdateBatch(Span<const uint64_t>(trace));
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t key = 1; key <= 100; ++key) {
+    candidates.push_back(key);
+    candidates.push_back(key);  // Duplicates must be ignored.
+  }
+  const auto hitters =
+      TopKOverCandidates(sketch, Span<const uint64_t>(candidates), 10);
+  ASSERT_EQ(hitters.size(), 10u);
+  const double bound =
+      sketch.Epsilon() * static_cast<double>(sketch.total_count());
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_GE(hitter.estimate, static_cast<double>(truth[hitter.id]));
+    EXPECT_EQ(hitter.error_bound, bound);
+    EXPECT_FALSE(hitter.guaranteed);
+  }
+}
+
+TEST(CountSketchCandidateScanTest, NoDeterministicBoundConvention) {
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 500, 13, &truth);
+  CountSketch sketch(512, 5, 11);
+  sketch.UpdateBatch(Span<const uint64_t>(trace));
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t key = 1; key <= 80; ++key) candidates.push_back(key);
+  const auto hitters =
+      TopKOverCandidates(sketch, Span<const uint64_t>(candidates), 8);
+  ASSERT_EQ(hitters.size(), 8u);
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_GE(hitter.estimate, 0.0);  // Non-negative clamped estimator.
+    // error_bound == 0 with guaranteed == false encodes "no
+    // deterministic bound available".
+    EXPECT_EQ(hitter.error_bound, 0.0);
+    EXPECT_FALSE(hitter.guaranteed);
+  }
+}
+
+TEST(MergeTopKTest, SumsEstimatesAndBoundsAndAndsGuaranteed) {
+  const std::vector<std::vector<HeavyHitter>> shards = {
+      {{1, 10.0, 0.0, true}, {2, 5.0, 1.0, false}},
+      {{1, 7.0, 0.0, true}, {3, 20.0, 0.0, true}},
+      {{2, 4.0, 2.0, false}},
+  };
+  const auto merged =
+      MergeTopK(Span<const std::vector<HeavyHitter>>(shards), 10);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (HeavyHitter{3, 20.0, 0.0, true}));
+  EXPECT_EQ(merged[1], (HeavyHitter{1, 17.0, 0.0, true}));
+  EXPECT_EQ(merged[2], (HeavyHitter{2, 9.0, 3.0, false}));
+}
+
+TEST(MergeTopKTest, TruncatesToKAndHandlesEmptyInput) {
+  const std::vector<std::vector<HeavyHitter>> shards = {
+      {{1, 3.0, 0.0, true}, {2, 2.0, 0.0, true}, {3, 1.0, 0.0, true}},
+  };
+  EXPECT_EQ(MergeTopK(Span<const std::vector<HeavyHitter>>(shards), 2).size(),
+            2u);
+  const std::vector<std::vector<HeavyHitter>> none;
+  EXPECT_TRUE(
+      MergeTopK(Span<const std::vector<HeavyHitter>>(none), 5).empty());
+}
+
+TEST(ShardedTopKTest, KeyPartitionedIngestMatchesSingleThreadTopK) {
+  // A trace whose distinct keys fit every per-shard capacity: both the
+  // sequential summary and the key-partitioned shards count exactly, so
+  // the top-k lists must be identical records at every thread count.
+  std::vector<uint64_t> trace;
+  for (uint64_t key = 1; key <= 100; ++key) {
+    for (uint64_t copy = 0; copy < 101 - key; ++copy) trace.push_back(key);
+  }
+  // Deterministic shuffle so arrival order interleaves shards.
+  Rng rng(19);
+  for (size_t i = trace.size(); i > 1; --i) {
+    std::swap(trace[i - 1], trace[rng.NextBounded(i)]);
+  }
+
+  stream::ShardedIngestConfig single;
+  single.num_threads = 1;
+  single.mode = stream::ShardMode::kKeyPartitioned;
+
+  {
+    MisraGries sequential(128);
+    ASSERT_TRUE(stream::ShardedIngest(Span<const uint64_t>(trace), single,
+                                      sequential)
+                    .ok());
+    const auto expected = TopK(sequential, 20);
+    for (size_t threads = 2; threads <= 4; ++threads) {
+      stream::ShardedIngestConfig config = single;
+      config.num_threads = threads;
+      MisraGries sharded(128);
+      ASSERT_TRUE(stream::ShardedIngest(Span<const uint64_t>(trace), config,
+                                        sharded)
+                      .ok());
+      EXPECT_EQ(TopK(sharded, 20), expected) << "threads=" << threads;
+    }
+    ASSERT_EQ(expected.size(), 20u);
+    EXPECT_EQ(expected[0].id, 1u);
+    EXPECT_EQ(expected[0].estimate, 100.0);
+    EXPECT_TRUE(expected[0].guaranteed);
+  }
+  {
+    SpaceSaving sequential(128);
+    ASSERT_TRUE(stream::ShardedIngest(Span<const uint64_t>(trace), single,
+                                      sequential)
+                    .ok());
+    const auto expected = TopK(sequential, 20);
+    for (size_t threads = 2; threads <= 4; ++threads) {
+      stream::ShardedIngestConfig config = single;
+      config.num_threads = threads;
+      SpaceSaving sharded(128);
+      ASSERT_TRUE(stream::ShardedIngest(Span<const uint64_t>(trace), config,
+                                        sharded)
+                      .ok());
+      EXPECT_EQ(TopK(sharded, 20), expected) << "threads=" << threads;
+    }
+    ASSERT_EQ(expected.size(), 20u);
+    EXPECT_EQ(expected[0].id, 1u);
+    EXPECT_EQ(expected[0].estimate, 100.0);
+    EXPECT_TRUE(expected[0].guaranteed);
+  }
+}
+
+TEST(ShardedTopKTest, MergeTopKComposesOverflowingShardsSoundly) {
+  // Shards small enough to overflow: merged estimates/bounds must still
+  // bracket the exact counts (MG from below, SS from above).
+  std::unordered_map<uint64_t, uint64_t> truth;
+  const auto trace = MakeTrace(20000, 500, 23, &truth);
+  constexpr size_t kShards = 4;
+
+  std::vector<MisraGries> mg_shards(kShards, MisraGries(32));
+  std::vector<SpaceSaving> ss_shards(kShards, SpaceSaving(32));
+  for (uint64_t key : trace) {
+    const size_t shard = stream::KeyShardOf(key, kShards);
+    mg_shards[shard].Update(key);
+    ss_shards[shard].Update(key);
+  }
+
+  std::vector<std::vector<HeavyHitter>> mg_lists;
+  std::vector<std::vector<HeavyHitter>> ss_lists;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    mg_lists.push_back(TopK(mg_shards[shard], 32));
+    ss_lists.push_back(TopK(ss_shards[shard], 32));
+  }
+  const auto mg_merged =
+      MergeTopK(Span<const std::vector<HeavyHitter>>(mg_lists), 16);
+  const auto ss_merged =
+      MergeTopK(Span<const std::vector<HeavyHitter>>(ss_lists), 16);
+  ASSERT_EQ(mg_merged.size(), 16u);
+  ASSERT_EQ(ss_merged.size(), 16u);
+  for (const HeavyHitter& hitter : mg_merged) {
+    const double exact = static_cast<double>(truth[hitter.id]);
+    EXPECT_LE(hitter.estimate, exact) << "id " << hitter.id;
+    EXPECT_GE(hitter.estimate + hitter.error_bound, exact)
+        << "id " << hitter.id;
+  }
+  for (const HeavyHitter& hitter : ss_merged) {
+    const double exact = static_cast<double>(truth[hitter.id]);
+    EXPECT_GE(hitter.estimate, exact) << "id " << hitter.id;
+    EXPECT_LE(hitter.estimate - hitter.error_bound, exact)
+        << "id " << hitter.id;
+    if (hitter.guaranteed) {
+      EXPECT_EQ(hitter.estimate, exact);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opthash::sketch

@@ -24,6 +24,8 @@
 #include "core/opt_hash_estimator.h"
 #include "io/model_io.h"
 #include "io/sketch_snapshot.h"
+#include "server/protocol.h"
+#include "server/served_model.h"
 #include "stream/element.h"
 #include "stream/features.h"
 #include "stream/sharded_ingest.h"
@@ -36,7 +38,7 @@ namespace {
 // Single source of truth for the CLI contract: Usage() prints it, and the
 // file header comment above defers to it instead of restating defaults.
 constexpr const char* kUsageText =
-    "usage: opthash_cli <train|apply|query|evaluate|snapshot|restore> "
+    "usage: opthash_cli <train|apply|query|evaluate|snapshot|restore|topk> "
     "--flag value ...\n"
     "  train    --trace prefix.csv --out model [--buckets N] [--ratio C]\n"
     "           [--lambda L] [--solver bcd|dp|milp]\n"
@@ -52,6 +54,7 @@ constexpr const char* kUsageText =
     "           [--seed S] [--conservative 1]\n"
     "  restore  --in file [--trace queries.csv] [--mmap 1]\n"
     "           [--block-size B]\n"
+    "  topk     --in file [--k N] [--mmap 1]\n"
     "\n"
     "traces are CSV files with header `id,text`: a numeric (uint64)\n"
     "element key plus optional free text feeding the bag-of-words\n"
@@ -133,6 +136,17 @@ constexpr const char* kUsageText =
     "                  `load mode:` stderr line\n"
     "  --block-size B  query ids per batched estimator call\n"
     "                  (default 4096)\n"
+    "\n"
+    "topk flags (offline heavy hitters, id,estimate,error_bound,guaranteed\n"
+    "CSV — byte-identical to `opthash_client topk` on the same model):\n"
+    "  --in file       any servable artifact. mg/ss report their tracked\n"
+    "                  entries with sound bounds, lcms its exact oracle\n"
+    "                  counts, model bundles their stored-id table; plain\n"
+    "                  cms/countsketch checkpoints store no candidate ids\n"
+    "                  and error out (same contract as the daemon)\n"
+    "  --k N           heavy hitters to print (default 10)\n"
+    "  --mmap 1        zero-copy load where supported; answers stay\n"
+    "                  byte-identical to the full load\n"
     "\n"
     "serving (separate binaries, same artifacts):\n"
     "  opthash_serve   long-running daemon: loads any artifact this CLI\n"
@@ -757,6 +771,39 @@ int CmdRestore(const Flags& flags) {
   return RestoreBundle(flags, in, use_mmap);
 }
 
+// Offline heavy hitters over any servable artifact, answered through the
+// same ServedModel layer (and the same k clamp) as the daemon, so
+// `opthash_cli topk` and `opthash_client topk` diff byte-identical on
+// the same model file.
+int CmdTopK(const Flags& flags) {
+  if (!flags.Has("in")) {
+    return Fail(Status::InvalidArgument("topk needs --in"));
+  }
+  const auto k_flag = flags.GetUint("k", 10);
+  if (!k_flag.ok()) return Fail(k_flag.status());
+  if (k_flag.value() == 0) {
+    return Fail(Status::InvalidArgument("--k must be >= 1"));
+  }
+  const auto mmap_flag = flags.GetUint("mmap", 0);
+  if (!mmap_flag.ok()) return Fail(mmap_flag.status());
+  auto opened =
+      server::OpenServedModel(flags.Get("in", ""), mmap_flag.value() != 0);
+  if (!opened.ok()) return Fail(opened.status());
+  ReportLoadMode(opened.value().mmap_used);
+  const server::ServedModel& model = *opened.value().model;
+  auto context = model.NewQueryContext();
+  const size_t want = std::min<size_t>(static_cast<size_t>(k_flag.value()),
+                                       server::kMaxHittersPerFrame);
+  std::vector<sketch::HeavyHitter> hitters;
+  const Status answered = model.TopK(*context, want, hitters);
+  if (!answered.ok()) return Fail(answered);
+  std::printf("%s\n", sketch::kHeavyHitterCsvHeader);
+  for (const sketch::HeavyHitter& hitter : hitters) {
+    std::printf("%s\n", sketch::HeavyHitterCsvRow(hitter).c_str());
+  }
+  return 0;
+}
+
 int Usage(std::FILE* out) {
   std::fputs(kUsageText, out);
   return out == stdout ? 0 : 2;
@@ -786,6 +833,7 @@ int Main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags.value());
   if (command == "snapshot") return CmdSnapshot(flags.value());
   if (command == "restore") return CmdRestore(flags.value());
+  if (command == "topk") return CmdTopK(flags.value());
   return Usage(stderr);
 }
 

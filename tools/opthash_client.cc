@@ -6,6 +6,7 @@
 // cleanly.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,13 @@ constexpr const char* kUsageText =
     "                             batches; prints the items-ingested total\n"
     "  stats                      prints `key value` lines (items/queries/\n"
     "                             latency p50+p99/snapshot age/uptime)\n"
+    "  topk     [--k N]           prints id,estimate,error_bound,guaranteed\n"
+    "                             CSV of the N heaviest keys (default 10),\n"
+    "                             byte-identical to `opthash_cli topk` on\n"
+    "                             the same model\n"
+    "  metrics                    prints the Prometheus text-exposition\n"
+    "                             scrape body (counters, gauges, latency\n"
+    "                             summary)\n"
     "  snapshot                   forces one snapshot rotation; prints the\n"
     "                             sequence number written\n"
     "  shutdown                   asks the daemon to exit cleanly\n"
@@ -45,6 +53,10 @@ constexpr const char* kUsageText =
     "  --trace CSV     `id,text` trace; ids feed the request (text is\n"
     "                  not transmitted — serving is key-only)\n"
     "  --batch B       keys per request frame (default 4096)\n"
+    "  --k N           heavy hitters to request for topk (default 10)\n"
+    "  --model-id M    address requests to model id M via the scoped\n"
+    "                  request envelope (default 0 = the served model;\n"
+    "                  other ids are NotFound until the registry lands)\n"
     "\n"
     "wire protocol + error codes: docs/OPERATIONS.md\n";
 
@@ -64,6 +76,8 @@ struct Args {
   std::string ids;
   std::string trace;
   size_t batch = 4096;
+  uint32_t k = 10;
+  uint32_t model_id = 0;
 };
 
 Result<Args> Parse(int argc, char** argv) {
@@ -101,6 +115,25 @@ Result<Args> Parse(int argc, char** argv) {
       if (end == nullptr || *end != '\0' || args.batch == 0) {
         return Status::InvalidArgument("--batch must be a positive integer");
       }
+    } else if (arg == "--k") {
+      auto value = need_value("--k");
+      if (!value.ok()) return value.status();
+      char* end = nullptr;
+      const unsigned long long k = std::strtoull(value.value().c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || k == 0 || k > UINT32_MAX) {
+        return Status::InvalidArgument("--k must be a positive u32");
+      }
+      args.k = static_cast<uint32_t>(k);
+    } else if (arg == "--model-id") {
+      auto value = need_value("--model-id");
+      if (!value.ok()) return value.status();
+      char* end = nullptr;
+      const unsigned long long id =
+          std::strtoull(value.value().c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || id > UINT32_MAX) {
+        return Status::InvalidArgument("--model-id must be a u32");
+      }
+      args.model_id = static_cast<uint32_t>(id);
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag: " + arg);
     } else if (args.verb.empty()) {
@@ -182,6 +215,7 @@ int Main(int argc, char** argv) {
 
   auto client = server::Client::Connect(args.target);
   if (!client.ok()) return Fail(client.status());
+  client.value().set_model_id(args.model_id);
 
   if (args.verb == "ping") {
     const Status status = client.value().Ping();
@@ -248,6 +282,23 @@ int Main(int argc, char** argv) {
     std::printf("query_p50_micros %.1f\n", s.query_p50_micros);
     std::printf("query_p99_micros %.1f\n", s.query_p99_micros);
     std::printf("snapshot_age_seconds %.3f\n", s.snapshot_age_seconds);
+    return 0;
+  }
+  if (args.verb == "topk") {
+    std::vector<sketch::HeavyHitter> hitters;
+    const Status status = client.value().TopK(args.k, hitters);
+    if (!status.ok()) return Fail(status);
+    std::printf("%s\n", sketch::kHeavyHitterCsvHeader);
+    for (const sketch::HeavyHitter& hitter : hitters) {
+      std::printf("%s\n", sketch::HeavyHitterCsvRow(hitter).c_str());
+    }
+    return 0;
+  }
+  if (args.verb == "metrics") {
+    std::string text;
+    const Status status = client.value().Metrics(text);
+    if (!status.ok()) return Fail(status);
+    std::fputs(text.c_str(), stdout);
     return 0;
   }
   if (args.verb == "snapshot") {
