@@ -27,6 +27,8 @@ const char* SectionTypeName(SectionType type) {
       return "misra-gries";
     case SectionType::kSpaceSaving:
       return "space-saving";
+    case SectionType::kWindowedSketch:
+      return "windowed-sketch";
     case SectionType::kLogisticRegression:
       return "logreg";
     case SectionType::kDecisionTree:

@@ -30,6 +30,7 @@ enum class SectionType : uint32_t {
   kLearnedCountMin = 4,
   kMisraGries = 5,
   kSpaceSaving = 6,
+  kWindowedSketch = 7,
   kLogisticRegression = 16,
   kDecisionTree = 17,
   kRandomForest = 18,

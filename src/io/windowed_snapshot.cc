@@ -1,0 +1,41 @@
+#include "io/windowed_snapshot.h"
+
+namespace opthash::io {
+
+Result<SectionType> PeekWindowedInnerType(Span<const uint8_t> payload) {
+  ByteReader in(payload);
+  OPTHASH_IO_ASSIGN(version, in.ReadU8());
+  if (version != kWindowedSketchPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported windowed-sketch payload version " +
+        std::to_string(version));
+  }
+  OPTHASH_IO_ASSIGN(inner_type, in.ReadU32());
+  switch (static_cast<SectionType>(inner_type)) {
+    case SectionType::kCountMinSketch:
+    case SectionType::kCountSketch:
+    case SectionType::kAmsSketch:
+    case SectionType::kLearnedCountMin:
+    case SectionType::kMisraGries:
+    case SectionType::kSpaceSaving:
+      return static_cast<SectionType>(inner_type);
+    default:
+      return Status::InvalidArgument(
+          "windowed payload declares unknown sub-sketch section type " +
+          std::to_string(inner_type));
+  }
+}
+
+Result<SectionType> WindowedInnerTypeOfFile(const std::string& path) {
+  OPTHASH_IO_ASSIGN(reader, SnapshotReader::Open(path));
+  const SnapshotSection* section =
+      reader.view().Find(SectionType::kWindowedSketch);
+  if (section == nullptr) {
+    return Status::InvalidArgument(
+        path + " holds no " + SectionTypeName(SectionType::kWindowedSketch) +
+        " section");
+  }
+  return PeekWindowedInnerType(section->payload);
+}
+
+}  // namespace opthash::io

@@ -160,6 +160,12 @@ Status Client::Metrics(std::string& text) {
   return DecodeMetricsReply(payload, text);
 }
 
+Result<WindowStatsSnapshot> Client::WindowStats() {
+  EncodeEmptyMessage(MessageType::kWindowStats, request_frame_);
+  OPTHASH_IO_ASSIGN(payload, Call());
+  return DecodeWindowStatsReply(payload);
+}
+
 Result<uint64_t> Client::Snapshot() {
   EncodeEmptyMessage(MessageType::kSnapshot, request_frame_);
   OPTHASH_IO_ASSIGN(payload, Call());

@@ -64,6 +64,11 @@ class Client {
   /// The server's Prometheus text-exposition scrape body.
   Status Metrics(std::string& text);
 
+  /// Ring position + per-window arrival counts of a windowed model.
+  /// Fails with the server's FailedPrecondition when the served artifact
+  /// counts over the whole stream instead of a sliding window.
+  Result<WindowStatsSnapshot> WindowStats();
+
   /// Forces one snapshot rotation; returns the sequence number written.
   Result<uint64_t> Snapshot();
 

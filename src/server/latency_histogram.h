@@ -17,14 +17,39 @@ namespace opthash::server {
 /// stats mutex.
 class LatencyHistogram {
  public:
+  static constexpr size_t kMinorBuckets = 16;    // Per power of two.
+  static constexpr size_t kMajorBuckets = 32;    // Powers of two tracked.
+  // Largest value landing in the last bucket: log2 = kMajorBuckets + 3
+  // stays inside the (kMajorBuckets + 1) * kMinorBuckets counter array.
+  static constexpr uint64_t kMaxTracked =
+      (uint64_t{1} << (kMajorBuckets + 4)) - 1;
+  static constexpr size_t kNumBuckets = kMinorBuckets * (kMajorBuckets + 1);
+
   void Record(double micros) {
     uint64_t v = micros <= 0.0 ? 0 : static_cast<uint64_t>(micros);
     if (v > kMaxTracked) v = kMaxTracked;
     ++buckets_[IndexOf(v)];
+    sum_micros_ += v;
     ++count_;
   }
 
   uint64_t count() const { return count_; }
+
+  /// Sum of recorded values (after the truncate-and-clamp Record applies),
+  /// so `sum / count` is the mean of what the buckets actually hold.
+  uint64_t sum_micros() const { return sum_micros_; }
+
+  /// Raw per-bucket count, for exporters that re-render the histogram
+  /// (e.g. the Prometheus `le` exposition). Index in [0, kNumBuckets).
+  uint64_t bucket_count(size_t index) const { return buckets_[index]; }
+
+  /// Inclusive upper bound of bucket `index`: every value recorded into
+  /// it is <= this. The last bucket tops out at kMaxTracked (the clamp in
+  /// Record guarantees nothing above it is ever stored).
+  static uint64_t BucketUpperBoundMicros(size_t index) {
+    if (index + 1 >= kNumBuckets) return kMaxTracked;
+    return LowerBoundOf(index + 1) - 1;
+  }
 
   /// Value at quantile `q` in (0, 1], as the lower bound of the covering
   /// bucket (a <= 6.25% underestimate by construction). 0 when empty.
@@ -46,13 +71,6 @@ class LatencyHistogram {
   void Reset() { *this = LatencyHistogram(); }
 
  private:
-  static constexpr size_t kMinorBuckets = 16;    // Per power of two.
-  static constexpr size_t kMajorBuckets = 32;    // Powers of two tracked.
-  // Largest value landing in the last bucket: log2 = kMajorBuckets + 3
-  // stays inside the (kMajorBuckets + 1) * kMinorBuckets counter array.
-  static constexpr uint64_t kMaxTracked =
-      (uint64_t{1} << (kMajorBuckets + 4)) - 1;
-
   static size_t IndexOf(uint64_t v) {
     if (v < kMinorBuckets) return static_cast<size_t>(v);
     size_t log2 = 0;
@@ -69,7 +87,8 @@ class LatencyHistogram {
     return (uint64_t{1} << log2) + (minor << (log2 - 4));
   }
 
-  std::array<uint64_t, kMinorBuckets*(kMajorBuckets + 1)> buckets_{};
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t sum_micros_ = 0;
   uint64_t count_ = 0;
 };
 

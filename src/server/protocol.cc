@@ -81,6 +81,8 @@ const char* MessageTypeName(MessageType type) {
       return "metrics";
     case MessageType::kScopedRequest:
       return "scoped-request";
+    case MessageType::kWindowStats:
+      return "window-stats";
     case MessageType::kEstimates:
       return "estimates";
     case MessageType::kAck:
@@ -93,6 +95,8 @@ const char* MessageTypeName(MessageType type) {
       return "topk-reply";
     case MessageType::kMetricsReply:
       return "metrics-reply";
+    case MessageType::kWindowStatsReply:
+      return "window-stats-reply";
     case MessageType::kError:
       return "error";
   }
@@ -200,6 +204,18 @@ void EncodeMetricsReply(const std::string& text,
   SealFrame(frame);
 }
 
+void EncodeWindowStatsReply(const WindowStatsSnapshot& stats,
+                            std::vector<uint8_t>& frame) {
+  BeginFrame(frame, MessageType::kWindowStatsReply);
+  AppendU64(frame, stats.window_items);
+  AppendU64(frame, stats.window_sequence);
+  AppendU64(frame, stats.items_in_current_window);
+  AppendDouble(frame, stats.decay);
+  AppendU32(frame, static_cast<uint32_t>(stats.window_counts.size()));
+  for (uint64_t count : stats.window_counts) AppendU64(frame, count);
+  SealFrame(frame);
+}
+
 void EncodeScopedRequest(const RequestHeader& header,
                          Span<const uint8_t> inner_payload,
                          std::vector<uint8_t>& frame) {
@@ -226,12 +242,14 @@ Result<MessageType> PeekMessageType(Span<const uint8_t> payload) {
     case MessageType::kTopK:
     case MessageType::kMetrics:
     case MessageType::kScopedRequest:
+    case MessageType::kWindowStats:
     case MessageType::kEstimates:
     case MessageType::kAck:
     case MessageType::kStatsReply:
     case MessageType::kPong:
     case MessageType::kTopKReply:
     case MessageType::kMetricsReply:
+    case MessageType::kWindowStatsReply:
     case MessageType::kError:
       return type;
   }
@@ -408,6 +426,39 @@ Status DecodeMetricsReply(Span<const uint8_t> payload, std::string& text) {
       reinterpret_cast<const char*>(payload.data() + 1 + sizeof(uint32_t)),
       length);
   return Status::OK();
+}
+
+Result<WindowStatsSnapshot> DecodeWindowStatsReply(
+    Span<const uint8_t> payload) {
+  OPTHASH_IO_ASSIGN(type, PeekMessageType(payload));
+  if (type != MessageType::kWindowStatsReply) {
+    return Status::InvalidArgument(
+        std::string("expected window-stats-reply, got ") +
+        MessageTypeName(type));
+  }
+  constexpr size_t kFixed = 3 * sizeof(uint64_t) + sizeof(double) +
+                            sizeof(uint32_t);
+  if (payload.size() < 1 + kFixed) return ShortPayload("window-stats-reply");
+  const uint8_t* at = payload.data() + 1;
+  WindowStatsSnapshot stats;
+  stats.window_items = io::LoadLittleU64(at);
+  stats.window_sequence = io::LoadLittleU64(at + 8);
+  stats.items_in_current_window = io::LoadLittleU64(at + 16);
+  stats.decay = io::LoadLittleDouble(at + 24);
+  const uint32_t count = io::LoadLittleU32(at + 32);
+  const size_t body = payload.size() - 1 - kFixed;
+  if (body != static_cast<size_t>(count) * sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "window-stats-reply declares " + std::to_string(count) +
+        " windows but carries " + std::to_string(body) + " body bytes");
+  }
+  stats.window_counts.reserve(count);
+  const uint8_t* counts = at + kFixed;
+  for (uint32_t i = 0; i < count; ++i) {
+    stats.window_counts.push_back(
+        io::LoadLittleU64(counts + static_cast<size_t>(i) * 8));
+  }
+  return stats;
 }
 
 Status DecodeScopedRequest(Span<const uint8_t> payload, RequestHeader& header,

@@ -56,6 +56,7 @@ enum class MessageType : uint8_t {
   // request payload (type byte onward). The model-id field is the hook
   // for the future multi-bundle registry; today only id 0 is served.
   kScopedRequest = 9,
+  kWindowStats = 10,  // (empty)                   -> kWindowStatsReply
   // Responses.
   kEstimates = 129,  // u32 count, count x f64
   kAck = 130,        // u64 value
@@ -63,6 +64,7 @@ enum class MessageType : uint8_t {
   kPong = 132,       // (empty)
   kTopKReply = 133,    // u32 count, count x (u64 id, f64 est, f64 err, u8 g)
   kMetricsReply = 134, // u32 length + Prometheus text exposition bytes
+  kWindowStatsReply = 135,  // WindowStatsSnapshot body
   kError = 255,      // u8 wire code, u32 length + message bytes
 };
 
@@ -98,6 +100,18 @@ struct ServerStatsSnapshot {
   double snapshot_age_seconds = -1.0;  // < 0: no rotation yet this run.
 };
 
+/// Ring-position report served by the kWindowStats request — lets clients
+/// see window boundaries (and verify crash recovery resumed mid-window).
+/// Only windowed models answer it; everything else replies
+/// kError(FailedPrecondition) and the session survives.
+struct WindowStatsSnapshot {
+  uint64_t window_items = 0;             // 0 = tick-only advance.
+  uint64_t window_sequence = 0;          // Ring advances since creation.
+  uint64_t items_in_current_window = 0;
+  double decay = 1.0;                    // 1.0 = plain sliding window.
+  std::vector<uint64_t> window_counts;   // Oldest window first.
+};
+
 // --------------------------------------------------------------------------
 // Encoding. Every Encode* renders one COMPLETE frame (length prefix
 // included) into `frame`, clearing it first — callers hand the same vector
@@ -127,6 +141,12 @@ void EncodeTopKReply(Span<const sketch::HeavyHitter> hitters,
 /// kMetricsReply: the rendered Prometheus text exposition. Clamped at the
 /// frame cap like error messages (a scrape body never comes close).
 void EncodeMetricsReply(const std::string& text, std::vector<uint8_t>& frame);
+
+/// kWindowStatsReply: ring metadata + per-window arrival counts.
+/// stats.window_counts.size() must fit one frame (a W beyond ~500k
+/// windows is rejected long before serving).
+void EncodeWindowStatsReply(const WindowStatsSnapshot& stats,
+                            std::vector<uint8_t>& frame);
 
 /// kScopedRequest envelope around one complete inner request payload
 /// (type byte onward — NOT a length-prefixed frame). The inner payload
@@ -167,6 +187,11 @@ Status DecodeTopKReply(Span<const uint8_t> payload,
 
 /// Decodes a kMetricsReply body into `text`.
 Status DecodeMetricsReply(Span<const uint8_t> payload, std::string& text);
+
+/// Decodes a kWindowStatsReply body; the declared window count must match
+/// the payload size exactly.
+Result<WindowStatsSnapshot> DecodeWindowStatsReply(
+    Span<const uint8_t> payload);
 
 /// Decodes a kScopedRequest envelope. `inner` aliases `payload` (no
 /// copy) and holds one complete inner request payload. Rejects unknown

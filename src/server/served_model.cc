@@ -7,11 +7,13 @@
 
 #include "io/model_io.h"
 #include "io/sketch_snapshot.h"
+#include "io/windowed_snapshot.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
 #include "sketch/learned_count_min.h"
 #include "sketch/misra_gries.h"
 #include "sketch/space_saving.h"
+#include "sketch/windowed_sketch.h"
 #include "stream/trace_io.h"
 
 namespace opthash::server {
@@ -139,6 +141,88 @@ template <typename Sketch>
 std::unique_ptr<ServedModel> MakeSketchModel(Sketch sketch, const char* kind,
                                              stream::ShardMode mode) {
   return std::make_unique<SketchModel<Sketch>>(std::move(sketch), kind, mode);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed sketch rings (sliding-window / decayed counting).
+
+template <typename Sketch>
+class WindowedSketchModel : public ServedModel {
+ public:
+  WindowedSketchModel(sketch::WindowedSketch<Sketch> ring,
+                      const char* base_kind, stream::ShardMode mode)
+      : ring_(std::move(ring)),
+        kind_(std::string("windowed-") + base_kind),
+        mode_(mode) {}
+
+  const char* Kind() const override { return kind_.c_str(); }
+  bool ReadOnly() const override { return false; }
+
+  Status Ingest(Span<const uint64_t> keys,
+                const stream::ShardedIngestConfig& config) override {
+    stream::ShardedIngestConfig sharded = config;
+    sharded.mode = mode_;
+    return ring_.Ingest(keys, sharded);
+  }
+
+  std::unique_ptr<QueryContext> NewQueryContext() const override {
+    return std::make_unique<EmptyContext>();
+  }
+
+  void EstimateBatch(QueryContext& /*context*/, Span<const uint64_t> keys,
+                     Span<double> out) const override {
+    ring_.EstimateBatch(keys, out);
+  }
+
+  bool SupportsTopK() const override {
+    return sketch::WindowedSketch<Sketch>::kHasNativeTopK;
+  }
+
+  Status TopK(QueryContext& context, size_t k,
+              std::vector<sketch::HeavyHitter>& out) const override {
+    if constexpr (sketch::WindowedSketch<Sketch>::kHasNativeTopK) {
+      out = ring_.TopK(k);
+      return Status::OK();
+    } else {
+      return ServedModel::TopK(context, k, out);
+    }
+  }
+
+  bool SupportsWindowStats() const override { return true; }
+
+  Status WindowStats(WindowStatsSnapshot& out) const override {
+    out.window_items = ring_.window_items();
+    out.window_sequence = ring_.window_sequence();
+    out.items_in_current_window = ring_.items_in_current_window();
+    out.decay = ring_.decay();
+    out.window_counts = ring_.WindowCountsOldestFirst();
+    return Status::OK();
+  }
+
+  Status SaveSnapshot(const std::string& path) const override {
+    return io::SaveWindowedSketchSnapshot(path, ring_);
+  }
+
+  /// Live arrivals only: evicted windows leave the total, which is the
+  /// honest "how much does this model currently count" answer.
+  uint64_t TotalItems() const override { return ring_.total_items(); }
+
+ private:
+  sketch::WindowedSketch<Sketch> ring_;
+  std::string kind_;
+  stream::ShardMode mode_;
+};
+
+template <typename Sketch>
+Result<OpenedModel> LoadWindowedModel(const std::string& path,
+                                      const char* base_kind,
+                                      stream::ShardMode mode) {
+  auto ring = io::LoadWindowedSketchSnapshot<Sketch>(path);
+  if (!ring.ok()) return ring.status();
+  OpenedModel opened;
+  opened.model = std::make_unique<WindowedSketchModel<Sketch>>(
+      std::move(ring).value(), base_kind, mode);
+  return opened;
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +437,33 @@ Status AmsRejected(const std::string& path) {
       "moment — it cannot serve per-key frequency queries (use `restore`)");
 }
 
+Result<OpenedModel> OpenWindowedSketch(const std::string& path) {
+  auto inner = io::WindowedInnerTypeOfFile(path);
+  if (!inner.ok()) return inner.status();
+  switch (inner.value()) {
+    case io::SectionType::kCountMinSketch:
+      return LoadWindowedModel<sketch::CountMinSketch>(
+          path, "count-min", stream::ShardMode::kReplicated);
+    case io::SectionType::kCountSketch:
+      return LoadWindowedModel<sketch::CountSketch>(
+          path, "count-sketch", stream::ShardMode::kReplicated);
+    case io::SectionType::kAmsSketch:
+      return AmsRejected(path);
+    case io::SectionType::kLearnedCountMin:
+      return LoadWindowedModel<sketch::LearnedCountMinSketch>(
+          path, "learned-count-min", stream::ShardMode::kReplicated);
+    case io::SectionType::kMisraGries:
+      return LoadWindowedModel<sketch::MisraGries>(
+          path, "misra-gries", stream::ShardMode::kKeyPartitioned);
+    case io::SectionType::kSpaceSaving:
+      return LoadWindowedModel<sketch::SpaceSaving>(
+          path, "space-saving", stream::ShardMode::kKeyPartitioned);
+    default:
+      return Status::InvalidArgument(
+          path + " holds no servable windowed sub-sketch");
+  }
+}
+
 Result<OpenedModel> OpenSketch(const std::string& path, io::SectionType type,
                                bool use_mmap) {
   OpenedModel opened;
@@ -407,6 +518,11 @@ Result<OpenedModel> OpenSketch(const std::string& path, io::SectionType type,
                           stream::ShardMode::kKeyPartitioned);
       return opened;
     }
+    case io::SectionType::kWindowedSketch:
+      // Windowed rings have no mapped view; like every other unsupported
+      // kind, an mmap request falls back to a full load (mmap_used stays
+      // false) rather than refusing to serve.
+      return OpenWindowedSketch(path);
     default:
       return Status::InvalidArgument(
           path + " holds no servable sketch section");
@@ -423,6 +539,15 @@ Status ServedModel::TopK(QueryContext& /*context*/, size_t /*k*/,
       " stores no candidate ids and cannot answer top-k; supported kinds: "
       "misra-gries, space-saving, learned-count-min, model-bundle, "
       "mapped-model-bundle");
+}
+
+Status ServedModel::WindowStats(WindowStatsSnapshot& out) const {
+  out = WindowStatsSnapshot();
+  return Status::FailedPrecondition(
+      std::string(Kind()) +
+      " counts over the whole stream, not a sliding window; start the "
+      "daemon with --windows W --window N (or serve a windowed checkpoint) "
+      "to get window stats");
 }
 
 Result<OpenedModel> OpenServedModel(const std::string& path, bool use_mmap) {
@@ -466,6 +591,27 @@ Result<OpenedModel> OpenServedModel(const std::string& path, bool use_mmap) {
   return opened;
 }
 
+namespace {
+
+// Wraps the freshly built base sketch in a windowed ring when the spec
+// asks for one; otherwise serves it as the plain lifetime counter.
+template <typename Sketch>
+Result<std::unique_ptr<ServedModel>> MakeServedMaybeWindowed(
+    Sketch sketch, const char* kind, stream::ShardMode mode,
+    const FreshSketchSpec& spec) {
+  if (spec.windows == 0) {
+    return MakeSketchModel(std::move(sketch), kind, mode);
+  }
+  auto ring = sketch::WindowedSketch<Sketch>::Create(
+      sketch, spec.windows, spec.window_items, spec.decay);
+  if (!ring.ok()) return ring.status();
+  return std::unique_ptr<ServedModel>(
+      std::make_unique<WindowedSketchModel<Sketch>>(std::move(ring).value(),
+                                                    kind, mode));
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ServedModel>> CreateServedSketch(
     const FreshSketchSpec& spec) {
   if (spec.width == 0 || spec.depth == 0 || spec.capacity == 0 ||
@@ -473,16 +619,34 @@ Result<std::unique_ptr<ServedModel>> CreateServedSketch(
     return Status::InvalidArgument(
         "--width, --depth, --capacity and --buckets must be >= 1");
   }
+  if (spec.windows == 0) {
+    if (spec.window_items > 0 || spec.decay != 1.0) {
+      return Status::InvalidArgument(
+          "--window and --decay configure windowed counting; add "
+          "--windows W (>= 1)");
+    }
+  } else {
+    // Serving has no manual-tick driver, so item-count advance is the
+    // only mode: a windowed daemon must say how many arrivals one
+    // window holds.
+    if (spec.window_items == 0) {
+      return Status::InvalidArgument(
+          "windowed serving advances by item count: --window N must be "
+          ">= 1");
+    }
+    Status valid = sketch::ValidateWindowedConfig(spec.windows, spec.decay);
+    if (!valid.ok()) return valid;
+  }
   if (spec.kind == "cms") {
-    return MakeSketchModel(
+    return MakeServedMaybeWindowed(
         sketch::CountMinSketch(spec.width, spec.depth, spec.seed,
                                spec.conservative),
-        "count-min", stream::ShardMode::kReplicated);
+        "count-min", stream::ShardMode::kReplicated, spec);
   }
   if (spec.kind == "countsketch") {
-    return MakeSketchModel(
+    return MakeServedMaybeWindowed(
         sketch::CountSketch(spec.width, spec.depth, spec.seed),
-        "count-sketch", stream::ShardMode::kReplicated);
+        "count-sketch", stream::ShardMode::kReplicated, spec);
   }
   if (spec.kind == "lcms") {
     // A fresh daemon has no prefix to rank heavy keys from, so the
@@ -493,17 +657,19 @@ Result<std::unique_ptr<ServedModel>> CreateServedSketch(
                                                       spec.depth, {},
                                                       spec.seed);
     if (!lcms.ok()) return lcms.status();
-    return MakeSketchModel(std::move(lcms).value(), "learned-count-min",
-                           stream::ShardMode::kReplicated);
+    return MakeServedMaybeWindowed(std::move(lcms).value(),
+                                   "learned-count-min",
+                                   stream::ShardMode::kReplicated, spec);
   }
   if (spec.kind == "mg") {
-    return MakeSketchModel(sketch::MisraGries(spec.capacity), "misra-gries",
-                           stream::ShardMode::kKeyPartitioned);
+    return MakeServedMaybeWindowed(sketch::MisraGries(spec.capacity),
+                                   "misra-gries",
+                                   stream::ShardMode::kKeyPartitioned, spec);
   }
   if (spec.kind == "ss") {
-    return MakeSketchModel(sketch::SpaceSaving(spec.capacity),
-                           "space-saving",
-                           stream::ShardMode::kKeyPartitioned);
+    return MakeServedMaybeWindowed(sketch::SpaceSaving(spec.capacity),
+                                   "space-saving",
+                                   stream::ShardMode::kKeyPartitioned, spec);
   }
   if (spec.kind == "ams") {
     return Status::InvalidArgument(

@@ -7,6 +7,7 @@
 
 #include "common/span.h"
 #include "common/status.h"
+#include "server/protocol.h"
 #include "sketch/top_k.h"
 #include "stream/sharded_ingest.h"
 
@@ -80,6 +81,15 @@ class ServedModel {
   virtual Status TopK(QueryContext& context, size_t k,
                       std::vector<sketch::HeavyHitter>& out) const;
 
+  /// True when the artifact counts over a sliding window (a windowed
+  /// ring) — the capability flag behind the kWindowStats verb, same
+  /// pattern as SupportsTopK.
+  virtual bool SupportsWindowStats() const { return false; }
+
+  /// Ring position + per-window arrival counts (oldest window first).
+  /// Default: FailedPrecondition explaining how to get a windowed model.
+  virtual Status WindowStats(WindowStatsSnapshot& out) const;
+
   /// Writes a checkpoint loadable by OpenServedModel (and by the offline
   /// `restore` verb) to `path`. The rotator wraps this in
   /// write-temp-then-rename; this method just writes the file.
@@ -109,6 +119,9 @@ Result<OpenedModel> OpenServedModel(const std::string& path, bool use_mmap);
 
 /// Geometry of a fresh, empty sketch to serve (daemon started with
 /// --sketch instead of --in). Mirrors the `snapshot` verb's flags.
+/// With `windows > 0` the sketch is wrapped in a WindowedSketch ring of
+/// that many windows advancing every `window_items` arrivals;
+/// `decay < 1.0` additionally turns on exponential decay at query time.
 struct FreshSketchSpec {
   std::string kind = "cms";  // cms|countsketch|lcms|mg|ss
   size_t width = 1024;
@@ -117,6 +130,9 @@ struct FreshSketchSpec {
   size_t buckets = 1024;  // lcms budget (served with an empty oracle set).
   uint64_t seed = 1;
   bool conservative = false;
+  size_t windows = 0;        // 0 = plain lifetime counting (no ring).
+  uint64_t window_items = 0; // Arrivals per window; required when windowed.
+  double decay = 1.0;        // Per-window geometric weight, in (0, 1].
 };
 
 Result<std::unique_ptr<ServedModel>> CreateServedSketch(

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -378,6 +379,29 @@ bool Server::HandleRequest(Span<const uint8_t> payload,
       EncodeMetricsReply(RenderPrometheusMetrics(), response);
       return true;
     }
+    case MessageType::kWindowStats: {
+      const Status decoded =
+          DecodeEmptyMessage(payload, MessageType::kWindowStats);
+      if (!decoded.ok()) {
+        EncodeErrorResponse(decoded, response);
+        return false;
+      }
+      WindowStatsSnapshot window_stats;
+      Status answered;
+      {
+        std::shared_lock<std::shared_mutex> lock(model_mutex_);
+        answered = model_->WindowStats(window_stats);
+      }
+      if (!answered.ok()) {
+        // Non-windowed artifact kind: clean semantic error, session
+        // survives, exactly like an unsupported top-k.
+        EncodeErrorResponse(answered, response);
+        return true;
+      }
+      EncodeWindowStatsReply(window_stats, response);
+      window_stats_requests_.fetch_add(1);
+      return true;
+    }
     case MessageType::kScopedRequest: {
       RequestHeader header;
       Span<const uint8_t> inner;
@@ -470,6 +494,8 @@ std::string Server::RenderPrometheusMetrics() const {
           ingest_requests_.load());
   counter("topk_requests_total", "Top-k frames handled.",
           topk_requests_.load());
+  counter("window_stats_requests_total", "Window-stats frames handled.",
+          window_stats_requests_.load());
   counter("sessions_accepted_total", "Connections accepted.",
           sessions_accepted_.load());
   counter("sessions_rejected_total",
@@ -500,11 +526,17 @@ std::string Server::RenderPrometheusMetrics() const {
   double p50 = 0.0;
   double p99 = 0.0;
   uint64_t latency_count = 0;
+  uint64_t latency_sum = 0;
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> latency_buckets{};
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
     p50 = query_latency_.PercentileMicros(0.50);
     p99 = query_latency_.PercentileMicros(0.99);
     latency_count = query_latency_.count();
+    latency_sum = query_latency_.sum_micros();
+    for (size_t i = 0; i < latency_buckets.size(); ++i) {
+      latency_buckets[i] = query_latency_.bucket_count(i);
+    }
   }
   char number[32];
   out +=
@@ -520,6 +552,37 @@ std::string Server::RenderPrometheusMetrics() const {
   out += number;
   out += '\n';
   out += "opthash_query_latency_micros_count ";
+  out += std::to_string(latency_count);
+  out += '\n';
+
+  // The same log-linear buckets as a full Prometheus histogram, so a
+  // scraper can compute any quantile itself instead of trusting the
+  // server-side p50/p99 above. Cumulative `le` lines are emitted only
+  // for occupied buckets (plus +Inf): `le` values still ascend and the
+  // running count is still monotone, which is all the exposition format
+  // requires, and it keeps a warm scrape body to a handful of lines
+  // instead of 528.
+  out +=
+      "# HELP opthash_query_latency_histogram_micros Server-side request "
+      "latency (query and top-k frames), log-linear buckets.\n"
+      "# TYPE opthash_query_latency_histogram_micros histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < latency_buckets.size(); ++i) {
+    if (latency_buckets[i] == 0) continue;
+    cumulative += latency_buckets[i];
+    out += "opthash_query_latency_histogram_micros_bucket{le=\"";
+    out += std::to_string(LatencyHistogram::BucketUpperBoundMicros(i));
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += "opthash_query_latency_histogram_micros_bucket{le=\"+Inf\"} ";
+  out += std::to_string(latency_count);
+  out += '\n';
+  out += "opthash_query_latency_histogram_micros_sum ";
+  out += std::to_string(latency_sum);
+  out += '\n';
+  out += "opthash_query_latency_histogram_micros_count ";
   out += std::to_string(latency_count);
   out += '\n';
   return out;

@@ -166,6 +166,7 @@ class Server {
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> ingest_requests_{0};
   std::atomic<uint64_t> topk_requests_{0};
+  std::atomic<uint64_t> window_stats_requests_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
   mutable std::mutex latency_mutex_;

@@ -44,6 +44,11 @@ std::unique_ptr<ServedModel> FreshCms() {
   spec.width = 512;
   spec.depth = 4;
   spec.seed = 3;
+  // Serve a windowed ring so mutated window-stats frames exercise the
+  // real reply path, not just the FailedPrecondition shortcut. Windows
+  // big enough that the final sanity queries stay in the live window.
+  spec.windows = 3;
+  spec.window_items = 1000;
   auto model = CreateServedSketch(spec);
   EXPECT_TRUE(model.ok()) << model.status().ToString();
   return std::move(model).value();
@@ -88,11 +93,11 @@ bool ContainsValidShutdown(const std::vector<uint8_t>& bytes) {
 }
 
 /// A valid request frame to mutate (never kShutdown as the base),
-/// covering every request type including the PR-7 additions: top-k,
-/// metrics and scoped-request envelopes.
+/// covering every request type: top-k, metrics, scoped-request
+/// envelopes and the windowed-counting window-stats verb.
 std::vector<uint8_t> ValidBaseFrame(Rng& rng) {
   std::vector<uint8_t> frame;
-  switch (rng.NextBounded(8)) {
+  switch (rng.NextBounded(9)) {
     case 0:
       EncodeEmptyMessage(MessageType::kPing, frame);
       break;
@@ -109,13 +114,21 @@ std::vector<uint8_t> ValidBaseFrame(Rng& rng) {
     case 4:
       EncodeEmptyMessage(MessageType::kMetrics, frame);
       break;
-    case 5: {  // Scoped envelope around a harmless inner request.
+    case 5: {  // Scoped envelope around a harmless inner request —
+               // including window-stats, so mutations hit window
+               // metadata riding inside envelopes.
       std::vector<uint8_t> inner;
-      if (rng.NextBounded(2) == 0) {
-        EncodeEmptyMessage(MessageType::kPing, inner);
-      } else {
-        EncodeTopKRequest(1 + static_cast<uint32_t>(rng.NextBounded(16)),
-                          inner);
+      switch (rng.NextBounded(3)) {
+        case 0:
+          EncodeEmptyMessage(MessageType::kPing, inner);
+          break;
+        case 1:
+          EncodeEmptyMessage(MessageType::kWindowStats, inner);
+          break;
+        default:
+          EncodeTopKRequest(1 + static_cast<uint32_t>(rng.NextBounded(16)),
+                            inner);
+          break;
       }
       RequestHeader header;
       header.model_id = static_cast<uint32_t>(rng.NextBounded(3));
@@ -126,6 +139,9 @@ std::vector<uint8_t> ValidBaseFrame(Rng& rng) {
           frame);
       break;
     }
+    case 6:
+      EncodeEmptyMessage(MessageType::kWindowStats, frame);
+      break;
     default: {
       std::vector<uint64_t> keys(1 + rng.NextBounded(32));
       for (uint64_t& key : keys) key = rng.NextBounded(10000);

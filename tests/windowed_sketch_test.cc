@@ -1,0 +1,567 @@
+// Sliding-window and decayed counting over window-partitioned sketch
+// rings, proven against exact oracles:
+//  - an exact brute-force sliding-window counter (the ground truth every
+//    windowed estimate is compared to),
+//  - the linearity oracle: for linear sketches (count-min, count-sketch)
+//    a windowed estimate must be BIT-identical to a fresh sketch of the
+//    same geometry fed only the live-window suffix of the stream,
+//  - hand-computed geometric weights for the decay algebra.
+// Plus the edge cases (W = 1, empty windows, multi-count overshoot,
+// manual ticks), mid-window serialize/resume equivalence, sharded ==
+// single-thread windowed ingest, and hostile snapshot payload rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "io/windowed_snapshot.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "sketch/windowed_sketch.h"
+
+namespace opthash::sketch {
+namespace {
+
+// A deterministic pseudo-Zipf key stream: a few heavy keys, a long tail.
+std::vector<uint64_t> ZipfStream(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t r = rng.NextUint64();
+    keys.push_back(r % ((r % 6 == 0) ? 5000 : 48));
+  }
+  return keys;
+}
+
+// Exact brute-force sliding-window counter: replays the stream with the
+// same advance rule as the ring (a window closes after `window_items`
+// arrivals; the ring keeps the current window plus the W-1 before it)
+// and answers exact live-window frequencies.
+class ExactWindowOracle {
+ public:
+  ExactWindowOracle(size_t num_windows, uint64_t window_items)
+      : num_windows_(num_windows), window_items_(window_items) {
+    windows_.emplace_back();
+  }
+
+  void Add(uint64_t key) {
+    ++windows_.back()[key];
+    ++current_items_;
+    if (window_items_ > 0 && current_items_ >= window_items_) {
+      windows_.emplace_back();
+      current_items_ = 0;
+      if (windows_.size() > num_windows_) {
+        windows_.erase(windows_.begin());
+      }
+    }
+  }
+
+  uint64_t Count(uint64_t key) const {
+    uint64_t total = 0;
+    for (const auto& window : windows_) {
+      auto it = window.find(key);
+      if (it != window.end()) total += it->second;
+    }
+    return total;
+  }
+
+  uint64_t LiveTotal() const {
+    uint64_t total = 0;
+    for (const auto& window : windows_) {
+      for (const auto& [key, count] : window) total += count;
+    }
+    return total;
+  }
+
+ private:
+  size_t num_windows_;
+  uint64_t window_items_;
+  uint64_t current_items_ = 0;
+  std::vector<std::map<uint64_t, uint64_t>> windows_;
+};
+
+TEST(WindowedSketchTest, CreateRejectsZeroWindows) {
+  CountMinSketch proto(64, 2, 1);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 0, 10);
+  ASSERT_FALSE(ring.ok());
+  EXPECT_EQ(ring.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ring.status().ToString().find("at least one window"),
+            std::string::npos);
+}
+
+TEST(WindowedSketchTest, CreateRejectsBadDecay) {
+  CountMinSketch proto(64, 2, 1);
+  for (double bad : {0.0, -0.5, 1.5}) {
+    auto ring = WindowedSketch<CountMinSketch>::Create(proto, 4, 10, bad);
+    ASSERT_FALSE(ring.ok()) << bad;
+    EXPECT_NE(ring.status().ToString().find("decay"), std::string::npos);
+  }
+  // NaN compares false against every bound; the validator must still
+  // reject it (a NaN weight would poison every decayed estimate).
+  auto nan_ring = WindowedSketch<CountMinSketch>::Create(
+      proto, 4, 10, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(nan_ring.ok());
+}
+
+TEST(WindowedSketchTest, PartValidationRejectsInconsistentRings) {
+  EXPECT_FALSE(ValidateWindowedParts(4, 3, 0, 1.0).ok());  // counts != W
+  EXPECT_FALSE(ValidateWindowedParts(4, 4, 4, 1.0).ok());  // head >= W
+  EXPECT_TRUE(ValidateWindowedParts(4, 4, 3, 0.5).ok());
+}
+
+TEST(WindowedSketchTest, DecayWeightIsIteratedGeometricSeries) {
+  EXPECT_EQ(WindowDecayWeight(0.5, 0), 1.0);
+  EXPECT_EQ(WindowDecayWeight(0.5, 1), 0.5);
+  // Exactly the iterated product, bit for bit — the reproducibility
+  // contract the snapshot-equivalence tests lean on.
+  EXPECT_EQ(WindowDecayWeight(0.9, 3), 0.9 * 0.9 * 0.9);
+  EXPECT_EQ(WindowDecayWeight(1.0, 7), 1.0);
+}
+
+TEST(WindowedSketchTest, SingleWindowNoAdvanceDegeneratesToPlainSketch) {
+  CountMinSketch plain(256, 4, 7);
+  auto ring_or =
+      WindowedSketch<CountMinSketch>::Create(plain, 1, /*window_items=*/0);
+  ASSERT_TRUE(ring_or.ok());
+  auto ring = std::move(ring_or).value();
+
+  const auto keys = ZipfStream(3000, 11);
+  plain.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  EXPECT_EQ(ring.window_sequence(), 0u);
+  EXPECT_EQ(ring.total_items(), keys.size());
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.Estimate(key), static_cast<double>(plain.Estimate(key)))
+        << key;
+  }
+}
+
+TEST(WindowedSketchTest, CountMinMatchesFreshSketchFedLiveSuffix) {
+  constexpr size_t kWindows = 4;
+  constexpr uint64_t kWindowItems = 250;
+  CountMinSketch proto(512, 4, 3);
+  auto ring_or =
+      WindowedSketch<CountMinSketch>::Create(proto, kWindows, kWindowItems);
+  ASSERT_TRUE(ring_or.ok());
+  auto ring = std::move(ring_or).value();
+
+  const auto keys = ZipfStream(2375, 13);  // Ends mid-window (2375 % 250).
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  // Linearity oracle: the merged ring must be BIT-identical to a fresh
+  // same-geometry sketch fed only the arrivals still inside the ring.
+  const uint64_t live = ring.total_items();
+  ASSERT_LE(live, keys.size());
+  CountMinSketch fresh = proto.EmptyClone();
+  fresh.UpdateBatch(Span<const uint64_t>(keys.data() + (keys.size() - live),
+                                         static_cast<size_t>(live)));
+  for (uint64_t key = 0; key < 300; ++key) {
+    EXPECT_EQ(ring.Estimate(key), static_cast<double>(fresh.Estimate(key)))
+        << key;
+  }
+  // The batched path answers identically to the scalar path.
+  std::vector<uint64_t> probe;
+  for (uint64_t key = 0; key < 300; ++key) probe.push_back(key);
+  std::vector<double> batched(probe.size());
+  ring.EstimateBatch(Span<const uint64_t>(probe.data(), probe.size()),
+                     Span<double>(batched.data(), batched.size()));
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(batched[i], ring.Estimate(probe[i])) << probe[i];
+  }
+}
+
+TEST(WindowedSketchTest, CountMinDominatesExactSlidingWindowOracle) {
+  constexpr size_t kWindows = 5;
+  constexpr uint64_t kWindowItems = 300;
+  CountMinSketch proto(1024, 4, 9);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, kWindows,
+                                                     kWindowItems)
+                  .value();
+  ExactWindowOracle oracle(kWindows, kWindowItems);
+
+  const auto keys = ZipfStream(4210, 17);
+  for (uint64_t key : keys) oracle.Add(key);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  ASSERT_EQ(ring.total_items(), oracle.LiveTotal());
+  // Count-min never underestimates, and the windowed estimate obeys the
+  // sketch's epsilon bound over the LIVE total (not the whole stream) —
+  // that is the entire point of windowing.
+  const double epsilon_bound =
+      2.0 * static_cast<double>(oracle.LiveTotal()) / 1024.0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    const double est = ring.Estimate(key);
+    const double exact = static_cast<double>(oracle.Count(key));
+    EXPECT_GE(est, exact) << key;
+    EXPECT_LE(est - exact, epsilon_bound) << key;
+  }
+}
+
+TEST(WindowedSketchTest, CountSketchMatchesFreshSketchFedLiveSuffix) {
+  CountSketch proto(512, 5, 21);
+  auto ring = WindowedSketch<CountSketch>::Create(proto, 3, 400).value();
+  const auto keys = ZipfStream(1900, 19);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  const uint64_t live = ring.total_items();
+  CountSketch fresh = proto.EmptyClone();
+  fresh.UpdateBatch(Span<const uint64_t>(keys.data() + (keys.size() - live),
+                                         static_cast<size_t>(live)));
+  for (uint64_t key = 0; key < 200; ++key) {
+    // Signed medians survive the merge: the windowed answer keeps
+    // count-sketch's signed semantics, cast to double.
+    EXPECT_EQ(ring.Estimate(key), static_cast<double>(fresh.Estimate(key)))
+        << key;
+  }
+}
+
+TEST(WindowedSketchTest, MisraGriesAmpleCapacityIsExactOnLiveWindow) {
+  // Capacity >= distinct keys in every window and in the union: the
+  // summary never decrements, so the windowed answer IS the exact
+  // sliding-window frequency.
+  MisraGries proto(256);
+  auto ring = WindowedSketch<MisraGries>::Create(proto, 4, 200).value();
+  ExactWindowOracle oracle(4, 200);
+
+  Rng rng(23);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < 1700; ++i) keys.push_back(rng.NextBounded(40));
+  for (uint64_t key : keys) oracle.Add(key);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  for (uint64_t key = 0; key < 40; ++key) {
+    EXPECT_EQ(ring.Estimate(key), static_cast<double>(oracle.Count(key)))
+        << key;
+  }
+}
+
+TEST(WindowedSketchTest, MisraGriesTightCapacityObeysSummaryBound) {
+  constexpr size_t kCapacity = 8;
+  MisraGries proto(kCapacity);
+  auto ring = WindowedSketch<MisraGries>::Create(proto, 3, 500).value();
+  ExactWindowOracle oracle(3, 500);
+
+  const auto keys = ZipfStream(3100, 29);
+  for (uint64_t key : keys) oracle.Add(key);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  // Misra-Gries underestimates, and the mergeable-summaries guarantee
+  // bounds the deficit by liveTotal / (capacity + 1) after any merge
+  // sequence (Agarwal et al., PODS 2012).
+  const double deficit_bound =
+      static_cast<double>(oracle.LiveTotal()) / (kCapacity + 1);
+  for (uint64_t key = 0; key < 48; ++key) {
+    const double est = ring.Estimate(key);
+    const double exact = static_cast<double>(oracle.Count(key));
+    EXPECT_LE(est, exact) << key;
+    EXPECT_LE(exact - est, deficit_bound) << key;
+  }
+}
+
+TEST(WindowedSketchTest, SpaceSavingAmpleCapacityIsExactOnLiveWindow) {
+  SpaceSaving proto(128);
+  auto ring = WindowedSketch<SpaceSaving>::Create(proto, 3, 250).value();
+  ExactWindowOracle oracle(3, 250);
+
+  Rng rng(31);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < 1400; ++i) keys.push_back(rng.NextBounded(32));
+  for (uint64_t key : keys) oracle.Add(key);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  for (uint64_t key = 0; key < 32; ++key) {
+    EXPECT_EQ(ring.Estimate(key), static_cast<double>(oracle.Count(key)))
+        << key;
+  }
+}
+
+TEST(WindowedSketchTest, DecayedEstimateMatchesHandComputedWeights) {
+  // Ample geometry so every per-window estimate is exact; each window
+  // gets a known count of one key, so the decayed answer must equal the
+  // hand-computed geometric series.
+  constexpr double kDecay = 0.5;
+  CountMinSketch proto(4096, 4, 5);
+  auto ring =
+      WindowedSketch<CountMinSketch>::Create(proto, 3, 10, kDecay).value();
+
+  std::vector<uint64_t> window_a(10, 7);  // Window age 2 after the fills.
+  std::vector<uint64_t> window_b(10, 7);  // Age 1.
+  ring.UpdateBatch(Span<const uint64_t>(window_a.data(), window_a.size()));
+  ring.UpdateBatch(Span<const uint64_t>(window_b.data(), window_b.size()));
+  std::vector<uint64_t> current(4, 7);  // Age 0, window still open.
+  ring.UpdateBatch(Span<const uint64_t>(current.data(), current.size()));
+
+  ASSERT_EQ(ring.window_sequence(), 2u);
+  ASSERT_EQ(ring.items_in_current_window(), 4u);
+  const double expected = 4.0 * WindowDecayWeight(kDecay, 0) +
+                          10.0 * WindowDecayWeight(kDecay, 1) +
+                          10.0 * WindowDecayWeight(kDecay, 2);
+  EXPECT_EQ(ring.Estimate(7), expected);
+  EXPECT_EQ(ring.Estimate(8), 0.0);
+
+  // The batched decayed path agrees with the scalar one.
+  const uint64_t probe[] = {7, 8};
+  double out[2] = {-1.0, -1.0};
+  ring.EstimateBatch(Span<const uint64_t>(probe, 2), Span<double>(out, 2));
+  EXPECT_EQ(out[0], expected);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(WindowedSketchTest, EmptyAndSingleItemWindowsAreHandledCleanly) {
+  CountMinSketch proto(128, 3, 2);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 3, 1).value();
+  // window_items == 1: every arrival closes its own window.
+  ring.Update(42);
+  ring.Update(42);
+  EXPECT_EQ(ring.window_sequence(), 2u);
+  EXPECT_EQ(ring.Estimate(42), 2.0);
+  ring.Update(42);
+  ring.Update(99);
+  // Each single-item window closed and advanced, so the ring now holds
+  // only the last two closed windows (plus the empty current one): the
+  // two oldest 42s fell out.
+  EXPECT_EQ(ring.Estimate(42), 1.0);
+  EXPECT_EQ(ring.Estimate(99), 1.0);
+
+  // Manual ticks through an idle ring evict everything without crashing.
+  auto idle = WindowedSketch<CountMinSketch>::Create(proto, 3, 0).value();
+  idle.Update(5);
+  for (int i = 0; i < 3; ++i) idle.AdvanceWindow();
+  EXPECT_EQ(idle.Estimate(5), 0.0);
+  EXPECT_EQ(idle.total_items(), 0u);
+  const auto counts = idle.WindowCountsOldestFirst();
+  for (uint64_t count : counts) EXPECT_EQ(count, 0u);
+}
+
+TEST(WindowedSketchTest, MultiCountUpdateOvershootsThenAdvances) {
+  CountMinSketch proto(128, 3, 2);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 2, 5).value();
+  // A multi-count update is atomic: it may overshoot the window budget
+  // and the advance happens immediately after.
+  ring.Update(1, 12);
+  EXPECT_EQ(ring.window_sequence(), 1u);
+  EXPECT_EQ(ring.items_in_current_window(), 0u);
+  EXPECT_EQ(ring.Estimate(1), 12.0);
+  // The next short batch lands in the fresh window, not the full one.
+  ring.Update(2);
+  EXPECT_EQ(ring.items_in_current_window(), 1u);
+  EXPECT_EQ(ring.window_sequence(), 1u);
+  // One more advance evicts the overshot window entirely.
+  ring.AdvanceWindow();
+  EXPECT_EQ(ring.Estimate(1), 0.0);
+  EXPECT_EQ(ring.Estimate(2), 1.0);
+}
+
+TEST(WindowedSketchTest, TickOnlyModeNeverAdvancesOnItems) {
+  CountMinSketch proto(128, 3, 2);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 4, 0).value();
+  const auto keys = ZipfStream(5000, 37);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+  EXPECT_EQ(ring.window_sequence(), 0u);
+  EXPECT_EQ(ring.items_in_current_window(), keys.size());
+  ring.AdvanceWindow();
+  EXPECT_EQ(ring.window_sequence(), 1u);
+  EXPECT_EQ(ring.items_in_current_window(), 0u);
+  EXPECT_EQ(ring.total_items(), keys.size());  // Still live, one window old.
+}
+
+TEST(WindowedSketchTest, WindowCountsReportOldestFirst) {
+  CountMinSketch proto(64, 2, 1);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 3, 4).value();
+  std::vector<uint64_t> keys(9, 1);  // Two full windows + 1 in the third.
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+  const auto counts = ring.WindowCountsOldestFirst();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 4u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(ring.items_in_current_window(), 1u);
+}
+
+TEST(WindowedSketchTest, TopKOverLiveWindowsMatchesOracle) {
+  MisraGries proto(64);
+  auto ring = WindowedSketch<MisraGries>::Create(proto, 3, 100).value();
+  ExactWindowOracle oracle(3, 100);
+
+  // Keys with clearly separated live-window frequencies.
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < 350; ++i) keys.push_back(i % 7);
+  for (uint64_t key : keys) oracle.Add(key);
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  // k >= distinct keys, so every per-window candidate list is complete
+  // and the folded estimates are exact live-window counts.
+  const auto hitters = ring.TopK(7);
+  ASSERT_EQ(hitters.size(), 7u);
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_EQ(hitter.estimate,
+              static_cast<double>(oracle.Count(hitter.id)))
+        << hitter.id;
+    EXPECT_TRUE(hitter.guaranteed) << hitter.id;
+  }
+  // Heaviest first, per the canonical order.
+  for (size_t i = 1; i < hitters.size(); ++i) {
+    EXPECT_GE(hitters[i - 1].estimate, hitters[i].estimate);
+  }
+
+  // An empty ring reports no hitters instead of a k-long list of zeros.
+  auto empty = WindowedSketch<MisraGries>::Create(proto, 3, 100).value();
+  EXPECT_TRUE(empty.TopK(5).empty());
+}
+
+TEST(WindowedSketchTest, DecayedTopKScalesEstimatesByWindowAge) {
+  constexpr double kDecay = 0.25;
+  MisraGries proto(64);
+  auto ring = WindowedSketch<MisraGries>::Create(proto, 2, 5, kDecay).value();
+  std::vector<uint64_t> old_window(5, 3);
+  ring.UpdateBatch(Span<const uint64_t>(old_window.data(), old_window.size()));
+  std::vector<uint64_t> current(2, 4);
+  ring.UpdateBatch(Span<const uint64_t>(current.data(), current.size()));
+
+  const auto hitters = ring.TopK(2);
+  ASSERT_EQ(hitters.size(), 2u);
+  // Key 4 (current, weight 1) outranks key 3 (age 1, weight 0.25).
+  EXPECT_EQ(hitters[0].id, 4u);
+  EXPECT_EQ(hitters[0].estimate, 2.0);
+  EXPECT_EQ(hitters[1].id, 3u);
+  EXPECT_EQ(hitters[1].estimate, 5.0 * kDecay);
+}
+
+TEST(WindowedSketchTest, SerializeRoundTripResumesMidWindowExactly) {
+  CountMinSketch proto(256, 4, 13);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 4, 100,
+                                                     /*decay=*/0.75)
+                  .value();
+  const auto keys = ZipfStream(730, 41);  // Mid-window: 730 % 100 != 0.
+  ring.UpdateBatch(Span<const uint64_t>(keys.data(), keys.size()));
+
+  io::ByteWriter out;
+  io::SerializeWindowedSketch(ring, out);
+  io::ByteReader in(out.bytes().data(), out.size());
+  auto restored_or = io::DeserializeWindowedSketch<CountMinSketch>(in);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  ASSERT_TRUE(in.ExpectFullyConsumed().ok());
+  auto restored = std::move(restored_or).value();
+
+  // Ring position survives byte-exactly.
+  EXPECT_EQ(restored.head(), ring.head());
+  EXPECT_EQ(restored.window_sequence(), ring.window_sequence());
+  EXPECT_EQ(restored.items_in_current_window(),
+            ring.items_in_current_window());
+  EXPECT_EQ(restored.decay(), ring.decay());
+  EXPECT_EQ(restored.WindowCountsOldestFirst(),
+            ring.WindowCountsOldestFirst());
+
+  // And the restored ring continues mid-window exactly: same extra keys,
+  // same answers, same ring position — the checkpoint/resume contract.
+  const auto more = ZipfStream(430, 43);
+  ring.UpdateBatch(Span<const uint64_t>(more.data(), more.size()));
+  restored.UpdateBatch(Span<const uint64_t>(more.data(), more.size()));
+  EXPECT_EQ(restored.window_sequence(), ring.window_sequence());
+  for (uint64_t key = 0; key < 150; ++key) {
+    EXPECT_EQ(restored.Estimate(key), ring.Estimate(key)) << key;
+  }
+}
+
+TEST(WindowedSketchTest, ShardedWindowedIngestMatchesSingleThread) {
+  CountMinSketch proto(512, 4, 19);
+  auto single = WindowedSketch<CountMinSketch>::Create(proto, 4, 300).value();
+  auto sharded = WindowedSketch<CountMinSketch>::Create(proto, 4, 300).value();
+
+  const auto keys = ZipfStream(3456, 47);
+  stream::ShardedIngestConfig one_thread;
+  one_thread.num_threads = 1;
+  ASSERT_TRUE(
+      single.Ingest(Span<const uint64_t>(keys.data(), keys.size()), one_thread)
+          .ok());
+  stream::ShardedIngestConfig four_threads;
+  four_threads.num_threads = 4;
+  four_threads.block_size = 128;
+  ASSERT_TRUE(sharded
+                  .Ingest(Span<const uint64_t>(keys.data(), keys.size()),
+                          four_threads)
+                  .ok());
+
+  // Window boundaries are item-count positions in the stream, independent
+  // of sharding — and replicated count-min merges are exact, so every
+  // answer and every ring coordinate is identical.
+  EXPECT_EQ(sharded.window_sequence(), single.window_sequence());
+  EXPECT_EQ(sharded.WindowCountsOldestFirst(),
+            single.WindowCountsOldestFirst());
+  for (uint64_t key = 0; key < 300; ++key) {
+    EXPECT_EQ(sharded.Estimate(key), single.Estimate(key)) << key;
+  }
+}
+
+TEST(WindowedSketchTest, HostileSnapshotPayloadsRejectedCleanly) {
+  CountMinSketch proto(64, 2, 3);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 2, 10).value();
+  ring.Update(1);
+  io::ByteWriter out;
+  io::SerializeWindowedSketch(ring, out);
+  const std::vector<uint8_t> good(out.bytes().begin(), out.bytes().end());
+
+  {  // Unsupported payload version.
+    std::vector<uint8_t> bad = good;
+    bad[0] = 9;
+    io::ByteReader in(bad.data(), bad.size());
+    auto restored = io::DeserializeWindowedSketch<CountMinSketch>(in);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_NE(restored.status().ToString().find("version"),
+              std::string::npos);
+  }
+  {  // Inner section type lies about the sub-sketch kind.
+    std::vector<uint8_t> bad = good;
+    io::ByteReader in(bad.data(), bad.size());
+    auto restored = io::DeserializeWindowedSketch<sketch::CountSketch>(in);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_NE(restored.status().ToString().find("sub-sketch"),
+              std::string::npos);
+  }
+  {  // Truncated mid-window payload.
+    std::vector<uint8_t> bad(good.begin(), good.end() - 7);
+    io::ByteReader in(bad.data(), bad.size());
+    auto restored = io::DeserializeWindowedSketch<CountMinSketch>(in);
+    EXPECT_FALSE(restored.ok());
+  }
+  {  // Every truncation point fails with a Status, never a crash.
+    for (size_t len = 0; len < good.size(); len += 5) {
+      io::ByteReader in(good.data(), len);
+      auto restored = io::DeserializeWindowedSketch<CountMinSketch>(in);
+      EXPECT_FALSE(restored.ok()) << len;
+    }
+  }
+}
+
+TEST(WindowedSketchTest, PeekInnerTypeValidatesHeader) {
+  CountMinSketch proto(64, 2, 3);
+  auto ring = WindowedSketch<CountMinSketch>::Create(proto, 2, 10).value();
+  io::ByteWriter out;
+  io::SerializeWindowedSketch(ring, out);
+  auto inner = io::PeekWindowedInnerType(
+      Span<const uint8_t>(out.bytes().data(), out.size()));
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner.value(), io::SectionType::kCountMinSketch);
+
+  // An unknown inner type is rejected by the peek itself, before any
+  // sub-sketch deserializer runs.
+  std::vector<uint8_t> bad(out.bytes().begin(), out.bytes().end());
+  bad[1] = 0xEE;
+  auto rejected =
+      io::PeekWindowedInnerType(Span<const uint8_t>(bad.data(), bad.size()));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().ToString().find("unknown sub-sketch"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace opthash::sketch

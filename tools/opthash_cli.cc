@@ -24,6 +24,8 @@
 #include "core/opt_hash_estimator.h"
 #include "io/model_io.h"
 #include "io/sketch_snapshot.h"
+#include "io/windowed_snapshot.h"
+#include "sketch/windowed_sketch.h"
 #include "server/protocol.h"
 #include "server/served_model.h"
 #include "stream/element.h"
@@ -52,6 +54,7 @@ constexpr const char* kUsageText =
     "           [--sketch cms|countsketch|ams|lcms|mg|ss] [--width W]\n"
     "           [--depth D] [--capacity K] [--heavy H] [--buckets N]\n"
     "           [--seed S] [--conservative 1]\n"
+    "           [--windows W --window N [--decay L]]\n"
     "  restore  --in file [--trace queries.csv] [--mmap 1]\n"
     "           [--block-size B]\n"
     "  topk     --in file [--k N] [--mmap 1]\n"
@@ -118,6 +121,17 @@ constexpr const char* kUsageText =
     "  --seed S        hash seed (default 1)\n"
     "  --conservative 1  cms only: Estan-Varghese conservative update\n"
     "                  (default 0)\n"
+    "  --windows W     wrap the sketch in a ring of W per-window\n"
+    "                  sub-sketches counting a sliding window of the\n"
+    "                  last W*N arrivals (default 0 = lifetime counting;\n"
+    "                  every kind except ams)\n"
+    "  --window N      advance the ring every N arrivals (required with\n"
+    "                  --windows). A windowed checkpoint stores the ring\n"
+    "                  position, so `--in prev.bin` resumes mid-window\n"
+    "                  exactly\n"
+    "  --decay L       per-window geometric weight L in (0,1]; < 1 turns\n"
+    "                  restore/serve estimates into exponentially\n"
+    "                  decayed counts (default 1 = plain sliding window)\n"
     "\n"
     "restore flags:\n"
     "  --in file       a model bundle (either format) or a sketch\n"
@@ -426,6 +440,81 @@ int ResumeIngestAndSave(const std::string& in, Span<const uint64_t> ids,
   return IngestAndSave(std::move(sketch).value(), ids, out, kind);
 }
 
+// Windowed counting rides the same snapshot verb: the ring (position,
+// per-window counts, sub-sketches) IS the checkpoint, so a later
+// `--in prev.bin` run resumes mid-window exactly where this one stopped.
+struct WindowSpec {
+  size_t windows = 0;  // 0 = plain lifetime counting.
+  uint64_t window_items = 0;
+  double decay = 1.0;
+};
+
+template <typename Sketch>
+int IngestAndSaveWindowed(sketch::WindowedSketch<Sketch> ring,
+                          Span<const uint64_t> ids, const std::string& out,
+                          const char* kind) {
+  ring.UpdateBatch(ids);
+  const Status saved = io::SaveWindowedSketchSnapshot(out, ring);
+  if (!saved.ok()) return Fail(saved);
+  std::printf(
+      "windowed %s checkpoint: ingested %zu arrivals (%zu windows x %llu "
+      "items, sequence %llu), written to %s\n",
+      kind, ids.size(), ring.num_windows(),
+      static_cast<unsigned long long>(ring.window_items()),
+      static_cast<unsigned long long>(ring.window_sequence()), out.c_str());
+  return 0;
+}
+
+template <typename Sketch>
+int IngestAndSaveMaybeWindowed(Sketch sketch, const WindowSpec& window,
+                               Span<const uint64_t> ids,
+                               const std::string& out, const char* kind) {
+  if (window.windows == 0) {
+    return IngestAndSave(std::move(sketch), ids, out, kind);
+  }
+  auto ring = sketch::WindowedSketch<Sketch>::Create(
+      sketch, window.windows, window.window_items, window.decay);
+  if (!ring.ok()) return Fail(ring.status());
+  return IngestAndSaveWindowed(std::move(ring).value(), ids, out, kind);
+}
+
+template <typename Sketch>
+int ResumeWindowedIngestAndSave(const std::string& in,
+                                Span<const uint64_t> ids,
+                                const std::string& out, const char* kind) {
+  auto ring = io::LoadWindowedSketchSnapshot<Sketch>(in);
+  if (!ring.ok()) return Fail(ring.status());
+  return IngestAndSaveWindowed(std::move(ring).value(), ids, out, kind);
+}
+
+// The checkpoint's windowed section decides the sub-sketch kind on
+// resume, mirroring the plain single-section dispatch below.
+int ResumeWindowed(const std::string& in, Span<const uint64_t> ids,
+                   const std::string& out) {
+  auto inner = io::WindowedInnerTypeOfFile(in);
+  if (!inner.ok()) return Fail(inner.status());
+  switch (inner.value()) {
+    case io::SectionType::kCountMinSketch:
+      return ResumeWindowedIngestAndSave<sketch::CountMinSketch>(
+          in, ids, out, "count-min");
+    case io::SectionType::kCountSketch:
+      return ResumeWindowedIngestAndSave<sketch::CountSketch>(
+          in, ids, out, "count-sketch");
+    case io::SectionType::kLearnedCountMin:
+      return ResumeWindowedIngestAndSave<sketch::LearnedCountMinSketch>(
+          in, ids, out, "learned-count-min");
+    case io::SectionType::kMisraGries:
+      return ResumeWindowedIngestAndSave<sketch::MisraGries>(in, ids, out,
+                                                             "misra-gries");
+    case io::SectionType::kSpaceSaving:
+      return ResumeWindowedIngestAndSave<sketch::SpaceSaving>(
+          in, ids, out, "space-saving");
+    default:
+      return Fail(Status::InvalidArgument(
+          in + " wraps a sub-sketch kind without per-key estimates"));
+  }
+}
+
 int CmdSnapshot(const Flags& flags) {
   if (!flags.Has("trace") || !flags.Has("out")) {
     return Fail(Status::InvalidArgument("snapshot needs --trace and --out"));
@@ -451,6 +540,32 @@ int CmdSnapshot(const Flags& flags) {
     return Fail(Status::InvalidArgument(
         "--width, --depth, --capacity and --buckets must be >= 1"));
   }
+  const auto windows_flag = flags.GetUint("windows", 0);
+  if (!windows_flag.ok()) return Fail(windows_flag.status());
+  const auto window_flag = flags.GetUint("window", 0);
+  if (!window_flag.ok()) return Fail(window_flag.status());
+  const auto decay_flag = flags.GetDouble("decay", 1.0);
+  if (!decay_flag.ok()) return Fail(decay_flag.status());
+  WindowSpec window;
+  window.windows = static_cast<size_t>(windows_flag.value());
+  window.window_items = window_flag.value();
+  window.decay = decay_flag.value();
+  if (window.windows == 0) {
+    if (window.window_items != 0 || window.decay != 1.0) {
+      return Fail(Status::InvalidArgument(
+          "--window and --decay configure windowed counting; add "
+          "--windows W (>= 1)"));
+    }
+  } else {
+    if (window.window_items == 0) {
+      return Fail(Status::InvalidArgument(
+          "windowed checkpoints advance by item count: --window N must "
+          "be >= 1"));
+    }
+    const Status config_ok =
+        sketch::ValidateWindowedConfig(window.windows, window.decay);
+    if (!config_ok.ok()) return Fail(config_ok);
+  }
 
   auto ids = TraceIds(flags.Get("trace", ""));
   if (!ids.ok()) return Fail(ids.status());
@@ -465,6 +580,9 @@ int CmdSnapshot(const Flags& flags) {
     if (sections.value().size() != 1) {
       return Fail(Status::InvalidArgument(
           in + " is not a single-sketch checkpoint"));
+    }
+    if (sections.value().front() == io::SectionType::kWindowedSketch) {
+      return ResumeWindowed(in, ids.value(), out);
     }
     switch (sections.value().front()) {
       case io::SectionType::kCountMinSketch:
@@ -493,17 +611,22 @@ int CmdSnapshot(const Flags& flags) {
 
   const std::string kind = flags.Get("sketch", "cms");
   if (kind == "cms") {
-    return IngestAndSave(
+    return IngestAndSaveMaybeWindowed(
         sketch::CountMinSketch(width.value(), depth.value(), seed.value(),
                                conservative.value() != 0),
-        ids.value(), out, "count-min");
+        window, ids.value(), out, "count-min");
   }
   if (kind == "countsketch") {
-    return IngestAndSave(
+    return IngestAndSaveMaybeWindowed(
         sketch::CountSketch(width.value(), depth.value(), seed.value()),
-        ids.value(), out, "count-sketch");
+        window, ids.value(), out, "count-sketch");
   }
   if (kind == "ams") {
+    if (window.windows != 0) {
+      return Fail(Status::InvalidArgument(
+          "ams estimates the stream-wide F2 moment, not per-key counts; "
+          "windowed counting needs cms, countsketch, lcms, mg or ss"));
+    }
     return IngestAndSave(
         sketch::AmsSketch(depth.value(), capacity.value(), seed.value()),
         ids.value(), out, "ams");
@@ -515,16 +638,18 @@ int CmdSnapshot(const Flags& flags) {
         buckets.value(), depth.value(),
         sketch::SelectTopKeys(counts, heavy.value()), seed.value());
     if (!lcms.ok()) return Fail(lcms.status());
-    return IngestAndSave(std::move(lcms).value(), ids.value(), out,
-                         "learned-count-min");
+    return IngestAndSaveMaybeWindowed(std::move(lcms).value(), window,
+                                      ids.value(), out, "learned-count-min");
   }
   if (kind == "mg") {
-    return IngestAndSave(sketch::MisraGries(capacity.value()), ids.value(),
-                         out, "misra-gries");
+    return IngestAndSaveMaybeWindowed(sketch::MisraGries(capacity.value()),
+                                      window, ids.value(), out,
+                                      "misra-gries");
   }
   if (kind == "ss") {
-    return IngestAndSave(sketch::SpaceSaving(capacity.value()), ids.value(),
-                         out, "space-saving");
+    return IngestAndSaveMaybeWindowed(sketch::SpaceSaving(capacity.value()),
+                                      window, ids.value(), out,
+                                      "space-saving");
   }
   return Fail(Status::InvalidArgument("unknown sketch kind: " + kind));
 }
@@ -676,6 +801,62 @@ int RestoreSketch(const Flags& flags, const std::string& in,
       });
 }
 
+template <typename Sketch>
+int RestoreWindowedSketch(const Flags& flags, const std::string& in,
+                          const char* kind) {
+  const auto block_size = RestoreBlockSize(flags);
+  if (!block_size.ok()) return Fail(block_size.status());
+  auto ring = io::LoadWindowedSketchSnapshot<Sketch>(in);
+  if (!ring.ok()) return Fail(ring.status());
+  ReportLoadMode(/*mmap=*/false);
+  if (!flags.Has("trace")) {
+    std::printf(
+        "windowed %s checkpoint restored from %s: %zu windows x %llu "
+        "items, sequence %llu, decay %.6f\n",
+        kind, in.c_str(), ring.value().num_windows(),
+        static_cast<unsigned long long>(ring.value().window_items()),
+        static_cast<unsigned long long>(ring.value().window_sequence()),
+        ring.value().decay());
+    return 0;
+  }
+  auto ids = TraceIds(flags.Get("trace", ""));
+  if (!ids.ok()) return Fail(ids.status());
+  // WindowedSketch answers in double natively (decay weights are
+  // fractional), so no raw-counter staging is needed.
+  return PrintEstimatesBatch(
+      ids.value(), block_size.value(),
+      [&ring](Span<const uint64_t> keys, Span<double> out) {
+        ring.value().EstimateBatch(keys, out);
+      });
+}
+
+// A windowed checkpoint's inner section decides the sub-sketch kind,
+// exactly like the resume dispatch in CmdSnapshot.
+int RestoreWindowed(const Flags& flags, const std::string& in) {
+  auto inner = io::WindowedInnerTypeOfFile(in);
+  if (!inner.ok()) return Fail(inner.status());
+  switch (inner.value()) {
+    case io::SectionType::kCountMinSketch:
+      return RestoreWindowedSketch<sketch::CountMinSketch>(flags, in,
+                                                           "count-min");
+    case io::SectionType::kCountSketch:
+      return RestoreWindowedSketch<sketch::CountSketch>(flags, in,
+                                                        "count-sketch");
+    case io::SectionType::kLearnedCountMin:
+      return RestoreWindowedSketch<sketch::LearnedCountMinSketch>(
+          flags, in, "learned-count-min");
+    case io::SectionType::kMisraGries:
+      return RestoreWindowedSketch<sketch::MisraGries>(flags, in,
+                                                       "misra-gries");
+    case io::SectionType::kSpaceSaving:
+      return RestoreWindowedSketch<sketch::SpaceSaving>(flags, in,
+                                                        "space-saving");
+    default:
+      return Fail(Status::InvalidArgument(
+          in + " wraps a sub-sketch kind without per-key estimates"));
+  }
+}
+
 int CmdRestore(const Flags& flags) {
   if (!flags.Has("in")) {
     return Fail(Status::InvalidArgument("restore needs --in"));
@@ -763,6 +944,9 @@ int CmdRestore(const Flags& flags) {
       case io::SectionType::kSpaceSaving:
         notice("space-saving");
         return RestoreSketch<sketch::SpaceSaving>(flags, in, "space-saving");
+      case io::SectionType::kWindowedSketch:
+        notice("windowed checkpoints");
+        return RestoreWindowed(flags, in);
       default:
         break;
     }

@@ -39,7 +39,12 @@ constexpr const char* kUsageText =
     "                             the same model\n"
     "  metrics                    prints the Prometheus text-exposition\n"
     "                             scrape body (counters, gauges, latency\n"
-    "                             summary)\n"
+    "                             summary + histogram)\n"
+    "  windows                    prints `key value` lines of the served\n"
+    "                             ring: window size/sequence/decay and\n"
+    "                             per-window counts, oldest first (fails\n"
+    "                             unless the daemon serves a windowed\n"
+    "                             model: --windows W --window N)\n"
     "  snapshot                   forces one snapshot rotation; prints the\n"
     "                             sequence number written\n"
     "  shutdown                   asks the daemon to exit cleanly\n"
@@ -299,6 +304,26 @@ int Main(int argc, char** argv) {
     const Status status = client.value().Metrics(text);
     if (!status.ok()) return Fail(status);
     std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (args.verb == "windows") {
+    auto window_stats = client.value().WindowStats();
+    if (!window_stats.ok()) return Fail(window_stats.status());
+    const server::WindowStatsSnapshot& w = window_stats.value();
+    std::printf("num_windows %zu\n", w.window_counts.size());
+    std::printf("window_items %llu\n",
+                static_cast<unsigned long long>(w.window_items));
+    std::printf("decay %.6f\n", w.decay);
+    std::printf("window_sequence %llu\n",
+                static_cast<unsigned long long>(w.window_sequence));
+    std::printf("items_in_current_window %llu\n",
+                static_cast<unsigned long long>(w.items_in_current_window));
+    std::string counts;
+    for (size_t i = 0; i < w.window_counts.size(); ++i) {
+      if (i > 0) counts += ',';
+      counts += std::to_string(w.window_counts[i]);
+    }
+    std::printf("window_counts %s\n", counts.c_str());
     return 0;
   }
   if (args.verb == "snapshot") {

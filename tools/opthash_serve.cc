@@ -101,7 +101,17 @@ constexpr const char* kUsageText =
     "  --capacity K    tracked entries, mg/ss (default 256)\n"
     "  --buckets N     lcms total bucket budget (default 1024)\n"
     "  --seed S        hash seed (default 1)\n"
-    "  --conservative 1  cms only: conservative update (default 0)\n";
+    "  --conservative 1  cms only: conservative update (default 0)\n"
+    "\n"
+    "windowed counting (with --sketch; counts over a sliding window\n"
+    "of the last W*N arrivals instead of the whole stream):\n"
+    "  --windows W     ring of W per-window sub-sketches (default 0 =\n"
+    "                  plain lifetime counting)\n"
+    "  --window N      advance the ring every N arrivals (required with\n"
+    "                  --windows)\n"
+    "  --decay L       per-window geometric weight L in (0,1]; < 1 turns\n"
+    "                  estimates into exponentially decayed counts\n"
+    "                  (default 1 = plain sliding window)\n";
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -149,6 +159,15 @@ Result<server::OpenedModel> LoadInitialModel(const Flags& flags,
     if (!seed.ok()) return seed.status();
     const auto conservative = flags.GetUint("conservative", 0);
     if (!conservative.ok()) return conservative.status();
+    const auto windows = flags.GetUint("windows", 0);
+    if (!windows.ok()) return windows.status();
+    const auto window_items = flags.GetUint("window", 0);
+    if (!window_items.ok()) return window_items.status();
+    const auto decay = flags.GetDouble("decay", 1.0);
+    if (!decay.ok()) return decay.status();
+    spec.windows = static_cast<size_t>(windows.value());
+    spec.window_items = window_items.value();
+    spec.decay = decay.value();
     spec.width = static_cast<size_t>(width.value());
     spec.depth = static_cast<size_t>(depth.value());
     spec.capacity = static_cast<size_t>(capacity.value());

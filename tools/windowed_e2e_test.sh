@@ -1,0 +1,141 @@
+#!/bin/sh
+# Windowed-serving acceptance test (registered as ctest
+# opthash_serve_windowed_e2e), proving the sliding-window contracts
+# end to end, over a real daemon and real kill -9:
+#
+#  1. Served windowed answers == offline windowed checkpoint: a daemon
+#     started with --windows/--window answers (and reports ring
+#     position) exactly like `opthash_cli snapshot ... --windows` +
+#     `restore` fed the identical stream.
+#  2. Crash recovery MID-WINDOW: ingest part A ending inside an open
+#     window, snapshot, ingest part B, kill -9; a daemon restarted from
+#     the rotated windowed snapshot resumes at the exact ring position
+#     (sequence AND items-into-window) and, after re-ingesting part B,
+#     is byte-identical to one unbroken windowed ingestion of A+B.
+#
+# MODE=unix drives the daemon over --socket, MODE=tcp over
+# --listen 127.0.0.1:0 with the kernel-picked port parsed from the log.
+#
+# Usage: windowed_e2e_test.sh CLI SERVE CLIENT WORKDIR [unix|tcp]
+set -eu
+
+CLI="$1"; SERVE="$2"; CLIENT="$3"; WORK="$4"; MODE="${5:-unix}"
+SOCK="/tmp/opthash_we2e_$$.sock"
+
+# Ring geometry: 3000 arrivals over 800-item windows leaves the daemon
+# mid-window (sequence 3, 600 items in) at every checkpoint we take.
+WINDOWS=3
+WINDOW=800
+
+if [ "$MODE" = "tcp" ]; then
+  SERVE_LISTEN="--listen 127.0.0.1:0"
+else
+  SERVE_LISTEN="--socket $SOCK"
+fi
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+trap 'kill -9 $SERVE_PID 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+resolve_target() {
+  if [ "$MODE" = "tcp" ]; then
+    i=0
+    while ! grep -q "listening on tcp:" "$1" 2>/dev/null; do
+      i=$((i + 1))
+      [ "$i" -lt 100 ] || { echo "FAIL: daemon never printed its port"; exit 1; }
+      sleep 0.1
+    done
+    PORT=$(sed -n 's/.*(port \([0-9][0-9]*\)).*/\1/p' "$1" | head -n 1)
+    TARGET="--connect 127.0.0.1:$PORT"
+  else
+    TARGET="--socket $SOCK"
+  fi
+}
+
+wait_ready() {
+  i=0
+  while ! "$CLIENT" $TARGET ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: daemon never became ready"; exit 1; }
+    sleep 0.1
+  done
+}
+
+# Asserts the daemon's ring position: expect_ring SEQUENCE ITEMS_IN_WINDOW
+expect_ring() {
+  "$CLIENT" $TARGET windows > "$WORK/ring.txt"
+  grep -q "^window_sequence $1\$" "$WORK/ring.txt" || {
+    echo "FAIL: expected window_sequence $1, got:"; cat "$WORK/ring.txt"
+    exit 1
+  }
+  grep -q "^items_in_current_window $2\$" "$WORK/ring.txt" || {
+    echo "FAIL: expected items_in_current_window $2, got:"; cat "$WORK/ring.txt"
+    exit 1
+  }
+}
+
+# ---------------------------------------------------------------------------
+echo "== windowed kill -9 + resume mid-window == unbroken windowed ingest"
+
+awk 'BEGIN {
+  print "id,text";
+  srand(42);
+  for (i = 0; i < 3000; i++) printf "%d,\n", int(rand() * 500);
+}' > "$WORK/full.csv"
+head -n 2001 "$WORK/full.csv" > "$WORK/part_a.csv"          # header + 2000
+{ head -n 1 "$WORK/full.csv"; tail -n +2002 "$WORK/full.csv"; } \
+  > "$WORK/part_b.csv"                                       # header + 1000
+awk 'BEGIN { print "id,text"; for (i = 0; i < 500; i++) printf "%d,\n", i; }' \
+  > "$WORK/keys.csv"
+
+# Unbroken offline windowed reference, identical ring geometry.
+"$CLI" snapshot --trace "$WORK/full.csv" --out "$WORK/ref.bin" \
+  --sketch cms --windows "$WINDOWS" --window "$WINDOW" > /dev/null
+"$CLI" restore --in "$WORK/ref.bin" --trace "$WORK/keys.csv" \
+  2>/dev/null > "$WORK/unbroken.csv"
+
+"$SERVE" $SERVE_LISTEN --sketch cms --windows "$WINDOWS" \
+  --window "$WINDOW" --snapshot-dir "$WORK/snaps" \
+  > "$WORK/serve_a.log" 2>&1 &
+SERVE_PID=$!
+resolve_target "$WORK/serve_a.log"
+wait_ready
+"$CLIENT" $TARGET ingest --trace "$WORK/part_a.csv" > /dev/null
+# 2000 arrivals into 800-item windows: 2 closed windows, 400 items into
+# the third — the snapshot below is taken MID-window on purpose.
+expect_ring 2 400
+"$CLIENT" $TARGET snapshot > /dev/null
+# Ingested but never snapshotted: dies with the process, re-sent later.
+"$CLIENT" $TARGET ingest --trace "$WORK/part_b.csv" > /dev/null
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+[ -f "$WORK/snaps/snapshot-000001.bin" ] || {
+  echo "FAIL: no rotated snapshot on disk after kill -9"
+  exit 1
+}
+
+"$SERVE" $SERVE_LISTEN --sketch cms --windows "$WINDOWS" \
+  --window "$WINDOW" --snapshot-dir "$WORK/snaps" \
+  > "$WORK/serve_b.log" 2>&1 &
+SERVE_PID=$!
+resolve_target "$WORK/serve_b.log"
+wait_ready
+grep -q "resuming from" "$WORK/serve_b.log" || {
+  echo "FAIL: restarted daemon did not resume from the rotated snapshot"
+  exit 1
+}
+# The ring came back at the exact mid-window position it was killed at.
+expect_ring 2 400
+"$CLIENT" $TARGET ingest --trace "$WORK/part_b.csv" > /dev/null
+expect_ring 3 600
+"$CLIENT" $TARGET query --trace "$WORK/keys.csv" > "$WORK/resumed.csv"
+"$CLIENT" $TARGET shutdown > /dev/null
+wait "$SERVE_PID"
+
+diff "$WORK/unbroken.csv" "$WORK/resumed.csv" || {
+  echo "FAIL: resumed windowed counts differ from unbroken ingestion"
+  exit 1
+}
+echo "ok: mid-window crash recovery matches unbroken windowed ingestion"
+echo "PASS"
