@@ -1,0 +1,42 @@
+// Fallback main() for compilers without -fsanitize=fuzzer (gcc): replay
+// every file named on the command line through LLVMFuzzerTestOneInput.
+// No coverage feedback — this exists so the harnesses compile, the
+// checked-in corpora run as ctests, and a parser regression against a
+// seed still crashes, on any toolchain. Mirrors libFuzzer's own
+// behavior for file arguments (run each once, report, exit 0).
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* file = std::fopen(argv[i], "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "standalone fuzz driver: cannot open %s\n",
+                   argv[i]);
+      return 2;
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long length = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(length > 0 ? static_cast<size_t>(length) : 0);
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+      std::fclose(file);
+      std::fprintf(stderr, "standalone fuzz driver: short read on %s\n",
+                   argv[i]);
+      return 2;
+    }
+    std::fclose(file);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr,
+               "standalone fuzz driver: %d input(s) replayed, no crash\n",
+               replayed);
+  return 0;
+}

@@ -28,6 +28,22 @@
     }                                                                        \
   } while (0)
 
+// Must-succeed Status (or Status-like: anything with ok()/ToString())
+// expression: aborts with the rendered error when it fails. For paths
+// where a failure is a programmer error — test fixtures, startup wiring,
+// encode of values just validated — NOT for recoverable conditions.
+// For Result<T>, check `OPTHASH_CHECK_OK(r.status())` then use *r.
+#define OPTHASH_CHECK_OK(expr)                                               \
+  do {                                                                       \
+    auto opthash_check_ok_status = (expr);                                   \
+    if (!opthash_check_ok_status.ok()) {                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s is not OK: %s\n",      \
+                   __FILE__, __LINE__, #expr,                                \
+                   opthash_check_ok_status.ToString().c_str());              \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
 #define OPTHASH_CHECK_GE(a, b) OPTHASH_CHECK((a) >= (b))
 #define OPTHASH_CHECK_GT(a, b) OPTHASH_CHECK((a) > (b))
 #define OPTHASH_CHECK_LE(a, b) OPTHASH_CHECK((a) <= (b))

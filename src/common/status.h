@@ -23,7 +23,13 @@ enum class StatusCode {
 ///
 /// Mirrors the Arrow/RocksDB idiom: library entry points that can fail on
 /// user input return Status (or Result<T>) instead of throwing.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides I/O failures and
+/// protocol errors, so discards are a compile-time warning tree-wide
+/// (-Werror under OPTHASH_WERROR). A call site that genuinely cannot act
+/// on a failure must write `(void)expr;  // reason` — greppable, and the
+/// reason is reviewable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -61,7 +67,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : inner_(std::move(value)) {}  // NOLINT implicit
   Result(Status status) : inner_(std::move(status)) {  // NOLINT implicit

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <utility>
 
@@ -163,15 +165,31 @@ void Server::RequestShutdown() {
     return;  // Fully shut down already (or never started).
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Teardown failures are counted (teardown_errors) AND logged: a close
+  // that fails leaks the fd, a failed unlink leaves a stale socket file
+  // that blocks the next daemon's bind. Neither aborts the shutdown —
+  // the rest of the teardown must still run — but neither may vanish.
   if (listen_fd_ >= 0) {
-    CloseSocket(listen_fd_);
+    if (!CloseSocket(listen_fd_)) {
+      teardown_errors_.fetch_add(1);
+      std::fprintf(stderr, "opthash_serve: close(unix listener): %s\n",
+                   std::strerror(errno));
+    }
     listen_fd_ = -1;
 #ifndef _WIN32
-    ::unlink(config_.socket_path.c_str());
+    if (::unlink(config_.socket_path.c_str()) != 0 && errno != ENOENT) {
+      teardown_errors_.fetch_add(1);
+      std::fprintf(stderr, "opthash_serve: unlink %s: %s\n",
+                   config_.socket_path.c_str(), std::strerror(errno));
+    }
 #endif
   }
   if (tcp_listen_fd_ >= 0) {
-    CloseSocket(tcp_listen_fd_);
+    if (!CloseSocket(tcp_listen_fd_)) {
+      teardown_errors_.fetch_add(1);
+      std::fprintf(stderr, "opthash_serve: close(tcp listener): %s\n",
+                   std::strerror(errno));
+    }
     tcp_listen_fd_ = -1;
   }
   // The pool flushes pending replies best-effort, closes every session
@@ -508,6 +526,12 @@ std::string Server::RenderPrometheusMetrics() const {
           sessions_closed_backpressure());
   counter("snapshots_written_total", "Snapshot rotations this run.",
           rotator_->rotations());
+  counter("snapshot_failures_total",
+          "Rotations that failed (save or rename error) this run.",
+          rotator_->failed_rotations());
+  counter("teardown_errors_total",
+          "Listener close/unlink failures during shutdown.",
+          teardown_errors_.load());
 
   gauge("connections", "Live sessions across both transports.",
         static_cast<double>(connections()));

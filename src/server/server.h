@@ -112,6 +112,15 @@ class Server {
   uint64_t sessions_closed_backpressure() const;
   /// Connections answered with the over-limit error and closed.
   uint64_t sessions_rejected() const { return sessions_rejected_.load(); }
+  /// Rotations that failed this run (forwarded from the rotator) — a
+  /// daemon that stopped checkpointing must show it in stats, not only
+  /// on stderr.
+  uint64_t snapshot_failures() const { return rotator_->failed_rotations(); }
+  /// Listener close/unlink failures during shutdown. Nonzero means the
+  /// teardown leaked an fd or left a stale socket file behind; tests and
+  /// the serve binary's exit log check this instead of the errors
+  /// vanishing into ignored return values.
+  uint64_t teardown_errors() const { return teardown_errors_.load(); }
 
   /// Current operational counters (the same numbers a kStats request
   /// returns).
@@ -169,6 +178,7 @@ class Server {
   std::atomic<uint64_t> window_stats_requests_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> teardown_errors_{0};
   mutable std::mutex latency_mutex_;
   LatencyHistogram query_latency_;
 };

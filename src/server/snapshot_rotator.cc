@@ -159,10 +159,12 @@ Result<uint64_t> SnapshotRotator::RotateLocked() {
   const uint64_t items_now = items_();
   const Status saved = save_(temp_path);
   if (!saved.ok()) {
+    failed_rotations_.fetch_add(1);
     std::remove(temp_path.c_str());  // Drop any partial write.
     return saved;
   }
   if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    failed_rotations_.fetch_add(1);
     const Status status = Status::Internal(
         "rename " + temp_path + " -> " + final_path + ": " +
         std::strerror(errno));
@@ -212,6 +214,10 @@ double SnapshotRotator::LastRotationAgeSeconds() const {
 }
 
 uint64_t SnapshotRotator::rotations() const { return rotations_.load(); }
+
+uint64_t SnapshotRotator::failed_rotations() const {
+  return failed_rotations_.load();
+}
 
 void SnapshotRotator::PollLoop() {
   std::unique_lock<std::mutex> lock(mutex_);

@@ -87,6 +87,12 @@ class SnapshotRotator {
   /// Successful rotations this run. Non-blocking, like the age.
   uint64_t rotations() const;
 
+  /// Rotations that FAILED this run (save error, or rename into place).
+  /// A durability regression must be visible in stats/metrics, not just
+  /// a stderr line nobody tails; an operator alerting on this counter
+  /// learns the daemon stopped checkpointing while it still serves.
+  uint64_t failed_rotations() const;
+
   const RotationConfig& config() const { return config_; }
 
   /// Absolute path of the highest-numbered `snapshot-NNNNNN.bin` in
@@ -119,6 +125,7 @@ class SnapshotRotator {
   std::thread poller_;
 
   std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> failed_rotations_{0};
   mutable std::mutex age_mutex_;  // Guards the two fields below only.
   bool rotated_once_ = false;
   Timer since_last_rotation_;

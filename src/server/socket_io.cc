@@ -131,8 +131,9 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
-void CloseSocket(int fd) {
-  if (fd >= 0) ::close(fd);
+bool CloseSocket(int fd) {
+  if (fd < 0) return true;
+  return ::close(fd) == 0;
 }
 
 void ShutdownSocket(int fd) {
@@ -224,7 +225,7 @@ Result<AcceptedSocket> AcceptAnyWithTimeout(Span<const int>, int) {
   return Unsupported();
 }
 Status SetNonBlocking(int) { return Unsupported(); }
-void CloseSocket(int) {}
+bool CloseSocket(int) { return true; }
 void ShutdownSocket(int) {}
 Status WriteAll(int, Span<const uint8_t>) { return Unsupported(); }
 Status ReadFramePayload(int, std::vector<uint8_t>&) { return Unsupported(); }

@@ -51,7 +51,13 @@ Result<AcceptedSocket> AcceptAnyWithTimeout(Span<const int> listen_fds,
 /// loop thread in read(2)/send(2).
 Status SetNonBlocking(int fd);
 
-void CloseSocket(int fd);
+/// close(2); negative fds are a no-op (true). Returns false when the
+/// kernel reports a close failure — callers tearing down a daemon count
+/// these (Server::teardown_errors) instead of dropping them, because a
+/// failed close can leak the fd and, on some filesystems, lose buffered
+/// errors. Best-effort callers may still ignore the result (bool is not
+/// [[nodiscard]] — discarding it is an explicit local decision).
+bool CloseSocket(int fd);
 
 /// shutdown(2) both directions — unblocks a peer thread parked in read.
 void ShutdownSocket(int fd);

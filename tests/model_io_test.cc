@@ -86,6 +86,14 @@ TEST_P(ModelIoFormatSweep, BinaryRoundTripAnswersIdentically) {
   auto format = DetectFileFormat(path);
   ASSERT_TRUE(format.ok());
   EXPECT_EQ(format.value(), SnapshotFormat::kBinary);
+  // A binary bundle is a two-section container: featurizer + estimator
+  // (the classifier rides inside the estimator payload, not as its own
+  // section) — pinned so a layout change is a deliberate act.
+  auto sections = PeekSectionTypes(path);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  EXPECT_EQ(sections.value(),
+            (std::vector<SectionType>{SectionType::kFeaturizer,
+                                      SectionType::kOptHashEstimator}));
   auto loaded = LoadModelBundle(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ExpectSameAnswers(bundle, loaded.value());

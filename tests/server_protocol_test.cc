@@ -86,6 +86,8 @@ TEST(ServerProtocolTest, StatsResponseRoundTripsEveryField) {
   stats.snapshot_age_seconds = -1.0;
   std::vector<uint8_t> frame;
   EncodeStatsResponse(stats, frame);
+  EXPECT_EQ(frame[kFrameHeaderSize],
+            static_cast<uint8_t>(MessageType::kStatsReply));
   auto decoded = DecodeStatsResponse(PayloadOf(frame));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().items_ingested, 1u);
@@ -356,6 +358,78 @@ TEST(ServerProtocolTest, UnscopedWireBytesUnchangedByEnvelopeIntroduction) {
   EncodeEmptyMessage(MessageType::kPing, ping);
   EncodeScopedRequest(header, PayloadOf(ping), frame);
   EXPECT_EQ(frame, (std::vector<uint8_t>{7, 0, 0, 0, 9, 1, 6, 0, 0, 0, 4}));
+}
+
+TEST(ServerProtocolTest, WindowStatsFramesGoldenBytesRoundTrip) {
+  // The windowed-counting wire pair, pinned byte for byte against the
+  // docs/OPERATIONS.md layout (request type 10, reply type 135) so a
+  // codec change that would strand deployed clients fails here.
+  std::vector<uint8_t> frame;
+  EncodeEmptyMessage(MessageType::kWindowStats, frame);
+  EXPECT_EQ(frame, (std::vector<uint8_t>{1, 0, 0, 0, 10}));
+  EXPECT_TRUE(
+      DecodeEmptyMessage(PayloadOf(frame), MessageType::kWindowStats).ok());
+
+  WindowStatsSnapshot stats;
+  stats.window_items = 4;
+  stats.window_sequence = 7;
+  stats.items_in_current_window = 2;
+  stats.decay = 0.5;
+  stats.window_counts = {3, 1};
+  EncodeWindowStatsReply(stats, frame);
+  EXPECT_EQ(frame,
+            (std::vector<uint8_t>{
+                53, 0, 0, 0,                       // length prefix
+                135,                               // kWindowStatsReply
+                4, 0, 0, 0, 0, 0, 0, 0,            // window_items
+                7, 0, 0, 0, 0, 0, 0, 0,            // window_sequence
+                2, 0, 0, 0, 0, 0, 0, 0,            // items_in_current_window
+                0, 0, 0, 0, 0, 0, 0xe0, 0x3f,      // decay 0.5 (IEEE-754)
+                2, 0, 0, 0,                        // window count
+                3, 0, 0, 0, 0, 0, 0, 0,            // oldest window first
+                1, 0, 0, 0, 0, 0, 0, 0}));
+  auto decoded = DecodeWindowStatsReply(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().window_items, 4u);
+  EXPECT_EQ(decoded.value().window_sequence, 7u);
+  EXPECT_EQ(decoded.value().items_in_current_window, 2u);
+  EXPECT_DOUBLE_EQ(decoded.value().decay, 0.5);
+  EXPECT_EQ(decoded.value().window_counts, (std::vector<uint64_t>{3, 1}));
+}
+
+TEST(ServerProtocolTest, WindowStatsReplyHostilePayloadsRejected) {
+  WindowStatsSnapshot stats;
+  stats.window_counts = {5, 6, 7};
+  std::vector<uint8_t> frame;
+  EncodeWindowStatsReply(stats, frame);
+
+  // Truncations at every boundary: inside the fixed prefix and inside
+  // the per-window counts must both reject, never over-read.
+  for (const size_t keep : {size_t{1}, size_t{8}, size_t{36},
+                            frame.size() - kFrameHeaderSize - 3}) {
+    const Span<const uint8_t> cut(frame.data() + kFrameHeaderSize, keep);
+    EXPECT_FALSE(DecodeWindowStatsReply(cut).ok()) << keep;
+  }
+
+  // Declared window count inconsistent with the carried body bytes.
+  std::vector<uint8_t> lying = frame;
+  lying[kFrameHeaderSize + 33] = 200;  // count field, says 200 windows
+  EXPECT_FALSE(DecodeWindowStatsReply(PayloadOf(lying)).ok());
+
+  // Type confusion: a pong is not a window-stats-reply, a reply is not
+  // the empty request, and a request with a body is a violation.
+  std::vector<uint8_t> pong;
+  EncodeEmptyMessage(MessageType::kPong, pong);
+  EXPECT_FALSE(DecodeWindowStatsReply(PayloadOf(pong)).ok());
+  EXPECT_FALSE(
+      DecodeEmptyMessage(PayloadOf(frame), MessageType::kWindowStats).ok());
+  std::vector<uint8_t> fat_request = {
+      static_cast<uint8_t>(MessageType::kWindowStats), 0};
+  EXPECT_FALSE(
+      DecodeEmptyMessage(
+          Span<const uint8_t>(fat_request.data(), fat_request.size()),
+          MessageType::kWindowStats)
+          .ok());
 }
 
 TEST(ServerProtocolTest, ErrorMessageClampedToFrameLimit) {

@@ -679,6 +679,12 @@ TEST(ServerTest, MetricsRendersPrometheusTextExposition) {
   EXPECT_NE(text.find("opthash_items_ingested_total 3\n"), std::string::npos);
   EXPECT_NE(text.find("opthash_query_requests_total 1\n"), std::string::npos);
   EXPECT_NE(text.find("opthash_topk_requests_total 1\n"), std::string::npos);
+  // ...the durability/teardown failure counters exist (and are zero on a
+  // healthy run) so operators can alert on them going nonzero.
+  EXPECT_NE(text.find("opthash_snapshot_failures_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opthash_teardown_errors_total 0\n"),
+            std::string::npos);
   // ...gauges and the latency summary are present with their types.
   EXPECT_NE(text.find("# TYPE opthash_model_total_items gauge"),
             std::string::npos);

@@ -47,6 +47,38 @@ TEST(SnapshotContainerTest, RoundTripSections) {
   EXPECT_EQ(view.Find(SectionType::kSpaceSaving), nullptr);
 }
 
+TEST(SnapshotContainerTest, EveryRegisteredSectionTypeRoundTripsWithAName) {
+  // Container-level sweep over the full SectionType registry: each type
+  // survives a write/parse round trip and renders a human-readable name
+  // (restore errors quote it; an "unknown" name means the registry and
+  // SectionTypeName drifted apart). The list is what docs/FORMATS.md
+  // documents — tools/lint/opthash_lint.py pins enum <-> doc <-> test.
+  const SectionType all[] = {
+      SectionType::kCountMinSketch, SectionType::kCountSketch,
+      SectionType::kAmsSketch,      SectionType::kLearnedCountMin,
+      SectionType::kMisraGries,     SectionType::kSpaceSaving,
+      SectionType::kWindowedSketch, SectionType::kLogisticRegression,
+      SectionType::kDecisionTree,   SectionType::kRandomForest,
+      SectionType::kOptHashEstimator, SectionType::kFeaturizer,
+  };
+  SnapshotWriter writer;
+  uint8_t marker = 1;
+  for (const SectionType type : all) {
+    writer.AddSection(type, {marker++});
+    EXPECT_STRNE(SectionTypeName(type), "unknown")
+        << static_cast<uint32_t>(type);
+  }
+  auto reader = SnapshotReader::FromBytes(writer.Finish());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const SnapshotView& view = reader.value().view();
+  ASSERT_EQ(view.sections().size(), std::size(all));
+  for (size_t i = 0; i < std::size(all); ++i) {
+    EXPECT_EQ(view.sections()[i].type, all[i]);
+    ASSERT_EQ(view.sections()[i].payload.size(), 1u);
+    EXPECT_EQ(view.sections()[i].payload[0], i + 1);
+  }
+}
+
 TEST(SnapshotContainerTest, PayloadsAreEightAligned) {
   const std::vector<uint8_t> bytes = TwoSectionWriter().Finish();
   auto reader = SnapshotReader::FromBytes(bytes);

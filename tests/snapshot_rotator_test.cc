@@ -139,6 +139,12 @@ TEST(SnapshotRotatorTest, FailedSaveLeavesNoVisibleSnapshot) {
   ASSERT_TRUE(rotator.Start().ok());
   EXPECT_FALSE(rotator.RotateNow().ok());
   EXPECT_EQ(rotator.rotations(), 0u);
+  // The failure must be COUNTED, not just returned: background-trigger
+  // rotations have no caller to see the Status, so the counter is the
+  // only durable evidence checkpointing broke.
+  EXPECT_EQ(rotator.failed_rotations(), 1u);
+  EXPECT_FALSE(rotator.RotateNow().ok());
+  EXPECT_EQ(rotator.failed_rotations(), 2u);
   EXPECT_LT(rotator.LastRotationAgeSeconds(), 0.0);
   EXPECT_FALSE(SnapshotRotator::FindLatestSnapshot(config.dir).ok());
 }

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the opthash tree.
+
+Runs the checked-in .clang-tidy configuration over every repo-owned
+translation unit in a compile_commands.json and fails (exit 1) on any
+diagnostic — WarningsAsErrors is '*' so a "warning" from tidy is a gate
+failure here, matching the CI contract that a clean tree stays clean.
+
+Usage:
+  tools/lint/run_clang_tidy.py --build-dir build [--jobs N]
+      [--only src/server] [--export findings.txt]
+  tools/lint/run_clang_tidy.py --self-test
+
+The binary is resolved from $CLANG_TIDY, then clang-tidy-18 .. -14, then
+plain clang-tidy. A missing binary is a hard error (exit 2) with an
+install hint — the gate must never silently pass because the tool was
+absent.
+
+--self-test seeds a temporary file with known violations and asserts the
+configured check set flags them: it proves the gate DETECTS, not merely
+runs. CI executes the self-test before the tree sweep so a
+misconfiguration (empty check list, wrong config discovery) fails loudly
+instead of green-washing the sweep.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+# Only repo-owned code is in scope; FetchContent'd gtest/benchmark
+# sources appear in compile_commands.json but are not ours to lint.
+OWNED_PREFIXES = ("src/", "tools/", "tests/", "bench/", "examples/")
+
+CANDIDATE_BINARIES = (
+    "clang-tidy-18", "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+    "clang-tidy-14", "clang-tidy",
+)
+
+
+def find_clang_tidy():
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        path = shutil.which(explicit)
+        if path:
+            return path
+        sys.exit("error: $CLANG_TIDY=%r not found on PATH" % explicit)
+    for name in CANDIDATE_BINARIES:
+        path = shutil.which(name)
+        if path:
+            return path
+    sys.stderr.write(
+        "error: no clang-tidy binary found (tried %s).\n"
+        "Install one (e.g. `apt-get install clang-tidy-18`) or point "
+        "$CLANG_TIDY at it.\n" % ", ".join(CANDIDATE_BINARIES))
+    sys.exit(2)
+
+
+def owned_sources(build_dir, only):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            "error: %s not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the tree's default)"
+            % db_path)
+    with open(db_path) as fh:
+        entries = json.load(fh)
+    files = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        try:
+            rel = os.path.relpath(path, REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.startswith(".."):
+            continue  # FetchContent / system sources.
+        if not rel.startswith(OWNED_PREFIXES):
+            continue
+        if only and not any(rel.startswith(o) for o in only):
+            continue
+        files.append(path)
+    return sorted(set(files))
+
+
+def run_one(binary, build_dir, path):
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    # tidy prints findings on stdout; config/driver noise on stderr.
+    findings = proc.stdout.strip()
+    hard_error = proc.returncode != 0 and not findings
+    return path, findings, proc.returncode, (
+        proc.stderr.strip() if hard_error else "")
+
+
+def sweep(args):
+    binary = find_clang_tidy()
+    build_dir = os.path.abspath(args.build_dir)
+    files = owned_sources(build_dir, args.only)
+    if not files:
+        sys.exit("error: no owned sources matched in %s" % build_dir)
+    print("clang-tidy: %s over %d translation units"
+          % (binary, len(files)))
+    failures = []
+    exported = []
+    jobs = args.jobs or os.cpu_count() or 1
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for path, findings, rc, errors in pool.map(
+                lambda p: run_one(binary, build_dir, p), files):
+            rel = os.path.relpath(path, REPO_ROOT)
+            if findings or rc != 0:
+                failures.append(rel)
+                block = findings or errors or "(exit %d, no output)" % rc
+                print("== %s\n%s" % (rel, block))
+                exported.append("== %s\n%s\n" % (rel, block))
+    if args.export and exported:
+        with open(args.export, "w") as fh:
+            fh.writelines(exported)
+        print("findings exported to %s" % args.export)
+    if failures:
+        print("clang-tidy: FAILED — findings in %d/%d files"
+              % (len(failures), len(files)))
+        return 1
+    print("clang-tidy: clean (%d files)" % len(files))
+    return 0
+
+
+# One deliberate violation per check family the gate leans on. If tidy
+# reports nothing here, the configuration is broken (not the tree clean).
+SELF_TEST_SOURCE = """
+#include <string>
+#include <utility>
+int* seeded_null() { return 0; }  // modernize-use-nullptr
+std::string seeded_use_after_move(std::string s) {
+  std::string t = std::move(s);
+  return s + t;  // bugprone-use-after-move
+}
+void seeded_copy_in_loop(const std::string& x) {
+  for (int i = 0; i < 3; ++i) {
+    std::string copy = x;  // performance-unnecessary-copy-initialization
+    (void)copy;
+  }
+}
+"""
+
+
+def self_test():
+    binary = find_clang_tidy()
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "seeded_violation.cc")
+        with open(src, "w") as fh:
+            fh.write(SELF_TEST_SOURCE)
+        proc = subprocess.run(
+            [binary, "--config-file",
+             os.path.join(REPO_ROOT, ".clang-tidy"), src,
+             "--", "-std=c++17"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    expected = ("modernize-use-nullptr", "bugprone-use-after-move")
+    missing = [c for c in expected if c not in proc.stdout]
+    if missing:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        print("self-test: FAILED — seeded violations not flagged: %s"
+              % ", ".join(missing))
+        return 1
+    print("self-test: OK — seeded violations flagged (%s)"
+          % ", ".join(expected))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel tidy processes (0 = cores)")
+    parser.add_argument("--only", action="append", default=[],
+                        help="restrict to repo-relative path prefix "
+                             "(repeatable)")
+    parser.add_argument("--export", default="",
+                        help="also write findings to this file (CI "
+                             "artifact)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches seeded violations")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(sweep(args))
+
+
+if __name__ == "__main__":
+    main()
