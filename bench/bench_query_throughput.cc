@@ -40,6 +40,7 @@
 #include "io/model_io.h"
 #include "io/sketch_snapshot.h"
 #include "sketch/count_min_sketch.h"
+#include "sketch/kernels/simd_dispatch.h"
 #include "stream/features.h"
 #include "stream/trace_io.h"
 
@@ -58,6 +59,7 @@ struct ResultRow {
   std::string path;     // "learned" | "cms"
   std::string storage;  // "owned" | "mmap"
   std::string mode;     // "scalar" | "batch"
+  std::string tier;     // kernel tier for batch sketch rows, else "none"
   double seconds = 0.0;
   double queries_per_sec = 0.0;
 };
@@ -105,11 +107,13 @@ void PrintJson(std::FILE* out, const Options& options, double hit_fraction,
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
                  "    {\"path\": \"%s\", \"storage\": \"%s\", "
-                 "\"mode\": \"%s\", \"seconds\": %.6f, "
+                 "\"mode\": \"%s\", \"tier\": \"%s\", "
+                 "\"seconds\": %.6f, "
                  "\"queries_per_sec\": %.0f}%s\n",
                  rows[i].path.c_str(), rows[i].storage.c_str(),
-                 rows[i].mode.c_str(), rows[i].seconds,
-                 rows[i].queries_per_sec, i + 1 < rows.size() ? "," : "");
+                 rows[i].mode.c_str(), rows[i].tier.c_str(),
+                 rows[i].seconds, rows[i].queries_per_sec,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
 }
@@ -271,15 +275,56 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Per-tier correctness gate for the sketch kernel layer: every
+  // available tier's batched CMS answers must equal the per-key path
+  // bit-for-bit before that tier is timed. An OPTHASH_SIMD pin narrows
+  // both the gate and the timed rows to the pinned tier.
+  std::vector<sketch::kernels::KernelTier> tiers =
+      sketch::kernels::AvailableKernelTiers();
+  if (const char* pin = std::getenv("OPTHASH_SIMD");
+      pin != nullptr && pin[0] != '\0' &&
+      sketch::kernels::KernelEnvStatus().ok()) {
+    tiers = {sketch::kernels::ActiveKernelTier()};
+  }
+  std::vector<uint64_t> cms_reference(n);
+  std::vector<uint64_t> cms_answers(n);
+  for (size_t i = 0; i < n; ++i) cms_reference[i] = cms.Estimate(query_ids[i]);
+  for (const sketch::kernels::KernelTier tier : tiers) {
+    const Status forced = sketch::kernels::ForceKernelTier(tier);
+    if (!forced.ok()) {
+      std::fprintf(stderr, "error: %s\n", forced.ToString().c_str());
+      return 1;
+    }
+    cms.EstimateBatch(Span<const uint64_t>(query_ids.data(), n),
+                      Span<uint64_t>(cms_answers.data(), n));
+    for (size_t i = 0; i < n; ++i) {
+      if (cms_answers[i] != cms_reference[i]) {
+        std::fprintf(stderr,
+                     "error: tier %s batch/per-key mismatch at %zu "
+                     "(%llu vs %llu)\n",
+                     std::string(sketch::kernels::KernelTierName(tier))
+                         .c_str(),
+                     i, static_cast<unsigned long long>(cms_answers[i]),
+                     static_cast<unsigned long long>(cms_reference[i]));
+        return 1;
+      }
+    }
+  }
+  sketch::kernels::ResetKernelTierForTest();
+
   // ---- Timed runs. -----------------------------------------------------
   std::vector<ResultRow> rows;
+  // tier is "none" for paths that never enter the kernel layer (per-key
+  // loops and the learned engine); batched sketch rows are repeated once
+  // per available kernel tier.
   const auto add_row = [&](const char* path, const char* storage,
-                           const char* mode, double seconds) {
-    rows.push_back({path, storage, mode, seconds,
+                           const char* mode, const std::string& tier,
+                           double seconds) {
+    rows.push_back({path, storage, mode, tier, seconds,
                     static_cast<double>(n) / seconds});
   };
 
-  add_row("learned", "owned", "scalar", BestOf(options.reps, [&] {
+  add_row("learned", "owned", "scalar", "none", BestOf(options.reps, [&] {
             double total = 0.0;
             for (size_t i = 0; i < n; ++i) {
               const std::vector<double> features =
@@ -290,7 +335,7 @@ int Main(int argc, char** argv) {
           }));
   {
     io::BundleQueryEngine engine(bundle);
-    add_row("learned", "owned", "batch", BestOf(options.reps, [&] {
+    add_row("learned", "owned", "batch", "none", BestOf(options.reps, [&] {
               double total = 0.0;
               for (size_t base = 0; base < n; base += options.block) {
                 const size_t block = std::min(options.block, n - base);
@@ -303,14 +348,14 @@ int Main(int argc, char** argv) {
               sink = sink + total;
             }));
   }
-  add_row("learned", "mmap", "scalar", BestOf(options.reps, [&] {
+  add_row("learned", "mmap", "scalar", "none", BestOf(options.reps, [&] {
             double total = 0.0;
             for (size_t i = 0; i < n; ++i) {
               total += mapped_bundle.value().Estimate(query_ids[i]);
             }
             sink = sink + total;
           }));
-  add_row("learned", "mmap", "batch", BestOf(options.reps, [&] {
+  add_row("learned", "mmap", "batch", "none", BestOf(options.reps, [&] {
             double total = 0.0;
             for (size_t base = 0; base < n; base += options.block) {
               const size_t block = std::min(options.block, n - base);
@@ -322,58 +367,79 @@ int Main(int argc, char** argv) {
             sink = sink + total;
           }));
 
-  std::vector<uint64_t> cms_answers(n);
-  add_row("cms", "owned", "scalar", BestOf(options.reps, [&] {
+  add_row("cms", "owned", "scalar", "none", BestOf(options.reps, [&] {
             uint64_t total = 0;
             for (size_t i = 0; i < n; ++i) total += cms.Estimate(query_ids[i]);
             sink = sink + static_cast<double>(total);
           }));
-  add_row("cms", "owned", "batch", BestOf(options.reps, [&] {
-            uint64_t total = 0;
-            for (size_t base = 0; base < n; base += options.block) {
-              const size_t block = std::min(options.block, n - base);
-              cms.EstimateBatch(
-                  Span<const uint64_t>(query_ids.data() + base, block),
-                  Span<uint64_t>(cms_answers.data() + base, block));
-            }
-            for (size_t i = 0; i < n; ++i) total += cms_answers[i];
-            sink = sink + static_cast<double>(total);
-          }));
-  add_row("cms", "mmap", "scalar", BestOf(options.reps, [&] {
+  add_row("cms", "mmap", "scalar", "none", BestOf(options.reps, [&] {
             uint64_t total = 0;
             for (size_t i = 0; i < n; ++i) {
               total += mapped_cms.value().Estimate(query_ids[i]);
             }
             sink = sink + static_cast<double>(total);
           }));
-  add_row("cms", "mmap", "batch", BestOf(options.reps, [&] {
-            uint64_t total = 0;
-            for (size_t base = 0; base < n; base += options.block) {
-              const size_t block = std::min(options.block, n - base);
-              mapped_cms.value().EstimateBatch(
-                  Span<const uint64_t>(query_ids.data() + base, block),
-                  Span<uint64_t>(cms_answers.data() + base, block));
-            }
-            for (size_t i = 0; i < n; ++i) total += cms_answers[i];
-            sink = sink + static_cast<double>(total);
-          }));
+  // The batched sketch paths once per kernel tier: the per-tier rows are
+  // what CI archives so a tier regression (or a host losing AVX2) shows
+  // up as a throughput step in the trajectory.
+  for (const sketch::kernels::KernelTier tier : tiers) {
+    const std::string tier_name(sketch::kernels::KernelTierName(tier));
+    if (!sketch::kernels::ForceKernelTier(tier).ok()) continue;
+    add_row("cms", "owned", "batch", tier_name, BestOf(options.reps, [&] {
+              uint64_t total = 0;
+              for (size_t base = 0; base < n; base += options.block) {
+                const size_t block = std::min(options.block, n - base);
+                cms.EstimateBatch(
+                    Span<const uint64_t>(query_ids.data() + base, block),
+                    Span<uint64_t>(cms_answers.data() + base, block));
+              }
+              for (size_t i = 0; i < n; ++i) total += cms_answers[i];
+              sink = sink + static_cast<double>(total);
+            }));
+    add_row("cms", "mmap", "batch", tier_name, BestOf(options.reps, [&] {
+              uint64_t total = 0;
+              for (size_t base = 0; base < n; base += options.block) {
+                const size_t block = std::min(options.block, n - base);
+                mapped_cms.value().EstimateBatch(
+                    Span<const uint64_t>(query_ids.data() + base, block),
+                    Span<uint64_t>(cms_answers.data() + base, block));
+              }
+              for (size_t i = 0; i < n; ++i) total += cms_answers[i];
+              sink = sink + static_cast<double>(total);
+            }));
+  }
+  sketch::kernels::ResetKernelTierForTest();
 
   // ---- Report. --------------------------------------------------------
   double scalar_qps = 0.0;
   double batch_qps = 0.0;
+  double cms_scalar_qps = 0.0;
+  double cms_best_batch_qps = 0.0;
+  std::string cms_best_tier;
   for (const ResultRow& row : rows) {
-    std::fprintf(stderr, "%-8s %-6s %-7s %10.3f ms  %12.0f queries/sec\n",
+    std::fprintf(stderr,
+                 "%-8s %-6s %-7s %-7s %10.3f ms  %12.0f queries/sec\n",
                  row.path.c_str(), row.storage.c_str(), row.mode.c_str(),
-                 row.seconds * 1e3, row.queries_per_sec);
+                 row.tier.c_str(), row.seconds * 1e3, row.queries_per_sec);
     if (row.path == "learned" && row.storage == "owned") {
       if (row.mode == "scalar") scalar_qps = row.queries_per_sec;
       if (row.mode == "batch") batch_qps = row.queries_per_sec;
     }
+    if (row.path == "cms" && row.storage == "owned") {
+      if (row.mode == "scalar") cms_scalar_qps = row.queries_per_sec;
+      if (row.mode == "batch" &&
+          row.queries_per_sec > cms_best_batch_qps) {
+        cms_best_batch_qps = row.queries_per_sec;
+        cms_best_tier = row.tier;
+      }
+    }
   }
   std::fprintf(stderr,
                "stored-id hit fraction: %.1f%%\n"
-               "learned owned batch speedup over scalar: %.2fx\n",
-               hit_fraction * 100.0, batch_qps / scalar_qps);
+               "learned owned batch speedup over scalar: %.2fx\n"
+               "cms owned batch (%s kernels) speedup over per-key: %.2fx\n",
+               hit_fraction * 100.0, batch_qps / scalar_qps,
+               cms_best_tier.c_str(), cms_best_batch_qps / cms_scalar_qps);
 
   if (options.out.empty()) {
     PrintJson(stdout, options, hit_fraction, rows);

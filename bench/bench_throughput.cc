@@ -21,9 +21,11 @@
 
 #include "common/random.h"
 #include "common/span.h"
+#include "common/timer.h"
 #include "hashing/hash_functions.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
+#include "sketch/kernels/simd_dispatch.h"
 #include "sketch/misra_gries.h"
 #include "stream/sharded_ingest.h"
 
@@ -43,6 +45,7 @@ struct Options {
 struct ResultRow {
   std::string sketch;
   std::string mode;
+  std::string tier;  // kernel tier the row ran on ("none" for misra-gries)
   size_t threads = 0;
   double seconds = 0.0;
   double items_per_sec = 0.0;
@@ -109,6 +112,7 @@ std::vector<uint64_t> SampleQueryKeys(const Options& opt) {
 /// reference on the sampled query keys.
 template <typename Sketch, typename EstimateFn>
 void BenchSketch(const std::string& name, stream::ShardMode mode,
+                 const std::string& tier,
                  const std::vector<uint64_t>& trace,
                  const std::vector<uint64_t>& queries, const Options& opt,
                  const Sketch& prototype, EstimateFn estimate,
@@ -134,6 +138,7 @@ void BenchSketch(const std::string& name, stream::ShardMode mode,
     ResultRow row;
     row.sketch = name;
     row.mode = ModeName(mode);
+    row.tier = tier;
     row.threads = stats.value().threads_used;
     row.seconds = stats.value().seconds;
     row.items_per_sec = stats.value().ItemsPerSecond();
@@ -171,6 +176,70 @@ void BenchSketch(const std::string& name, stream::ShardMode mode,
   }
 }
 
+/// Single-thread UpdateBatch once per available kernel tier: isolates
+/// what the kernel layer itself buys on ingest, with a bit-identity gate
+/// (every tier must produce the same estimates as the first one) before
+/// the row counts. Scatters are sequential in every tier, so counters
+/// match exactly.
+template <typename Sketch, typename EstimateFn>
+void BenchKernelTiers(const std::string& name,
+                      const std::vector<uint64_t>& trace,
+                      const std::vector<uint64_t>& queries,
+                      const Sketch& prototype, EstimateFn estimate,
+                      std::vector<ResultRow>& rows) {
+  std::vector<double> reference;
+  double scalar_ips = 0.0;
+  std::vector<ResultRow> sweep;
+  for (const sketch::kernels::KernelTier tier :
+       sketch::kernels::AvailableKernelTiers()) {
+    if (!sketch::kernels::ForceKernelTier(tier).ok()) continue;
+    Sketch sketch = prototype.EmptyClone();
+    Timer timer;
+    sketch.UpdateBatch(Span<const uint64_t>(trace));
+    const double seconds = timer.ElapsedSeconds();
+
+    double max_delta = 0.0;
+    std::vector<double> answers;
+    answers.reserve(queries.size());
+    for (uint64_t key : queries) answers.push_back(estimate(sketch, key));
+    if (reference.empty()) {
+      reference = answers;
+    } else {
+      for (size_t i = 0; i < answers.size(); ++i) {
+        max_delta = std::max(max_delta,
+                             std::fabs(answers[i] - reference[i]));
+      }
+    }
+
+    ResultRow row;
+    row.sketch = name;
+    row.mode = "update-batch";
+    row.tier = std::string(sketch::kernels::KernelTierName(tier));
+    row.threads = 1;
+    row.seconds = seconds;
+    row.items_per_sec = static_cast<double>(trace.size()) / seconds;
+    row.max_abs_estimate_delta = max_delta;
+    row.mean_abs_estimate_delta = 0.0;
+    row.identical_to_sequential = max_delta == 0.0;
+    if (tier == sketch::kernels::KernelTier::kScalar) {
+      scalar_ips = row.items_per_sec;
+    }
+    sweep.push_back(row);
+  }
+  sketch::kernels::ResetKernelTierForTest();
+  for (ResultRow& row : sweep) {
+    row.speedup_vs_1t =
+        scalar_ips > 0.0 ? row.items_per_sec / scalar_ips : 0.0;
+    std::fprintf(stderr,
+                 "%-12s %-16s tier=%-7s %8.3fs  %12.0f items/sec  "
+                 "vs-scalar %.2fx  max|Δest| %.1f\n",
+                 name.c_str(), row.mode.c_str(), row.tier.c_str(),
+                 row.seconds, row.items_per_sec, row.speedup_vs_1t,
+                 row.max_abs_estimate_delta);
+    rows.push_back(row);
+  }
+}
+
 void WriteJson(std::FILE* out, const Options& opt,
                const std::vector<ResultRow>& rows) {
   std::fprintf(out, "{\n");
@@ -184,12 +253,14 @@ void WriteJson(std::FILE* out, const Options& opt,
     const ResultRow& row = rows[i];
     std::fprintf(
         out,
-        "    {\"sketch\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+        "    {\"sketch\": \"%s\", \"mode\": \"%s\", \"tier\": \"%s\", "
+        "\"threads\": %zu, "
         "\"seconds\": %.6f, \"items_per_sec\": %.1f, "
         "\"speedup_vs_1t\": %.3f, \"max_abs_estimate_delta\": %.3f, "
         "\"mean_abs_estimate_delta\": %.4f, "
         "\"identical_to_sequential\": %s}%s\n",
-        row.sketch.c_str(), row.mode.c_str(), row.threads, row.seconds,
+        row.sketch.c_str(), row.mode.c_str(), row.tier.c_str(),
+        row.threads, row.seconds,
         row.items_per_sec, row.speedup_vs_1t, row.max_abs_estimate_delta,
         row.mean_abs_estimate_delta,
         row.identical_to_sequential ? "true" : "false",
@@ -244,25 +315,44 @@ int Main(int argc, char** argv) {
   const std::vector<uint64_t> trace = GenerateTrace(opt);
   const std::vector<uint64_t> queries = SampleQueryKeys(opt);
 
+  // Sharded rows run on whatever tier the dispatcher picked at startup
+  // (or OPTHASH_SIMD forced); the per-tier single-thread sweep below is
+  // the controlled comparison.
+  const std::string active_tier(
+      sketch::kernels::KernelTierName(sketch::kernels::ActiveKernelTier()));
   std::vector<ResultRow> rows;
   BenchSketch(
-      "count-min", stream::ShardMode::kReplicated, trace, queries, opt,
-      sketch::CountMinSketch(1 << 13, 4, /*seed=*/21),
+      "count-min", stream::ShardMode::kReplicated, active_tier, trace,
+      queries, opt, sketch::CountMinSketch(1 << 13, 4, /*seed=*/21),
       [](const sketch::CountMinSketch& s, uint64_t key) {
         return static_cast<double>(s.Estimate(key));
       },
       rows);
   BenchSketch(
-      "count-sketch", stream::ShardMode::kReplicated, trace, queries, opt,
-      sketch::CountSketch(1 << 13, 5, /*seed=*/22),
+      "count-sketch", stream::ShardMode::kReplicated, active_tier, trace,
+      queries, opt, sketch::CountSketch(1 << 13, 5, /*seed=*/22),
       [](const sketch::CountSketch& s, uint64_t key) {
         return static_cast<double>(s.Estimate(key));
       },
       rows);
   BenchSketch(
-      "misra-gries", stream::ShardMode::kKeyPartitioned, trace, queries, opt,
-      sketch::MisraGries(1 << 10),
+      "misra-gries", stream::ShardMode::kKeyPartitioned, "none", trace,
+      queries, opt, sketch::MisraGries(1 << 10),
       [](const sketch::MisraGries& s, uint64_t key) {
+        return static_cast<double>(s.Estimate(key));
+      },
+      rows);
+  BenchKernelTiers(
+      "count-min", trace, queries,
+      sketch::CountMinSketch(1 << 13, 4, /*seed=*/21),
+      [](const sketch::CountMinSketch& s, uint64_t key) {
+        return static_cast<double>(s.Estimate(key));
+      },
+      rows);
+  BenchKernelTiers(
+      "count-sketch", trace, queries,
+      sketch::CountSketch(1 << 13, 5, /*seed=*/22),
+      [](const sketch::CountSketch& s, uint64_t key) {
         return static_cast<double>(s.Estimate(key));
       },
       rows);

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "sketch/kernels/kernels.h"
 
 namespace opthash::core {
 
@@ -244,8 +245,18 @@ void OptHashEstimator::ClassifyPendingRows(OptHashQueryWorkspace& ws) const {
 
 void OptHashEstimator::GatherEstimates(const OptHashQueryWorkspace& ws,
                                        Span<double> out) const {
-  // Pass 2: the bucket counter reads run back to back.
+  // Pass 2: the bucket counter reads run back to back, with the kernel
+  // layer's read-prefetch issued a fixed distance ahead so bucket-array
+  // misses overlap instead of serializing.
+  constexpr size_t kPrefetchDistance = 16;
   for (size_t i = 0; i < out.size(); ++i) {
+    if (i + kPrefetchDistance < out.size()) {
+      const int32_t ahead = ws.buckets[i + kPrefetchDistance];
+      if (ahead >= 0) {
+        sketch::kernels::PrefetchRead(bucket_count_.data() + ahead);
+        sketch::kernels::PrefetchRead(bucket_freq_.data() + ahead);
+      }
+    }
     const int32_t bucket = ws.buckets[i];
     if (bucket < 0) {
       out[i] = 0.0;

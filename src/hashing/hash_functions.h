@@ -56,6 +56,11 @@ class SignHash {
   /// Returns +1 or -1.
   int operator()(uint64_t key) const;
 
+  /// The underlying range-2 LinearHash (bucket 0 means sign -1). The
+  /// sketch kernel layer derives its vectorized sign computation from
+  /// these coefficients.
+  const LinearHash& linear() const { return hash_; }
+
  private:
   LinearHash hash_;
 };

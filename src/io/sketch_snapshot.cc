@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "sketch/kernels/simd_dispatch.h"
 
 namespace opthash::io {
 
@@ -80,8 +81,11 @@ Result<MappedCountMinView> MappedCountMinView::Open(const std::string& path,
   // redrawn exactly as the CountMinSketch constructor draws them.
   Rng rng(view.seed_);
   view.hashes_.reserve(view.depth_);
+  view.kernel_params_.reserve(view.depth_);
   for (size_t level = 0; level < view.depth_; ++level) {
     view.hashes_.emplace_back(view.width_, rng);
+    view.kernel_params_.push_back(
+        sketch::kernels::HashKernelParams::From(view.hashes_.back()));
   }
   view.snapshot_ = std::move(snapshot).value();
   return view;
@@ -99,6 +103,33 @@ uint64_t MappedCountMinView::Estimate(uint64_t key) const {
 void MappedCountMinView::EstimateBatch(Span<const uint64_t> keys,
                                        Span<uint64_t> out) const {
   OPTHASH_CHECK_EQ(keys.size(), out.size());
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Little-endian hosts read the mapped counters natively, so the block
+  // path runs through the dispatched kernel tier exactly like
+  // CountMinSketch::EstimateBatch — same level-major row walk, same
+  // bit-identical results (the snapshot payload is 8-aligned by format).
+  if (reinterpret_cast<uintptr_t>(counters_) % alignof(uint64_t) == 0) {
+    const auto* counters = reinterpret_cast<const uint64_t*>(counters_);
+    const sketch::kernels::KernelOps& ops =
+        sketch::kernels::ActiveKernels();
+    constexpr size_t kKernelChunk = 256;
+    uint64_t idx[kKernelChunk];
+    for (size_t begin = 0; begin < keys.size(); begin += kKernelChunk) {
+      const size_t block = std::min(kKernelChunk, keys.size() - begin);
+      uint64_t* out_block = out.data() + begin;
+      for (size_t i = 0; i < block; ++i) {
+        out_block[i] = std::numeric_limits<uint64_t>::max();
+      }
+      for (size_t level = 0; level < depth_; ++level) {
+        ops.hash_buckets(kernel_params_[level], keys.data() + begin,
+                         block, idx);
+        ops.min_gather_u64(counters + level * width_, idx, block,
+                           out_block);
+      }
+    }
+    return;
+  }
+#endif
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = std::numeric_limits<uint64_t>::max();
   }

@@ -12,6 +12,7 @@
 #include "sketch/ams_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
+#include "sketch/kernels/kernels.h"
 #include "sketch/learned_count_min.h"
 #include "sketch/misra_gries.h"
 #include "sketch/space_saving.h"
@@ -137,6 +138,10 @@ class MappedCountMinView {
   uint64_t total_count_ = 0;
   bool conservative_update_ = false;
   std::vector<hashing::LinearHash> hashes_;
+  // Kernel constants mirroring hashes_, so batched queries over the
+  // mapped rows run through the dispatched SIMD tiers (the payload's
+  // 8-byte alignment satisfies the kernel contract).
+  std::vector<sketch::kernels::HashKernelParams> kernel_params_;
 };
 
 }  // namespace opthash::io

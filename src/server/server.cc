@@ -12,6 +12,7 @@
 #include "io/bytes.h"
 #include "server/socket_io.h"
 #include "server/tcp_listener.h"
+#include "sketch/kernels/simd_dispatch.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -546,6 +547,17 @@ std::string Server::RenderPrometheusMetrics() const {
   gauge("snapshot_age_seconds",
         "Seconds since the last rotation (negative: none yet this run).",
         rotator_->LastRotationAgeSeconds());
+
+  // Info-style gauge (constant 1, the state carried by the label): which
+  // sketch kernel tier answers this daemon's batched queries. Operators
+  // alert on an unexpected "scalar" after a fleet rollout.
+  out +=
+      "# HELP opthash_simd_tier_info Active sketch kernel tier "
+      "(label `tier`: scalar, avx2 or neon).\n"
+      "# TYPE opthash_simd_tier_info gauge\n"
+      "opthash_simd_tier_info{tier=\"";
+  out += sketch::kernels::KernelTierName(sketch::kernels::ActiveKernelTier());
+  out += "\"} 1\n";
 
   double p50 = 0.0;
   double p99 = 0.0;

@@ -5,8 +5,15 @@
 #include <limits>
 
 #include "common/check.h"
+#include "sketch/kernels/simd_dispatch.h"
 
 namespace opthash::sketch {
+
+namespace {
+// Batch paths hash one key block per level into this much stack scratch,
+// keeping the hot loops allocation-free (tests/query_alloc_test.cc).
+constexpr size_t kKernelChunk = 256;
+}  // namespace
 
 CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed,
                                bool conservative_update)
@@ -18,8 +25,10 @@ CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed,
   OPTHASH_CHECK_GE(depth, 1u);
   Rng rng(seed);
   hashes_.reserve(depth);
+  kernel_params_.reserve(depth);
   for (size_t level = 0; level < depth; ++level) {
     hashes_.emplace_back(width, rng);
+    kernel_params_.push_back(kernels::HashKernelParams::From(hashes_.back()));
   }
   counters_.assign(width * depth, 0);
 }
@@ -67,9 +76,17 @@ void CountMinSketch::UpdateBatch(Span<const uint64_t> keys) {
     return;
   }
   total_count_ += keys.size();
-  for (uint64_t key : keys) {
+  // Plain unit increments commute, so hashing a whole block per level
+  // through the kernel tier and scatter-adding is bit-identical to the
+  // per-key loop.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  uint64_t idx[kKernelChunk];
+  for (size_t begin = 0; begin < keys.size(); begin += kKernelChunk) {
+    const size_t block = std::min(kKernelChunk, keys.size() - begin);
     for (size_t level = 0; level < depth_; ++level) {
-      counters_[level * width_ + hashes_[level](key)] += 1;
+      ops.hash_buckets(kernel_params_[level], keys.data() + begin, block,
+                       idx);
+      ops.scatter_add_u64(counters_.data() + level * width_, idx, block);
     }
   }
 }
@@ -103,16 +120,23 @@ uint64_t CountMinSketch::Estimate(uint64_t key) const {
 void CountMinSketch::EstimateBatch(Span<const uint64_t> keys,
                                    Span<uint64_t> out) const {
   OPTHASH_CHECK_EQ(keys.size(), out.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = std::numeric_limits<uint64_t>::max();
-  }
-  // Level-major: one counter row at a time, min-folding into out, so the
-  // row's cache lines are touched together (depth_ >= 1 by construction).
-  for (size_t level = 0; level < depth_; ++level) {
-    const uint64_t* row = counters_.data() + level * width_;
-    const hashing::LinearHash& hash = hashes_[level];
-    for (size_t i = 0; i < keys.size(); ++i) {
-      out[i] = std::min(out[i], row[hash(keys[i])]);
+  // Level-major per block: one counter row at a time, min-folding into
+  // out, so the row's cache lines are touched together. Hashing and the
+  // gather-min run through the dispatched kernel tier; results are
+  // bit-identical to the per-key Estimate loop on every tier.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  uint64_t idx[kKernelChunk];
+  for (size_t begin = 0; begin < keys.size(); begin += kKernelChunk) {
+    const size_t block = std::min(kKernelChunk, keys.size() - begin);
+    uint64_t* out_block = out.data() + begin;
+    for (size_t i = 0; i < block; ++i) {
+      out_block[i] = std::numeric_limits<uint64_t>::max();
+    }
+    for (size_t level = 0; level < depth_; ++level) {
+      ops.hash_buckets(kernel_params_[level], keys.data() + begin, block,
+                       idx);
+      ops.min_gather_u64(counters_.data() + level * width_, idx, block,
+                         out_block);
     }
   }
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "hashing/hash_functions.h"
 #include "io/bytes.h"
+#include "sketch/kernels/kernels.h"
 
 namespace opthash::sketch {
 
@@ -128,6 +129,9 @@ class CountMinSketch {
   uint64_t seed_;
   bool conservative_update_;
   std::vector<hashing::LinearHash> hashes_;
+  // Per-level kernel constants mirroring hashes_ (sketch/kernels/) so the
+  // batch paths hash through the runtime-dispatched SIMD tiers.
+  std::vector<kernels::HashKernelParams> kernel_params_;
   std::vector<uint64_t> counters_;  // depth_ x width_, row-major.
   uint64_t total_count_ = 0;
 };

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "sketch/kernels/simd_dispatch.h"
 
 namespace opthash::sketch {
+
+namespace {
+// Keys per kernel block in the batch paths. The estimate path keeps a
+// (depth x block) level-estimate scratch on the stack, so the block is
+// smaller than the CMS one to bound the frame at 32 KiB.
+constexpr size_t kBatchChunk = 64;
+}  // namespace
 
 CountSketch::CountSketch(size_t width, size_t depth, uint64_t seed)
     : width_(width), depth_(depth), seed_(seed) {
@@ -16,6 +24,10 @@ CountSketch::CountSketch(size_t width, size_t depth, uint64_t seed)
   for (size_t level = 0; level < depth; ++level) {
     bucket_hashes_.emplace_back(width, rng);
     sign_hashes_.emplace_back(rng);
+    bucket_params_.push_back(
+        kernels::HashKernelParams::From(bucket_hashes_.back()));
+    sign_params_.push_back(
+        kernels::HashKernelParams::From(sign_hashes_.back().linear()));
   }
   counters_.assign(width * depth, 0);
 }
@@ -28,10 +40,21 @@ void CountSketch::Update(uint64_t key, int64_t count) {
 }
 
 void CountSketch::UpdateBatch(Span<const uint64_t> keys) {
-  for (uint64_t key : keys) {
+  // Signed unit increments commute, so hashing a block per level through
+  // the kernel tier and scatter-adding is bit-identical to the per-key
+  // loop.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  uint64_t idx[kBatchChunk];
+  uint64_t sign[kBatchChunk];
+  for (size_t begin = 0; begin < keys.size(); begin += kBatchChunk) {
+    const size_t block = std::min(kBatchChunk, keys.size() - begin);
     for (size_t level = 0; level < depth_; ++level) {
-      const int sign = sign_hashes_[level](key);
-      counters_[level * width_ + bucket_hashes_[level](key)] += sign;
+      ops.hash_buckets(bucket_params_[level], keys.data() + begin, block,
+                       idx);
+      ops.hash_buckets(sign_params_[level], keys.data() + begin, block,
+                       sign);
+      ops.scatter_add_signed_i64(counters_.data() + level * width_, idx,
+                                 sign, block);
     }
   }
 }
@@ -94,14 +117,51 @@ uint64_t CountSketch::EstimateNonNegative(uint64_t key) const {
 void CountSketch::EstimateBatch(Span<const uint64_t> keys,
                                 Span<int64_t> out) const {
   OPTHASH_CHECK_EQ(keys.size(), out.size());
-  for (size_t i = 0; i < keys.size(); ++i) out[i] = Estimate(keys[i]);
+  if (depth_ > kMaxStackDepth) {
+    // Degenerate geometry: keep the allocation-free per-key path rather
+    // than sizing the block scratch for it.
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = Estimate(keys[i]);
+    return;
+  }
+  // Level-major per block: signed gathers fill a (depth x block) scratch
+  // row by row through the kernel tier, then the per-key median runs over
+  // each column. Bit-identical to the per-key Estimate on every tier.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  uint64_t idx[kBatchChunk];
+  uint64_t sign[kBatchChunk];
+  int64_t level_scratch[kMaxStackDepth * kBatchChunk];
+  int64_t key_scratch[kMaxStackDepth];
+  for (size_t begin = 0; begin < keys.size(); begin += kBatchChunk) {
+    const size_t block = std::min(kBatchChunk, keys.size() - begin);
+    for (size_t level = 0; level < depth_; ++level) {
+      ops.hash_buckets(bucket_params_[level], keys.data() + begin, block,
+                       idx);
+      ops.hash_buckets(sign_params_[level], keys.data() + begin, block,
+                       sign);
+      ops.gather_signed_i64(counters_.data() + level * width_, idx, sign,
+                            block, level_scratch + level * block);
+    }
+    for (size_t i = 0; i < block; ++i) {
+      for (size_t level = 0; level < depth_; ++level) {
+        key_scratch[level] = level_scratch[level * block + i];
+      }
+      out[begin + i] = MedianOfLevels(key_scratch, depth_);
+    }
+  }
 }
 
 void CountSketch::EstimateNonNegativeBatch(Span<const uint64_t> keys,
                                            Span<uint64_t> out) const {
   OPTHASH_CHECK_EQ(keys.size(), out.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    out[i] = EstimateNonNegative(keys[i]);
+  int64_t signed_block[kBatchChunk];
+  for (size_t begin = 0; begin < keys.size(); begin += kBatchChunk) {
+    const size_t block = std::min(kBatchChunk, keys.size() - begin);
+    EstimateBatch(Span<const uint64_t>(keys.data() + begin, block),
+                  Span<int64_t>(signed_block, block));
+    for (size_t i = 0; i < block; ++i) {
+      const int64_t estimate = signed_block[i];
+      out[begin + i] = estimate < 0 ? 0 : static_cast<uint64_t>(estimate);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "hashing/hash_functions.h"
 #include "io/bytes.h"
+#include "sketch/kernels/kernels.h"
 
 namespace opthash::sketch {
 
@@ -76,6 +77,11 @@ class CountSketch {
   uint64_t seed_;
   std::vector<hashing::LinearHash> bucket_hashes_;
   std::vector<hashing::SignHash> sign_hashes_;
+  // Kernel constants mirroring the (bucket, sign) hash pairs per level
+  // (sketch/kernels/); sign params describe the range-2 sign hash, whose
+  // bucket 0 means -1.
+  std::vector<kernels::HashKernelParams> bucket_params_;
+  std::vector<kernels::HashKernelParams> sign_params_;
   std::vector<int64_t> counters_;  // depth_ x width_, row-major.
 };
 

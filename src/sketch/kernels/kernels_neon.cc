@@ -1,0 +1,162 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "sketch/kernels/kernels.h"
+
+#if defined(__aarch64__)
+#define OPTHASH_KERNELS_NEON_TU 1
+#include <arm_neon.h>
+#endif
+
+namespace opthash::sketch::kernels {
+
+#ifdef OPTHASH_KERNELS_NEON_TU
+
+namespace {
+
+constexpr size_t kPrefetchDistance = 16;
+
+// Canonicalizes t < 2^62 into [0, 2^61 - 1): one conditional subtract.
+inline uint64x2_t CanonicalSub61(uint64x2_t t) {
+  const uint64x2_t p = vdupq_n_u64(kMersenne61);
+  const uint64x2_t ge = vcgeq_u64(t, p);
+  return vsubq_u64(t, vandq_u64(ge, p));
+}
+
+// key mod (2^61 - 1), canonical, for arbitrary u64 lanes.
+inline uint64x2_t Mod61Vec(uint64x2_t x) {
+  const uint64x2_t p = vdupq_n_u64(kMersenne61);
+  const uint64x2_t folded =
+      vaddq_u64(vandq_u64(x, p), vshrq_n_u64(x, 61));
+  return CanonicalSub61(folded);
+}
+
+// The NEON twin of the AVX2 limb construction: 64x64 products built from
+// vmull_u32 (32x32 -> 64 widening multiply), the same weight folding mod
+// 2^61 - 1, and the same emulated-128-bit magic quotient. Identical
+// algebra, identical bounds, so residues stay canonical and the tier
+// stays bit-identical to scalar. Gathers and scatters remain scalar —
+// AArch64 has no gather instruction, and the update-path win is the
+// hashing anyway.
+void HashBucketsNeon(const HashKernelParams& h, const uint64_t* keys,
+                     size_t n, uint64_t* out) {
+  if (h.mod == ModKind::kZero) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const size_t vec_n = n & ~size_t{1};
+  const uint64x2_t p = vdupq_n_u64(kMersenne61);
+  const uint64x2_t m29 = vdupq_n_u64((1ULL << 29) - 1);
+  const uint64x2_t m32 = vdupq_n_u64(0xffffffffULL);
+  const uint32x2_t a_lo = vdup_n_u32(static_cast<uint32_t>(h.a));
+  const uint32x2_t a_hi = vdup_n_u32(static_cast<uint32_t>(h.a >> 32));
+  const uint64x2_t b = vdupq_n_u64(h.b);
+  const bool magic = h.mod == ModKind::kMagic;
+  const uint32x2_t m_lo = vdup_n_u32(static_cast<uint32_t>(h.magic));
+  const uint32x2_t m_hi = vdup_n_u32(static_cast<uint32_t>(h.magic >> 32));
+  const uint32x2_t d_lo = vdup_n_u32(static_cast<uint32_t>(h.range));
+  const uint32x2_t d_hi = vdup_n_u32(static_cast<uint32_t>(h.range >> 32));
+  const bool wide_shift = h.shift >= 64;
+  const int64x2_t shift_hi_right =
+      vdupq_n_s64(wide_shift ? -static_cast<int64_t>(h.shift - 64) : 0);
+  const int64x2_t shift_hi_left =
+      vdupq_n_s64(wide_shift ? 0 : static_cast<int64_t>(64 - h.shift));
+  const int64x2_t shift_lo_right =
+      vdupq_n_s64(wide_shift ? 0 : -static_cast<int64_t>(h.shift));
+  for (size_t i = 0; i < vec_n; i += 2) {
+    uint64x2_t x = vld1q_u64(keys + i);
+    x = Mod61Vec(x);
+    const uint32x2_t x_lo = vmovn_u64(x);
+    const uint32x2_t x_hi = vshrn_n_u64(x, 32);
+    const uint64x2_t p0 = vmull_u32(a_lo, x_lo);
+    const uint64x2_t p1 = vmull_u32(a_lo, x_hi);
+    const uint64x2_t p2 = vmull_u32(a_hi, x_lo);
+    const uint64x2_t p3 = vmull_u32(a_hi, x_hi);
+    const uint64x2_t mid = vaddq_u64(p1, p2);
+    const uint64x2_t sum = vaddq_u64(
+        vaddq_u64(vshlq_n_u64(p3, 3),
+                  vaddq_u64(vshrq_n_u64(mid, 29),
+                            vshlq_n_u64(vandq_u64(mid, m29), 32))),
+        vaddq_u64(vaddq_u64(vandq_u64(p0, p), vshrq_n_u64(p0, 61)), b));
+    const uint64x2_t folded =
+        vaddq_u64(vandq_u64(sum, p), vshrq_n_u64(sum, 61));
+    uint64x2_t r = CanonicalSub61(folded);
+    if (magic) {
+      const uint32x2_t n_lo = vmovn_u64(r);
+      const uint32x2_t n_hi = vshrn_n_u64(r, 32);
+      const uint64x2_t q0 = vmull_u32(m_lo, n_lo);
+      const uint64x2_t q1 = vmull_u32(m_lo, n_hi);
+      const uint64x2_t q2 = vmull_u32(m_hi, n_lo);
+      const uint64x2_t q3 = vmull_u32(m_hi, n_hi);
+      const uint64x2_t mid_lo =
+          vaddq_u64(vandq_u64(q1, m32), vandq_u64(q2, m32));
+      const uint64x2_t carry =
+          vshrq_n_u64(vaddq_u64(vshrq_n_u64(q0, 32), mid_lo), 32);
+      const uint64x2_t hi = vaddq_u64(
+          vaddq_u64(q3, carry),
+          vaddq_u64(vshrq_n_u64(q1, 32), vshrq_n_u64(q2, 32)));
+      uint64x2_t q;
+      if (wide_shift) {
+        q = vshlq_u64(hi, shift_hi_right);
+      } else {
+        const uint64x2_t lo =
+            vaddq_u64(q0, vshlq_n_u64(vaddq_u64(q1, q2), 32));
+        q = vorrq_u64(vshlq_u64(lo, shift_lo_right),
+                      vshlq_u64(hi, shift_hi_left));
+      }
+      const uint32x2_t q_lo = vmovn_u64(q);
+      const uint32x2_t q_hi = vshrn_n_u64(q, 32);
+      const uint64x2_t q_times_d = vaddq_u64(
+          vmull_u32(q_lo, d_lo),
+          vshlq_n_u64(
+              vaddq_u64(vmull_u32(q_lo, d_hi), vmull_u32(q_hi, d_lo)),
+              32));
+      r = vsubq_u64(r, q_times_d);
+    }
+    vst1q_u64(out + i, r);
+  }
+  for (size_t i = vec_n; i < n; ++i) {
+    out[i] = KernelHashOne(h, keys[i]);
+  }
+}
+
+void MinGatherU64Neon(const uint64_t* row, const uint64_t* idx, size_t n,
+                      uint64_t* inout_min) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(row + idx[i + kPrefetchDistance]);
+    }
+    const uint64_t value = row[idx[i]];
+    if (value < inout_min[i]) inout_min[i] = value;
+  }
+}
+
+void GatherSignedI64Neon(const int64_t* row, const uint64_t* idx,
+                         const uint64_t* sign_bucket, size_t n,
+                         int64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(row + idx[i + kPrefetchDistance]);
+    }
+    const int64_t value = row[idx[i]];
+    out[i] = sign_bucket[i] == 0 ? -value : value;
+  }
+}
+
+}  // namespace
+
+const KernelOps* NeonKernelsOrNull() {
+  static const KernelOps kOps = {
+      HashBucketsNeon, MinGatherU64Neon, GatherSignedI64Neon,
+      ScalarKernels().scatter_add_u64,
+      ScalarKernels().scatter_add_signed_i64};
+  return &kOps;
+}
+
+#else  // !OPTHASH_KERNELS_NEON_TU
+
+const KernelOps* NeonKernelsOrNull() { return nullptr; }
+
+#endif  // OPTHASH_KERNELS_NEON_TU
+
+}  // namespace opthash::sketch::kernels

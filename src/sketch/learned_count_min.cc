@@ -86,7 +86,10 @@ void LearnedCountMinSketch::EstimateBatch(Span<const uint64_t> keys,
                                           Span<uint64_t> out) const {
   OPTHASH_CHECK_EQ(keys.size(), out.size());
   // Chunked two-pass with stack scratch: exact heavy answers first, then
-  // the chunk's misses go through the remainder CMS in one batch.
+  // the chunk's misses go through the remainder CMS in one batch — which
+  // is where this path inherits the SIMD kernel tier (sketch/kernels/):
+  // the heavy probe is a hash-map lookup with nothing to vectorize, and
+  // the remainder batch runs the dispatched hash + gather-min kernels.
   constexpr size_t kChunk = 256;
   uint64_t miss_keys[kChunk];
   uint64_t miss_estimates[kChunk];

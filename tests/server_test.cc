@@ -22,6 +22,7 @@
 #include "server/socket_io.h"
 #include "server/tcp_listener.h"
 #include "sketch/count_min_sketch.h"
+#include "sketch/kernels/simd_dispatch.h"
 #include "sketch/space_saving.h"
 #include "sketch/top_k.h"
 
@@ -698,6 +699,16 @@ TEST(ServerTest, MetricsRendersPrometheusTextExposition) {
             std::string::npos);
   EXPECT_NE(text.find("opthash_query_latency_micros_count"),
             std::string::npos);
+  // ...and the kernel-tier info gauge names the active SIMD tier so a
+  // scrape can alert on an unexpected "scalar" after a rollout.
+  EXPECT_NE(text.find("# TYPE opthash_simd_tier_info gauge"),
+            std::string::npos);
+  const std::string tier_sample =
+      std::string("opthash_simd_tier_info{tier=\"") +
+      std::string(sketch::kernels::KernelTierName(
+          sketch::kernels::ActiveKernelTier())) +
+      "\"} 1\n";
+  EXPECT_NE(text.find(tier_sample), std::string::npos);
 }
 
 TEST(ServerTest, ConcurrentQueriesWhileIngesting) {

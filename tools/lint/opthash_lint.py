@@ -29,6 +29,13 @@ Enforced invariants:
     tools/CMakeLists.txt, where the help-flag test loops assert it in
     the tool's --help output.
 
+  Kernel layer (src/sketch/kernels/) — every KernelOps entry point
+    (function-pointer field in kernels.h) must be named in
+    tests/kernel_differential_test.cc, and every KernelTier enumerator
+    (simd_dispatch.h) in tests/simd_dispatch_test.cc: a new kernel or
+    tier cannot ship without joining the scalar-vs-vector differential
+    harness that proves the tiers bit-identical.
+
 Adding a new frame/section/flag without its paired artifacts fails this
 script with a message naming every missing piece (see
 docs/DEVELOPING.md for the add-a-frame walkthrough). Exit 0 clean,
@@ -204,6 +211,37 @@ def check_tool_flags(problems):
                     "help-flag test list" % (tool, flag))
 
 
+def check_kernel_entry_points(problems):
+    kernels_header = read("src/sketch/kernels/kernels.h")
+    dispatch_header = read("src/sketch/kernels/simd_dispatch.h")
+    differential = read("tests/kernel_differential_test.cc")
+    dispatch_test = read("tests/simd_dispatch_test.cc")
+
+    ops_match = re.search(r"struct\s+KernelOps\s*\{(.*?)\};",
+                          strip_comments(kernels_header), re.S)
+    if not ops_match:
+        sys.exit("opthash_lint: struct KernelOps not found in "
+                 "src/sketch/kernels/kernels.h")
+    fields = re.findall(r"\(\s*\*\s*(\w+)\s*\)\s*\(", ops_match.group(1))
+    if not fields:
+        sys.exit("opthash_lint: KernelOps parsed with no function-pointer "
+                 "fields — the kernel guard is gone")
+    for field in fields:
+        if not re.search(r"\b%s\b" % re.escape(field), differential):
+            problems.append(
+                "KernelOps::%s: kernel entry point never exercised in "
+                "tests/kernel_differential_test.cc — every kernel needs a "
+                "per-tier differential case proving bit-identity" % field)
+
+    for name, _ in parse_enum(dispatch_header, "KernelTier",
+                              "src/sketch/kernels/simd_dispatch.h"):
+        if not re.search(r"\b%s\b" % re.escape(name), dispatch_test):
+            problems.append(
+                "KernelTier::%s: enumerator never named in "
+                "tests/simd_dispatch_test.cc — a tier must be coverable by "
+                "the force/availability/naming suite" % name)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.parse_args()
@@ -211,6 +249,7 @@ def main():
     check_message_types(problems)
     check_section_types(problems)
     check_tool_flags(problems)
+    check_kernel_entry_points(problems)
     if problems:
         print("opthash_lint: %d invariant violation(s)\n" % len(problems))
         for p in problems:

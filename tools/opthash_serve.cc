@@ -20,6 +20,7 @@
 #include "server/served_model.h"
 #include "server/server.h"
 #include "server/snapshot_rotator.h"
+#include "sketch/kernels/simd_dispatch.h"
 #include "tool_flags.h"
 
 #ifndef _WIN32
@@ -36,6 +37,7 @@ constexpr const char* kUsageText =
     "           [--snapshot-every-items N] [--snapshot-every-seconds S]\n"
     "           [--threads N] [--block-size B]\n"
     "           [--max-connections N] [--idle-timeout S] [--event-threads N]\n"
+    "           [--simd scalar|avx2|neon]\n"
     "           [--width W] [--depth D] [--capacity K] [--buckets N]\n"
     "           [--seed S] [--conservative 1]\n"
     "\n"
@@ -83,6 +85,12 @@ constexpr const char* kUsageText =
     "                  (default 1)\n"
     "  --block-size B  trace items per worker dispatch block\n"
     "                  (default 65536)\n"
+    "  --simd TIER     pin the sketch kernel tier (scalar|avx2|neon)\n"
+    "                  instead of auto-detecting the best one; unknown or\n"
+    "                  unavailable tiers fail at startup. Equivalent env\n"
+    "                  var: OPTHASH_SIMD (the flag wins). The active tier\n"
+    "                  is printed as a `simd kernels:` line and exported\n"
+    "                  as the opthash_simd_tier_info metric\n"
     "\n"
     "snapshot rotation (durability; see docs/OPERATIONS.md):\n"
     "  --snapshot-dir DIR        rotate checkpoints into DIR as\n"
@@ -205,6 +213,22 @@ int Main(int argc, char** argv) {
     std::fputs(kUsageText, stderr);
     return 2;
   }
+
+  // Kernel tier: --simd pins it (overriding OPTHASH_SIMD); otherwise a
+  // typo'd environment override must fail the daemon loudly instead of
+  // silently serving on the default tier.
+  if (flags.value().Has("simd")) {
+    const Status forced = sketch::kernels::ForceKernelTierByName(
+        flags.value().Get("simd", ""));
+    if (!forced.ok()) return Fail(forced);
+  } else {
+    const Status env_status = sketch::kernels::KernelEnvStatus();
+    if (!env_status.ok()) return Fail(env_status);
+  }
+  std::fprintf(stderr, "simd kernels: %s\n",
+               std::string(sketch::kernels::KernelTierName(
+                               sketch::kernels::ActiveKernelTier()))
+                   .c_str());
 
   server::ServerConfig config;
   config.socket_path = flags.value().Get("socket", "");
